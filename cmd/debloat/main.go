@@ -1,0 +1,20 @@
+// Command debloat regenerates Figure 8 (E7): trace, strip and verify
+// the top-40 image corpus, printing the per-image size reduction.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vmsh/internal/debloat"
+)
+
+func main() {
+	fmt.Println("tracing and stripping the top-40 image corpus (2 VM boots per image)...")
+	rs, err := debloat.RunAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(debloat.FormatResults(rs))
+}

@@ -1,0 +1,108 @@
+// Command vmsh-bench regenerates every table and figure of the
+// paper's evaluation (§6) and prints measured-vs-paper for each:
+//
+//	E1  xfstests robustness          (§6.1)
+//	E2  hypervisor support           (Table 1)
+//	E3  kernel support               (Table 1)
+//	E4  Phoronix relative slowdown   (Figure 5)
+//	E5  fio throughput + IOPS        (Figure 6a/6b)
+//	E6  console latency              (Figure 7)
+//	E7  image de-bloating            (Figure 8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vmsh/internal/debloat"
+	"vmsh/internal/eval"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7); empty = all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+	fail := func(id string, err error) {
+		fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+		os.Exit(1)
+	}
+
+	if sel("e1") {
+		res, err := eval.RunXfstests()
+		if err != nil {
+			fail("E1", err)
+		}
+		fmt.Print(eval.XfstestsTable(res).Format())
+		fmt.Println()
+	}
+
+	if sel("e2") || sel("e3") {
+		var hv, kern []eval.GeneralityRow
+		if sel("e2") {
+			hv = eval.RunHypervisorMatrix()
+		}
+		if sel("e3") {
+			kern = eval.RunKernelMatrix()
+		}
+		fmt.Print(eval.GeneralityTable(hv, kern).Format())
+		if sel("e2") {
+			extTable := eval.GeneralityTable(eval.RunExtensionMatrix(), nil)
+			extTable.ID = "Extensions"
+			extTable.Title = "paper future work, implemented"
+			fmt.Print(extTable.Format())
+		}
+		fmt.Println()
+	}
+
+	if sel("e4") {
+		rows, err := eval.RunPhoronix()
+		if err != nil {
+			fail("E4", err)
+		}
+		fmt.Print(eval.PhoronixTable(rows).Format())
+		fmt.Println()
+	}
+
+	if sel("e5") {
+		direct, err := eval.RunFioDirect()
+		if err != nil {
+			fail("E5", err)
+		}
+		file, err := eval.RunFioFileIO()
+		if err != nil {
+			fail("E5", err)
+		}
+		thr, iops := eval.FioTables(direct, file)
+		fmt.Print(thr.Format())
+		fmt.Println()
+		fmt.Print(iops.Format())
+		fmt.Println()
+	}
+
+	if sel("e6") {
+		lat, err := eval.RunConsoleLatency()
+		if err != nil {
+			fail("E6", err)
+		}
+		fmt.Print(eval.ConsoleTable(lat).Format())
+		fmt.Println()
+	}
+
+	if sel("e7") {
+		rs, err := debloat.RunAll()
+		if err != nil {
+			fail("E7", err)
+		}
+		fmt.Println("== E7 / Figure 8 — VM image size reduction ==")
+		fmt.Print(debloat.FormatResults(rs))
+	}
+}

@@ -1,0 +1,112 @@
+// Command vmsh is the CLI front end: it boots a simulated VM on the
+// requested hypervisor/kernel combination, attaches with the chosen
+// trap mechanism and either runs one command or replays a scripted
+// console session.
+//
+// The real tool is pointed at a live hypervisor pid; since this
+// reproduction carries its own host simulation, the VM to attach to is
+// launched in-process first.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vmsh"
+	"vmsh/internal/hypervisor"
+)
+
+func main() {
+	var (
+		hv      = flag.String("hypervisor", "qemu", "qemu|kvmtool|firecracker|crosvm|cloud-hypervisor")
+		kernel  = flag.String("kernel", "5.10", "guest kernel version (5.10, 5.4, 4.19, 4.14, 4.9, 4.4)")
+		machine = flag.String("arch", "x86_64", "guest architecture: x86_64|arm64")
+		trap    = flag.String("trap", "auto", "MMIO trap: auto|ioregionfd|wrap_syscall")
+		command = flag.String("c", "", "run one command and exit")
+		stdin   = flag.Bool("stdin", false, "read commands from stdin")
+	)
+	flag.Parse()
+
+	kinds := map[string]hypervisor.Kind{
+		"qemu": vmsh.QEMU, "kvmtool": vmsh.Kvmtool, "firecracker": vmsh.Firecracker,
+		"crosvm": vmsh.Crosvm, "cloud-hypervisor": vmsh.CloudHypervisor,
+	}
+	kind, ok := kinds[*hv]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown hypervisor %q\n", *hv)
+		os.Exit(2)
+	}
+	trapMode := vmsh.TrapAuto
+	switch *trap {
+	case "wrap_syscall":
+		trapMode = vmsh.TrapWrapSyscall
+	case "ioregionfd":
+		trapMode = vmsh.TrapIoregionfd
+	}
+	guestArch := vmsh.ArchX86_64
+	if *machine == "arm64" {
+		guestArch = vmsh.ArchARM64
+	}
+
+	lab := vmsh.NewLab()
+	vm, err := lab.LaunchVM(vmsh.VMConfig{
+		Hypervisor:     kind,
+		Arch:           guestArch,
+		KernelVersion:  *kernel,
+		RootFS:         vmsh.GuestRoot("cli-vm"),
+		DisableSeccomp: kind == vmsh.Firecracker,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "launch: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[vmsh] %s pid %d, guest linux-%s\n", vm.Kind, vm.Proc.PID, vm.Kernel.Version)
+
+	img, err := lab.BuildImage("tools.img", vmsh.ToolImage())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "image: %v\n", err)
+		os.Exit(1)
+	}
+	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img, Trap: trapMode})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "attach: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("[vmsh] attached (%s), kernel detected %s, KASLR base %#x\n",
+		sess.Trap(), sess.Version(), sess.KernelBase())
+
+	run := func(cmd string) {
+		out, err := sess.Exec(cmd)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exec: %v\n", err)
+			return
+		}
+		fmt.Printf("vmsh# %s\n%s", cmd, out)
+	}
+
+	switch {
+	case *command != "":
+		run(*command)
+	case *stdin:
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || line == "exit" {
+				break
+			}
+			run(line)
+		}
+	default:
+		for _, cmd := range []string{"uname -r", "id", "ls /bin", "cat /var/lib/vmsh/etc/hostname", "dmesg"} {
+			run(cmd)
+		}
+	}
+	if err := sess.Detach(); err != nil {
+		fmt.Fprintf(os.Stderr, "detach: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("[vmsh] detached")
+}

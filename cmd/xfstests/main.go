@@ -1,0 +1,42 @@
+// Command xfstests runs the §6.1 robustness experiment (E1): the
+// 619-test "quick" corpus against the native device, qemu-blk and
+// vmsh-blk, reporting pass/fail/skip per environment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vmsh/internal/eval"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print individual failures")
+	flag.Parse()
+
+	fmt.Println("running xfstests quick group (619 tests) on native, qemu-blk, vmsh-blk...")
+	res, err := eval.RunXfstests()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(eval.XfstestsTable(res).Format())
+	if *verbose {
+		for _, env := range []struct {
+			name     string
+			failures []string
+		}{
+			{"native", res.Native.Failures},
+			{"qemu-blk", res.QemuBlk.Failures},
+			{"vmsh-blk", res.VmshBlk.Failures},
+		} {
+			for _, f := range env.failures {
+				fmt.Printf("  FAIL [%s] %s\n", env.name, f)
+			}
+		}
+	}
+	if res.Native.Failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// Monitoring (§2.3 "dependability services"): instead of the
+// coarse-grained, outside-only metrics hypervisor stats give a
+// provider, a VMSH attachment sees guest-OS metadata — the process
+// list, per-filesystem usage, the kernel log — without any agent in
+// the image. This example attaches to an arm64 guest to show the port
+// working end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vmsh"
+)
+
+func main() {
+	lab := vmsh.NewLab()
+
+	vm, err := lab.LaunchVM(vmsh.VMConfig{
+		Hypervisor: vmsh.QEMU,
+		Arch:       vmsh.ArchARM64,
+		RootFS:     vmsh.GuestRoot("prod-vm"),
+	})
+	if err != nil {
+		log.Fatalf("launch: %v", err)
+	}
+	// Some workload state to observe: a plain guest process and a
+	// containerised worker.
+	app := vm.NewGuestProc("billing-service")
+	_ = app.WriteFile("/var/app.state", []byte("processing batch 42\n"), 0o644)
+	vm.Kernel.StartContainer(vmsh.ContainerSpec{
+		Name: "worker", Comm: "queue-worker", UID: 1001, GID: 1001,
+		Cgroup: "/payments/worker",
+	})
+
+	img, err := lab.BuildImage("monitor.img", vmsh.ToolImage())
+	if err != nil {
+		log.Fatalf("image: %v", err)
+	}
+	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+	if err != nil {
+		log.Fatalf("attach: %v", err)
+	}
+	defer sess.Detach()
+
+	fmt.Printf("attached to %s guest (kernel %s at %#x)\n\n",
+		vm.Kernel.Arch, sess.Version(), sess.KernelBase())
+
+	for _, probe := range []struct{ title, cmd string }{
+		{"process list (incl. containers)", "ps"},
+		{"filesystem usage", "df"},
+		{"recent kernel log", "dmesg"},
+		{"guest /proc through the overlay", "cat /var/lib/vmsh/proc/meminfo"},
+		{"container isolation context", "cat /var/lib/vmsh/proc/3/status"},
+		{"application state", "cat /var/lib/vmsh/var/app.state"},
+	} {
+		out, err := sess.Exec(probe.cmd)
+		if err != nil {
+			log.Fatalf("%s: %v", probe.cmd, err)
+		}
+		fmt.Printf("--- %s\n%s\n", probe.title, out)
+	}
+	fmt.Println("monitoring pass complete; no agent, no reboot, guest untouched")
+}

@@ -1,0 +1,61 @@
+// Rescue shell (use-case #2, §6.5): a customer locked themselves out
+// of their VM. The provider attaches an agent-less recovery image
+// while the VM keeps running and resets the password by editing
+// /etc/shadow through the overlay's /var/lib/vmsh view — no reboot, no
+// recovery system, no guest agent.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"vmsh"
+)
+
+func main() {
+	lab := vmsh.NewLab()
+
+	vm, err := lab.LaunchVM(vmsh.VMConfig{
+		Hypervisor: vmsh.QEMU,
+		RootFS:     vmsh.GuestRoot("customer-vm"),
+	})
+	if err != nil {
+		log.Fatalf("launch: %v", err)
+	}
+
+	// The guest's shadow file before rescue.
+	p := vm.NewGuestProc("inspect")
+	before, _ := p.ReadFile("/etc/shadow")
+	fmt.Printf("shadow before rescue:\n  %s\n", strings.TrimSpace(string(before)))
+
+	// The recovery image only needs chpasswd and a shell.
+	rescue := vmsh.Manifest{}
+	for path, e := range vmsh.ToolImage() {
+		rescue[path] = e
+	}
+	img, err := lab.BuildImage("rescue.img", rescue)
+	if err != nil {
+		log.Fatalf("image: %v", err)
+	}
+
+	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+	if err != nil {
+		log.Fatalf("attach: %v", err)
+	}
+	out, err := sess.Exec("chpasswd root:s3cret-reset /var/lib/vmsh")
+	if err != nil {
+		log.Fatalf("chpasswd: %v", err)
+	}
+	fmt.Println(strings.TrimSpace(out))
+	if err := sess.Detach(); err != nil {
+		log.Fatalf("detach: %v", err)
+	}
+
+	after, _ := p.ReadFile("/etc/shadow")
+	fmt.Printf("shadow after rescue:\n  %s\n", strings.TrimSpace(string(after)))
+	if string(after) == string(before) {
+		log.Fatal("password was not updated")
+	}
+	fmt.Println("password reset while the VM kept running — no reboot, no agent")
+}

@@ -1,0 +1,78 @@
+// Serverless debug shell (use-case #1, §6.5): a vHive-style FaaS
+// platform runs lambdas in Firecracker microVMs. One function starts
+// failing; the operator parses its logs, attaches VMSH to the exact
+// microVM hosting the faulty lambda, gets an interactive shell with
+// debugging tools the slim image never contained, and the platform
+// holds the instance against scale-down until the session ends.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+
+	"vmsh/internal/guestos"
+	"vmsh/internal/serverless"
+)
+
+func main() {
+	pl := serverless.New()
+
+	pl.Deploy("thumbnail", func(p *guestos.Proc, payload string) (string, error) {
+		if strings.Contains(payload, "corrupt") {
+			_ = p.WriteFile("/tmp/partial-output", []byte("truncated "+payload), 0o644)
+			return "", errors.New("decode failed: unexpected EOF")
+		}
+		return "thumb:" + payload, nil
+	})
+
+	// Traffic arrives; one request hits the bug.
+	for _, payload := range []string{"cat.png", "dog.png", "corrupt.png", "bird.png"} {
+		resp, err := pl.Invoke("thumbnail", payload)
+		if err != nil {
+			fmt.Printf("invoke %-12s -> ERROR: %v\n", payload, err)
+		} else {
+			fmt.Printf("invoke %-12s -> %s\n", payload, resp)
+		}
+	}
+
+	// The operator's debug workflow.
+	faulty := pl.FindFaulty()
+	if len(faulty) != 1 {
+		log.Fatalf("log scan found %d faulty instances", len(faulty))
+	}
+	inst := faulty[0]
+	fmt.Printf("\nlog scan: instance %s (firecracker pid %d) has errors; attaching...\n",
+		inst.ID, inst.VM.Proc.PID)
+
+	dbg, err := pl.AttachDebugShell(inst)
+	if err != nil {
+		log.Fatalf("attach: %v", err)
+	}
+	for _, cmd := range []string{
+		"cat /var/lib/vmsh/var/log/fn.log",
+		"cat /var/lib/vmsh/tmp/partial-output",
+		"ps",
+	} {
+		out, err := dbg.Session.Exec(cmd)
+		if err != nil {
+			log.Fatalf("exec: %v", err)
+		}
+		fmt.Printf("vmsh# %s\n%s", cmd, out)
+	}
+
+	// Scale-down sweeps while the session is open: the instance
+	// survives.
+	pl.ScaleDown()
+	if inst.Stopped {
+		log.Fatal("pinned instance was scaled down")
+	}
+	fmt.Println("\nscale-down swept; debugged instance survived (pinned)")
+
+	if err := dbg.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	pl.ScaleDown()
+	fmt.Printf("session closed; instance reclaimed (stopped=%v)\n", inst.Stopped)
+}

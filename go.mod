@@ -1,0 +1,3 @@
+module vmsh
+
+go 1.22

@@ -1,0 +1,23 @@
+// Package arch enumerates the CPU architectures the simulation
+// models. The paper's prototype is x86_64-only and names the arm64
+// port as future work, scoping it to "the system call injection, as
+// well as register and page table handling" (§5) — exactly the three
+// axes this codebase parameterises by Arch.
+package arch
+
+// Arch is a CPU architecture.
+type Arch int
+
+// Supported architectures.
+const (
+	X86_64 Arch = iota
+	ARM64
+)
+
+// String implements fmt.Stringer.
+func (a Arch) String() string {
+	if a == ARM64 {
+		return "arm64"
+	}
+	return "x86_64"
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+
+	"vmsh/internal/guestlib"
+	"vmsh/internal/guestos"
+	"vmsh/internal/mem"
+	"vmsh/internal/overlay"
+)
+
+// blobParams parameterise the side-loaded library program.
+type blobParams struct {
+	version  guestos.Version
+	blkBase  mem.GPA
+	blkGSI   uint32
+	consBase mem.GPA
+	consGSI  uint32
+	overlay  overlay.Options
+	// noOverlay skips device registration of the block device and the
+	// spawn step (used by tests that only validate side-loading).
+	minimal bool
+}
+
+// exePath is where the library drops the guest userspace program —
+// /dev is guaranteed writable (§5: "copied into the guest VM by the
+// kernel library into a writable path, i.e., /dev").
+const exePath = "/dev/vmsh-exe"
+
+// buildBlob assembles the library program for the detected kernel
+// version, choosing the kernel_read/kernel_write signature variant and
+// the descriptor struct layout the target kernel expects (§6.2).
+func buildBlob(p blobParams) ([]byte, error) {
+	b := guestlib.NewBuilder()
+
+	// Relocations: the twelve kernel functions.
+	rPrintk := b.Reloc("printk")
+	rPdevReg := b.Reloc("platform_device_register")
+	_ = b.Reloc("platform_device_unregister") // used on the detach path
+	rFilpOpen := b.Reloc("filp_open")
+	rFilpClose := b.Reloc("filp_close")
+	rKRead := b.Reloc("kernel_read")
+	rKWrite := b.Reloc("kernel_write")
+	rKthread := b.Reloc("kthread_create_on_node")
+	rWake := b.Reloc("wake_up_process")
+	_ = b.Reloc("kthread_stop")
+	rExit := b.Reloc("do_exit")
+	rUMH := b.Reloc("call_usermodehelper")
+
+	v2 := p.version.DescStructV2()
+	banner := b.DataString("vmsh: side-loaded library initialising")
+	blkDesc := b.Data(guestos.EncodeDeviceDesc(v2, p.blkBase, p.blkGSI))
+	consDesc := b.Data(guestos.EncodeDeviceDesc(v2, p.consBase, p.consGSI))
+	threadName := b.DataString("vmsh-spawner")
+	exePathOff := b.DataString(exePath)
+
+	// The guest userspace program payload written into /dev.
+	exePayload := append([]byte(guestlib.ExeMagic), []byte(overlay.ProgramName)...)
+	exePayload = append(exePayload, 0)
+	exePayload = append(exePayload, []byte(p.overlay.Encode())...)
+	payloadOff := b.Data(exePayload)
+	payloadLen := uint64(len(exePayload))
+	posOff := b.Data(make([]byte, 8)) // position word for new-style file IO
+
+	// Main program: announce, bring up devices, hand off to the
+	// spawner kthread, report readiness, return through trampoline.
+	b.Call(0, rPrintk, guestlib.BlobPtr(banner))
+	b.Call(1, rPdevReg, guestlib.BlobPtr(blkDesc))  // virtio-blk
+	b.Call(2, rPdevReg, guestlib.BlobPtr(consDesc)) // virtio-console
+	b.Sync(guestlib.StatusDevices)
+	if p.minimal {
+		b.Sync(guestlib.StatusReady)
+		b.End()
+	} else {
+		b.Call(3, rKthread, guestlib.Imm(0), guestlib.BlobPtr(threadName), guestlib.Imm(0))
+		// Entry offset is only known once the spawner body is placed;
+		// emit the wake+ready tail first, then the body, and patch the
+		// kthread entry via a second pass below.
+		b.Call(4, rWake, guestlib.Reg(3))
+		b.Sync(guestlib.StatusReady)
+		b.End()
+
+		// Spawner kthread body: copy the exe into /dev, exec it, exit.
+		entry := b.ProgMark()
+		const oCreatWronlyTrunc = 0x40 | 0x1 | 0x200
+		b.Call(5, rFilpOpen, guestlib.BlobPtr(exePathOff), guestlib.Imm(oCreatWronlyTrunc), guestlib.Imm(0o755))
+		if p.version.NewFileIOSig() {
+			b.Call(6, rKWrite, guestlib.Reg(5), guestlib.BlobPtr(payloadOff),
+				guestlib.Imm(payloadLen), guestlib.BlobPtr(posOff))
+		} else {
+			b.Call(6, rKWrite, guestlib.Reg(5), guestlib.Imm(0),
+				guestlib.BlobPtr(payloadOff), guestlib.Imm(payloadLen))
+		}
+		// Read-back check of the first bytes (exercises kernel_read).
+		scratch := b.Data(make([]byte, 16))
+		if p.version.NewFileIOSig() {
+			pos2 := b.Data(make([]byte, 8))
+			b.Call(7, rKRead, guestlib.Reg(5), guestlib.BlobPtr(scratch),
+				guestlib.Imm(16), guestlib.BlobPtr(pos2))
+		} else {
+			b.Call(7, rKRead, guestlib.Reg(5), guestlib.Imm(0),
+				guestlib.BlobPtr(scratch), guestlib.Imm(16))
+		}
+		b.Call(8, rFilpClose, guestlib.Reg(5))
+		b.Call(9, rUMH, guestlib.BlobPtr(exePathOff), guestlib.Imm(0))
+		b.Call(10, rExit, guestlib.Imm(0))
+		b.End()
+
+		// Patch the kthread entry argument now that the body offset is
+		// known: the Imm(0) placeholder is the first argument of the
+		// rKthread call emitted above.
+		if !b.PatchCallArg(rKthread, 0, entry) {
+			return nil, fmt.Errorf("vmsh: failed to patch spawner entry")
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,426 @@
+// Package core is VMSH itself: the hypervisor-agnostic sideloader and
+// the external VirtIO device host.
+//
+// Attach reaches the guest exclusively through the simulated host
+// interfaces — /proc fd enumeration, ptrace, injected system calls,
+// process_vm_readv/writev, an eBPF kprobe on kvm_vm_ioctl — mirroring
+// §4 and §5 of the paper step by step:
+//
+//  1. discover the KVM fds in /proc/<pid>/fd;
+//  2. ptrace-interrupt every hypervisor thread;
+//  3. recover the memslot layout (GPA -> HVA) with the eBPF probe,
+//     then drop CAP_BPF;
+//  4. read CR3 via an injected KVM_GET_SREGS and walk the guest page
+//     tables through process_vm_readv to find the kernel in the KASLR
+//     window;
+//  5. scan the image for .ksymtab_strings/.ksymtab (all layout
+//     variants in parallel) and recover the exported symbols;
+//  6. allocate fresh guest physical memory at the top of the address
+//     space with an injected mmap + KVM_SET_USER_MEMORY_REGION, write
+//     the relocated library blob into it and map it into guest
+//     virtual memory right after the kernel image;
+//  7. create eventfds/sockets in the hypervisor by injection, pass
+//     them back over a unix socket, register irqfds (and, in
+//     ioregionfd mode, the MMIO region) for the external devices;
+//  8. hijack the vCPU's RIP into the library and resume.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"vmsh/internal/guestlib"
+	"vmsh/internal/guestos"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/ksym"
+	"vmsh/internal/kvm"
+	"vmsh/internal/mem"
+	"vmsh/internal/overlay"
+	"vmsh/internal/pagetable"
+)
+
+// TrapMode selects how MMIO accesses to VMSH's devices are
+// intercepted (§5).
+type TrapMode int
+
+const (
+	// TrapIoregionfd routes the MMIO range through a kernel-filtered
+	// socket: zero overhead for unrelated exits. Requires a host
+	// kernel carrying the ioregionfd patch.
+	TrapIoregionfd TrapMode = iota
+	// TrapWrapSyscall hooks every KVM_RUN (and other hypervisor
+	// syscalls) with ptrace: works everywhere, taxes everything.
+	TrapWrapSyscall
+	// TrapAuto tries ioregionfd and falls back to wrap_syscall when
+	// the host kernel does not know the ioctl.
+	TrapAuto
+)
+
+// String implements fmt.Stringer.
+func (t TrapMode) String() string {
+	switch t {
+	case TrapWrapSyscall:
+		return "wrap_syscall"
+	case TrapAuto:
+		return "auto"
+	default:
+		return "ioregionfd"
+	}
+}
+
+// VMSH device placement in guest physical space.
+const (
+	vmshBlkBase  = mem.GPA(0xd8000000)
+	vmshConsBase = mem.GPA(0xd8001000)
+	vmshBlkGSI   = uint32(48)
+	vmshConsGSI  = uint32(49)
+	vmshSlotNum  = uint32(500)
+	vmshSlotSize = uint64(4 << 20)
+)
+
+// Options configures an attach.
+type Options struct {
+	// Image is the host file holding the filesystem image to serve
+	// through vmsh-blk.
+	Image *hostsim.HostFile
+	// Trap selects the MMIO interception mechanism.
+	Trap TrapMode
+	// ContainerPID adopts a guest container's context (§4.4).
+	ContainerPID int
+	// SpawnShell starts a shell on the console (default true via
+	// Attach; set NoShell to suppress).
+	NoShell bool
+	// Minimal only side-loads and registers devices without spawning
+	// the overlay (test/diagnostic mode).
+	Minimal bool
+	// KeepPrivileges skips the post-probe CAP_BPF drop (tests only).
+	KeepPrivileges bool
+	// BounceCopy disables the direct process_vm data path in the blk
+	// backend, restoring the unoptimised bounce-buffer copies — the
+	// ablation for the optimisation §5 says doubled Phoronix scores.
+	BounceCopy bool
+	// PCITransport registers the devices with MSI-routed irqfds (the
+	// virtio-over-PCI interrupt path), the extension §6.2 names as
+	// future work for Cloud Hypervisor support. The register window
+	// becomes the device's memory BAR; only interrupt routing
+	// changes.
+	PCITransport bool
+}
+
+// VMSH is one instance of the host-side tool.
+type VMSH struct {
+	Host *hostsim.Host
+	Proc *hostsim.Process
+}
+
+// New creates the VMSH process with the privileges the prototype
+// needs: ptrace for injection, BPF for the memslot probe (§4.5).
+func New(h *hostsim.Host) *VMSH {
+	proc := h.NewProcess("vmsh", hostsim.Creds{UID: 0, Caps: map[hostsim.Capability]bool{
+		hostsim.CapSysPtrace: true,
+		hostsim.CapBPF:       true,
+	}})
+	return &VMSH{Host: h, Proc: proc}
+}
+
+// Attach side-loads into the hypervisor process identified by pid and
+// returns a live session.
+func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
+	h := v.Host
+	target, ok := h.Process(pid)
+	if !ok {
+		return nil, fmt.Errorf("vmsh: no process %d", pid)
+	}
+
+	// --- 1. fd discovery via /proc --------------------------------
+	fds, err := h.ProcFDInfo(v.Proc, pid)
+	if err != nil {
+		return nil, fmt.Errorf("vmsh: reading /proc/%d/fd: %w", pid, err)
+	}
+	vmFD := -1
+	var vcpuFDs []int
+	for _, fi := range fds {
+		if fi.Link == "anon_inode:kvm-vm" {
+			vmFD = fi.Num
+		}
+		if strings.HasPrefix(fi.Link, "anon_inode:kvm-vcpu:") {
+			vcpuFDs = append(vcpuFDs, fi.Num)
+		}
+	}
+	if vmFD < 0 || len(vcpuFDs) == 0 {
+		return nil, fmt.Errorf("vmsh: pid %d does not look like a KVM hypervisor", pid)
+	}
+
+	// --- 2. ptrace attach + interrupt ------------------------------
+	tr, err := v.Proc.Attach(target)
+	if err != nil {
+		return nil, fmt.Errorf("vmsh: ptrace: %w", err)
+	}
+	cleanupTracer := true
+	defer func() {
+		if cleanupTracer {
+			_ = tr.Detach()
+		}
+	}()
+	if err := tr.InterruptAll(); err != nil {
+		return nil, err
+	}
+	tid := target.MainThread()
+
+	// --- 3. memslots via the eBPF kvm_vm_ioctl probe ----------------
+	var slots []kvm.MemSlotInfo
+	probe, err := h.AttachKProbe(v.Proc, "kvm_vm_ioctl", func(d any) {
+		if s, ok := d.([]kvm.MemSlotInfo); ok {
+			slots = s
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vmsh: attaching eBPF probe: %w", err)
+	}
+	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(vmFD), kvm.KVMCheckExtension, 0); err != nil {
+		probe.Close()
+		return nil, fmt.Errorf("vmsh: triggering kvm_vm_ioctl: %w", err)
+	}
+	probe.Close()
+	if !opts.KeepPrivileges {
+		// Privilege drop (§4.5): everything after here runs with
+		// ptrace rights only.
+		v.Proc.DropCapability(hostsim.CapBPF)
+	}
+	if len(slots) == 0 {
+		return nil, fmt.Errorf("vmsh: eBPF probe saw no memslots")
+	}
+	pm := &procMem{host: h, self: v.Proc, pid: pid, slots: slots}
+
+	// --- 4. page-table root + kernel discovery ----------------------
+	// The target's architecture selects the sregs layout (CR3 vs
+	// TTBR0_EL1), the page-table descriptor format and the KASLR
+	// window — the three axes of the arm64 port (§5).
+	tArch := target.Arch
+	scratch, err := tr.InjectSyscall(tid, hostsim.SysMmap, 0, 4096, 3,
+		hostsim.MapAnonymous|hostsim.MapPrivate, ^uint64(0))
+	if err != nil {
+		return nil, fmt.Errorf("vmsh: injected mmap: %w", err)
+	}
+	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(vcpuFDs[0]), kvm.KVMGetSregs, scratch); err != nil {
+		return nil, fmt.Errorf("vmsh: KVM_GET_SREGS: %w", err)
+	}
+	sregsRaw := make([]byte, kvm.SregsStructSize)
+	if err := h.ProcessVMRead(v.Proc, pid, mem.HVA(scratch), sregsRaw); err != nil {
+		return nil, err
+	}
+	cr3 := mem.GPA(hostsim.DecodeU64(sregsRaw, kvm.PageTableRootOffset(tArch)/8))
+
+	walker := &pagetable.Walker{R: pm, Root: cr3, Fmt: guestos.PageFormat(tArch)}
+	kaslrBase, kaslrEnd := guestos.KASLRWindow(tArch)
+	var kernelRun *pagetable.Mapped
+	err = walker.VisitRange(kaslrBase, kaslrEnd, func(r pagetable.Mapped) bool {
+		if r.Size >= 1<<20 {
+			kernelRun = &r
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("vmsh: page-table walk: %w", err)
+	}
+	if kernelRun == nil {
+		return nil, fmt.Errorf("vmsh: no kernel image found in KASLR range")
+	}
+
+	img := make([]byte, kernelRun.Size)
+	if err := pm.ReadPhys(kernelRun.GPA, img); err != nil {
+		return nil, fmt.Errorf("vmsh: reading kernel image: %w", err)
+	}
+
+	version, err := detectVersion(img)
+	if err != nil {
+		return nil, err
+	}
+	scan, err := ksym.Scan(img, kernelRun.GVA)
+	if err != nil {
+		return nil, fmt.Errorf("vmsh: ksymtab scan: %w", err)
+	}
+
+	// --- 5. build + relocate the library ----------------------------
+	params := blobParams{
+		version:  version,
+		blkBase:  vmshBlkBase,
+		blkGSI:   vmshBlkGSI,
+		consBase: vmshConsBase,
+		consGSI:  vmshConsGSI,
+		minimal:  opts.Minimal,
+		overlay: overlay.Options{
+			Console:      "hvc-vmsh",
+			BlkDev:       "vmshblk0",
+			ContainerPID: opts.ContainerPID,
+			SpawnShell:   !opts.NoShell,
+		},
+	}
+	blob, err := buildBlob(params)
+	if err != nil {
+		return nil, err
+	}
+	hdr, err := guestlib.ParseHeader(blob)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(hdr.RelocCnt); i++ {
+		name, err := hdr.RelocName(blob, i)
+		if err != nil {
+			return nil, err
+		}
+		gva, ok := scan.Symbols[name]
+		if !ok {
+			return nil, fmt.Errorf("vmsh: kernel %s does not export %q", version, name)
+		}
+		patchU64(blob, hdr.RelocSlotOffset(i), uint64(gva))
+	}
+
+	// --- 6. new memslot at the top of guest physical space ----------
+	libGPA := mem.GPA(mem.PageAlign(uint64(pm.maxGPAEnd()) + 2<<20))
+	libHVA, err := tr.InjectSyscall(tid, hostsim.SysMmap, 0, vmshSlotSize, 3,
+		hostsim.MapAnonymous|hostsim.MapPrivate, ^uint64(0))
+	if err != nil {
+		return nil, fmt.Errorf("vmsh: injected mmap for memslot: %w", err)
+	}
+	region := make([]byte, 32)
+	putU32(region[0:], vmshSlotNum)
+	putU64(region[8:], uint64(libGPA))
+	putU64(region[16:], vmshSlotSize)
+	putU64(region[24:], libHVA)
+	if err := h.ProcessVMWrite(v.Proc, pid, mem.HVA(scratch), region); err != nil {
+		return nil, err
+	}
+	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(vmFD), kvm.KVMSetUserMemoryRegion, scratch); err != nil {
+		return nil, fmt.Errorf("vmsh: KVM_SET_USER_MEMORY_REGION: %w", err)
+	}
+	pm.addSlot(kvm.MemSlotInfo{Slot: vmshSlotNum, GPA: libGPA, Size: vmshSlotSize, HVA: mem.HVA(libHVA)})
+
+	if err := pm.WritePhys(libGPA, blob); err != nil {
+		return nil, fmt.Errorf("vmsh: uploading library: %w", err)
+	}
+
+	// Map the library right after the kernel image (§4.2), using
+	// page-table pages from VMSH's own slot so no guest allocator is
+	// involved.
+	libGVA := kernelRun.GVA + mem.GVA(kernelRun.Size)
+	sideAlloc := mem.NewBumpAlloc(libGPA+mem.GPA(mem.PageAlign(uint64(len(blob)))), libGPA+mem.GPA(vmshSlotSize))
+	mapper := pagetable.AttachMapper(pm, sideAlloc, cr3)
+	mapper.Fmt = guestos.PageFormat(tArch)
+	if err := mapper.MapRange(libGVA, libGPA, mem.PageAlign(uint64(len(blob))),
+		pagetable.FlagWrite|pagetable.FlagGlobal); err != nil {
+		return nil, fmt.Errorf("vmsh: mapping library: %w", err)
+	}
+
+	// --- 7. devices: irqfds, trap, external hosting -----------------
+	sess := &Session{
+		v: v, target: target, tracer: tr, pm: pm,
+		vmFD: vmFD, vcpuFDs: vcpuFDs,
+		libGPA: libGPA, libGVA: libGVA, hdr: hdr,
+		trap: opts.Trap, version: version, kernelBase: kernelRun.GVA,
+	}
+	if err := sess.setupDevices(tid, scratch, opts); err != nil {
+		return nil, err
+	}
+
+	// --- 8. hijack the instruction pointer and resume ----------------
+	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(vcpuFDs[0]), kvm.KVMGetRegs, scratch); err != nil {
+		return nil, fmt.Errorf("vmsh: KVM_GET_REGS: %w", err)
+	}
+	regsRaw := make([]byte, kvm.RegsStructSize(tArch))
+	if err := h.ProcessVMRead(v.Proc, pid, mem.HVA(scratch), regsRaw); err != nil {
+		return nil, err
+	}
+	ipIdx := kvm.InstrPtrIndex(tArch)
+	origRIP := hostsim.DecodeU64(regsRaw, ipIdx)
+	// Pre-store the resume instruction pointer in the trampoline save
+	// area (slot 16 by blob convention on both architectures).
+	var ripRaw [8]byte
+	putU64(ripRaw[:], origRIP)
+	if err := pm.WritePhys(libGPA+mem.GPA(hdr.SavedOff+16*8), ripRaw[:]); err != nil {
+		return nil, err
+	}
+	patchU64(regsRaw, uint64(ipIdx*8), uint64(libGVA))
+	if err := h.ProcessVMWrite(v.Proc, pid, mem.HVA(scratch), regsRaw); err != nil {
+		return nil, err
+	}
+	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(vcpuFDs[0]), kvm.KVMSetRegs, scratch); err != nil {
+		return nil, fmt.Errorf("vmsh: KVM_SET_REGS: %w", err)
+	}
+
+	// Resume: the in-flight KVM_RUN re-enters the guest, which now
+	// executes the library.
+	if err := tr.ResumeAll(); err != nil {
+		return nil, err
+	}
+
+	// Poll the shared sync page for the library's verdict.
+	status, err := sess.readSync(guestlib.SyncStatus)
+	if err != nil {
+		return nil, err
+	}
+	if status&guestlib.StatusErrorBase != 0 {
+		sess.teardownTraps()
+		return nil, fmt.Errorf("vmsh: library reported error %#x (see guest log)", status)
+	}
+	if status != guestlib.StatusReady {
+		sess.teardownTraps()
+		return nil, fmt.Errorf("vmsh: library did not become ready (status %d)", status)
+	}
+
+	// In ioregionfd mode ptrace was only needed during setup. (The
+	// session's trap field carries the *resolved* mode: TrapAuto has
+	// already collapsed to whichever mechanism worked.)
+	if sess.trap == TrapIoregionfd {
+		cleanupTracer = false
+		_ = tr.Detach()
+		sess.tracer = nil
+	} else {
+		cleanupTracer = false
+	}
+	return sess, nil
+}
+
+// detectVersion parses the "Linux version X.Y" banner out of the
+// kernel image bytes.
+func detectVersion(img []byte) (guestos.Version, error) {
+	const marker = "Linux version "
+	idx := bytes.Index(img, []byte(marker))
+	if idx < 0 {
+		return guestos.Version{}, fmt.Errorf("vmsh: no version banner in kernel image")
+	}
+	rest := img[idx+len(marker):]
+	end := 0
+	dots := 0
+	for end < len(rest) && end < 16 {
+		c := rest[end]
+		if c == '.' {
+			dots++
+			if dots == 2 {
+				break
+			}
+		} else if c < '0' || c > '9' {
+			break
+		}
+		end++
+	}
+	return guestos.ParseVersion(string(rest[:end]))
+}
+
+func patchU64(b []byte, off uint64, v uint64) {
+	putU64(b[off:], v)
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func putU32(b []byte, v uint32) {
+	for i := 0; i < 4; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

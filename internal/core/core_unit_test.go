@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vmsh/internal/guestlib"
+	"vmsh/internal/guestos"
+	"vmsh/internal/hypervisor"
+)
+
+func TestDetectVersion(t *testing.T) {
+	img := make([]byte, 4096)
+	copy(img[100:], "Linux version 4.19.0 (gcc) #1 SMP")
+	v, err := detectVersion(img)
+	if err != nil || v.String() != "4.19" {
+		t.Fatalf("%v %v", v, err)
+	}
+	if _, err := detectVersion(make([]byte, 4096)); err == nil {
+		t.Fatal("version detected in zeros")
+	}
+	copy(img[100:], "Linux version garbage")
+	if _, err := detectVersion(img); err == nil {
+		t.Fatal("garbage banner parsed")
+	}
+}
+
+func TestBlobBuildsForEveryVersion(t *testing.T) {
+	for _, ver := range guestos.LTSVersions {
+		v, _ := guestos.ParseVersion(ver)
+		blob, err := buildBlob(blobParams{
+			version: v, blkBase: vmshBlkBase, blkGSI: vmshBlkGSI,
+			consBase: vmshConsBase, consGSI: vmshConsGSI,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", ver, err)
+		}
+		hdr, err := guestlib.ParseHeader(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", ver, err)
+		}
+		// The twelve kernel functions are all referenced.
+		if hdr.RelocCnt != 12 {
+			t.Fatalf("%s: %d relocations, want 12", ver, hdr.RelocCnt)
+		}
+		seen := map[string]bool{}
+		for i := 0; i < int(hdr.RelocCnt); i++ {
+			name, err := hdr.RelocName(blob, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[name] = true
+		}
+		for _, want := range []string{
+			"printk", "platform_device_register", "platform_device_unregister",
+			"filp_open", "filp_close", "kernel_read", "kernel_write",
+			"kthread_create_on_node", "wake_up_process", "kthread_stop",
+			"do_exit", "call_usermodehelper",
+		} {
+			if !seen[want] {
+				t.Fatalf("%s: blob misses %s", ver, want)
+			}
+		}
+	}
+}
+
+func TestMinimalBlobSmaller(t *testing.T) {
+	v, _ := guestos.ParseVersion("5.10")
+	full, err := buildBlob(blobParams{version: v, blkBase: vmshBlkBase, consBase: vmshConsBase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := buildBlob(blobParams{version: v, blkBase: vmshBlkBase, consBase: vmshConsBase, minimal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) >= len(full) {
+		t.Fatalf("minimal blob (%d) not smaller than full (%d)", len(min), len(full))
+	}
+}
+
+func TestSecondAttachRejectedWhileTraced(t *testing.T) {
+	h, inst := launch(t, hypervisor.QEMU, "5.10")
+	// wrap_syscall keeps the tracer; a second VMSH cannot attach.
+	_ = attach(t, h, inst, Options{Trap: TrapWrapSyscall})
+	v2 := New(h)
+	img := buildToolImage(t, h, "second.img")
+	if _, err := v2.Attach(inst.Proc.PID, Options{Image: img}); err == nil {
+		t.Fatal("second concurrent attach succeeded")
+	}
+}
+
+func TestReattachAfterDetach(t *testing.T) {
+	h, inst := launch(t, hypervisor.QEMU, "5.10")
+	sess := attach(t, h, inst, Options{Trap: TrapWrapSyscall})
+	if err := sess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh attach works again after a clean detach.
+	sess2 := attach(t, h, inst, Options{})
+	out, err := sess2.Exec("echo again")
+	if err != nil || !strings.Contains(out, "again") {
+		t.Fatalf("%q %v", out, err)
+	}
+}
+
+func TestAttachChargesRealisticSetupTime(t *testing.T) {
+	h, inst := launch(t, hypervisor.QEMU, "5.10")
+	before := h.Clock.Now()
+	_ = attach(t, h, inst, Options{})
+	elapsed := h.Clock.Since(before)
+	// Attach is introspection-heavy (page-table walk over the KASLR
+	// window via process_vm_readv): it must cost real milliseconds,
+	// but stay interactive (well under a minute).
+	if elapsed.Milliseconds() < 1 {
+		t.Fatalf("attach cost only %v — the introspection path is not being charged", elapsed)
+	}
+	if elapsed.Seconds() > 60 {
+		t.Fatalf("attach cost %v — implausibly slow", elapsed)
+	}
+}

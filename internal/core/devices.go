@@ -1,0 +1,308 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"vmsh/internal/hostsim"
+	"vmsh/internal/kvm"
+	"vmsh/internal/mem"
+	"vmsh/internal/vclock"
+	"vmsh/internal/virtio"
+)
+
+// mmapBackend serves the vmsh-blk image from a memory-mapped host
+// file — the optimisation §5 credits with doubling Phoronix results.
+// Reads hit the host page cache (device reads only on first touch);
+// writes land in the cache and are charged at steady-state writeback
+// bandwidth once, at write time (the background flusher's work,
+// attributed to the writer the way dirty throttling does).
+type mmapBackend struct {
+	f    *hostsim.HostFile
+	host *hostsim.Host
+	// resident tracks which 4 KiB pages of the image live in the
+	// host page cache.
+	resident map[int64]bool
+	// bounce emulates the unoptimised pre-§5 data path: an extra
+	// read/write syscall pair and buffer copy per access (kept for
+	// the D2 ablation benchmark).
+	bounce bool
+}
+
+const mmapPage = 4096
+
+// attachSeq disambiguates fd-passing socket names across attaches.
+var attachSeq atomic.Int64
+
+// touch accounts page-cache handling for [off, off+n), returning how
+// many bytes were not yet resident.
+func (m *mmapBackend) touch(off int64, n int) int {
+	first, last := off/mmapPage, (off+int64(n)-1)/mmapPage
+	missBytes := 0
+	for p := first; p <= last; p++ {
+		if !m.resident[p] {
+			m.resident[p] = true
+			missBytes += mmapPage
+		}
+	}
+	c := m.host.Costs
+	m.host.Clock.Advance(time.Duration(last-first+1) * c.PageCacheHit)
+	return missBytes
+}
+
+// chargeBounce models the pre-optimisation data path (§5): instead of
+// one process_vm copy straight between guest memory and the mapped
+// image, the device read()/write()s the image in filesystem-block
+// units through a bounce buffer — a syscall pair per block plus a
+// second full copy of the payload.
+func (m *mmapBackend) chargeBounce(n int) {
+	blocks := (n + mmapPage - 1) / mmapPage
+	c := m.host.Costs
+	m.host.Clock.Advance(time.Duration(blocks)*2*c.Syscall + vclock.Copy(n, c.ProcessVMBW))
+}
+
+// ReadBlk implements virtio.BlkBackend.
+func (m *mmapBackend) ReadBlk(off int64, buf []byte) error {
+	if m.bounce {
+		m.chargeBounce(len(buf))
+	}
+	if miss := m.touch(off, len(buf)); miss > 0 {
+		m.host.Disk.ChargeRead(miss)
+	}
+	copy(buf, m.f.Bytes()[off:])
+	return nil
+}
+
+// WriteBlk implements virtio.BlkBackend.
+func (m *mmapBackend) WriteBlk(off int64, buf []byte) error {
+	if m.bounce {
+		m.chargeBounce(len(buf))
+	}
+	m.touch(off, len(buf))
+	copy(m.f.Bytes()[off:], buf)
+	// Sustained writes are bounded by host writeback to the device.
+	m.host.Disk.ChargeWrite(len(buf))
+	return nil
+}
+
+// FlushBlk implements virtio.BlkBackend: writeback was already paid at
+// write time, so a flush costs one device cache flush.
+func (m *mmapBackend) FlushBlk() error {
+	m.host.Disk.ChargeFlush()
+	return nil
+}
+
+// Capacity implements virtio.BlkBackend.
+func (m *mmapBackend) Capacity() int64 { return m.f.Size() }
+
+// mmioMux routes the VMSH MMIO window to the right device.
+type mmioMux struct {
+	blk  kvm.MMIOHandler
+	cons kvm.MMIOHandler
+}
+
+// MMIO implements kvm.MMIOHandler.
+func (m *mmioMux) MMIO(gpa mem.GPA, size int, write bool, value uint64) uint64 {
+	if gpa >= vmshConsBase {
+		return m.cons.MMIO(gpa, size, write, value)
+	}
+	return m.blk.MMIO(gpa, size, write, value)
+}
+
+// setupDevices performs step 7 of Attach: eventfd + irqfd plumbing by
+// injection, fd passing over an injected unix socket, trap
+// installation and device hosting.
+func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options) error {
+	h := s.v.Host
+	tr := s.tracer
+	pid := s.target.PID
+
+	image := opts.Image
+	if image == nil {
+		if !opts.Minimal {
+			return fmt.Errorf("vmsh: an fs image is required unless Minimal")
+		}
+		image = h.CreateFile(fmt.Sprintf("vmsh-minimal-%d.img", pid), 1<<20, false)
+	}
+
+	// Unix socket for passing hypervisor-created fds back to us (§5).
+	// The name carries an attach sequence number so re-attaching
+	// after a detach never collides with a stale binding.
+	sockPath := fmt.Sprintf("@vmsh-%d-%d", pid, attachSeq.Add(1))
+	listener, err := h.BindUnix(s.v.Proc, sockPath)
+	if err != nil {
+		return err
+	}
+
+	// Create the two irq eventfds inside the hypervisor and register
+	// them as irqfds for our GSIs.
+	evBlk, err := tr.InjectSyscall(tid, hostsim.SysEventfd2, 0, 0)
+	if err != nil {
+		return err
+	}
+	evCons, err := tr.InjectSyscall(tid, hostsim.SysEventfd2, 0, 0)
+	if err != nil {
+		return err
+	}
+	for _, reg := range []struct {
+		fd  uint64
+		gsi uint32
+	}{{evBlk, vmshBlkGSI}, {evCons, vmshConsGSI}} {
+		irqfd := make([]byte, 16)
+		putU32(irqfd[0:], uint32(reg.fd))
+		putU32(irqfd[4:], reg.gsi)
+		if opts.PCITransport {
+			putU32(irqfd[8:], kvm.IrqfdFlagMSI)
+		}
+		if err := h.ProcessVMWrite(s.v.Proc, pid, mem.HVA(scratch), irqfd); err != nil {
+			return err
+		}
+		if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(s.vmFD), kvm.KVMIrqfd, scratch); err != nil {
+			return fmt.Errorf("vmsh: KVM_IRQFD (gsi %d): %w", reg.gsi, err)
+		}
+	}
+
+	// Pass the eventfds back over the unix socket.
+	sock, err := tr.InjectSyscall(tid, hostsim.SysSocket, 1, 1, 0)
+	if err != nil {
+		return err
+	}
+	if err := h.ProcessVMWrite(s.v.Proc, pid, mem.HVA(scratch)+128, []byte(sockPath)); err != nil {
+		return err
+	}
+	if _, err := tr.InjectSyscall(tid, hostsim.SysConnect, sock, scratch+128, uint64(len(sockPath))); err != nil {
+		return err
+	}
+	if _, err := tr.InjectSyscall(tid, hostsim.SysSendmsg, sock, 0, 0, evBlk, evCons); err != nil {
+		return err
+	}
+	conn, ok := listener.Accept()
+	if !ok {
+		return fmt.Errorf("vmsh: fd-passing connection missing")
+	}
+	_, rights, ok := conn.Recv()
+	if !ok || len(rights) != 2 {
+		return fmt.Errorf("vmsh: expected 2 passed fds, got %d", len(rights))
+	}
+	s.blkEvFD = s.v.Proc.InstallFD(rights[0])
+	s.consEvFD = s.v.Proc.InstallFD(rights[1])
+
+	// A one-page buffer in our own address space for eventfd writes.
+	sigHVA, err := s.v.Proc.Syscall(hostsim.SysMmap, 0, 4096, 3,
+		hostsim.MapAnonymous|hostsim.MapPrivate, ^uint64(0), 0)
+	if err != nil {
+		return err
+	}
+	s.sigHVA = sigHVA
+	_ = s.v.Proc.WriteMem(mem.HVA(sigHVA), hostsim.EncodeU64s(1))
+
+	// Device instances, running in the VMSH process over the
+	// process_vm view of guest memory.
+	backend := &mmapBackend{f: image, host: h, resident: make(map[int64]bool), bounce: opts.BounceCopy}
+	s.blk = virtio.NewBlkDevice(vmshBlkBase, s.pm, backend, h.Clock, h.Costs)
+	s.blk.SignalIRQ = func() {
+		_, _ = s.v.Proc.Syscall(hostsim.SysWrite, uint64(s.blkEvFD), s.sigHVA, 8)
+	}
+	s.cons = virtio.NewConsoleDevice(vmshConsBase, s.pm)
+	s.cons.Output = func(b []byte) {
+		// Guest output wakes the blocked VMSH console reader.
+		h.Clock.Advance(h.Costs.SchedWake)
+		s.out.Write(b)
+	}
+	s.cons.SignalIRQ = func() {
+		_, _ = s.v.Proc.Syscall(hostsim.SysWrite, uint64(s.consEvFD), s.sigHVA, 8)
+	}
+	mux := &mmioMux{blk: s.blk, cons: s.cons}
+
+	mode := s.trap
+	if mode == TrapAuto {
+		mode = TrapIoregionfd
+	}
+	if mode == TrapIoregionfd {
+		err := s.setupIoregion(tid, scratch, sock, listener, conn, mux)
+		switch {
+		case err == nil:
+			// fast path active
+		case s.trap == TrapAuto && errors.Is(err, hostsim.ErrNoSys):
+			// Host kernel lacks the ioregionfd patch — fall back to
+			// the ptrace trap, as the real tool must on stock kernels.
+			mode = TrapWrapSyscall
+		default:
+			return err
+		}
+	}
+	if mode == TrapWrapSyscall {
+		// Hook every hypervisor syscall via ptrace and claim our MMIO
+		// window on KVM_RUN exits.
+		vmfdObj, err := s.target.FD(s.vmFD)
+		if err != nil {
+			return err
+		}
+		vmFD, ok := vmfdObj.(*kvm.VMFD)
+		if !ok {
+			return fmt.Errorf("vmsh: fd %d is not a KVM VM", s.vmFD)
+		}
+		s.wrapVM = vmFD.VM
+		tr.SetSyscallTax(true)
+		s.wrapVM.SetWrapTrap(vmshBlkBase, uint64(vmshConsBase-vmshBlkBase)+virtio.MMIOSize, mux)
+	}
+	s.trap = mode
+	return nil
+}
+
+// setupIoregion creates a socketpair inside the hypervisor, registers
+// one end as the ioregionfd for the VMSH MMIO window, receives the
+// other end over the unix socket and serves it.
+func (s *Session) setupIoregion(tid *hostsim.Thread, scratch, sock uint64,
+	listener *hostsim.UnixListener, conn *hostsim.SockPairFD, mux kvm.MMIOHandler) error {
+	h := s.v.Host
+	tr := s.tracer
+	pid := s.target.PID
+
+	if _, err := tr.InjectSyscall(tid, hostsim.SysSocketpair, 1, 1, 0, scratch+192); err != nil {
+		return fmt.Errorf("vmsh: injected socketpair: %w", err)
+	}
+	pairRaw := make([]byte, 8)
+	if err := h.ProcessVMRead(s.v.Proc, pid, mem.HVA(scratch)+192, pairRaw); err != nil {
+		return err
+	}
+	rfd := uint64(pairRaw[0]) | uint64(pairRaw[1])<<8 | uint64(pairRaw[2])<<16 | uint64(pairRaw[3])<<24
+	sfd := uint64(pairRaw[4]) | uint64(pairRaw[5])<<8 | uint64(pairRaw[6])<<16 | uint64(pairRaw[7])<<24
+
+	ioregion := make([]byte, 40)
+	putU64(ioregion[0:], uint64(vmshBlkBase))
+	putU64(ioregion[8:], uint64(vmshConsBase-vmshBlkBase)+virtio.MMIOSize)
+	putU32(ioregion[24:], uint32(rfd))
+	if err := h.ProcessVMWrite(s.v.Proc, pid, mem.HVA(scratch), ioregion); err != nil {
+		return err
+	}
+	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(s.vmFD), kvm.KVMSetIoregion, scratch); err != nil {
+		return fmt.Errorf("vmsh: KVM_SET_IOREGION: %w", err)
+	}
+	// Receive the serving end via the unix socket.
+	if _, err := tr.InjectSyscall(tid, hostsim.SysSendmsg, sock, 0, 0, sfd); err != nil {
+		return err
+	}
+	conn2, ok := listener.Accept()
+	if !ok {
+		conn2 = conn
+	}
+	_, rights2, ok := conn2.Recv()
+	if !ok || len(rights2) != 1 {
+		// The second sendmsg reuses the existing connection.
+		_, rights2, ok = conn.Recv()
+		if !ok || len(rights2) != 1 {
+			return fmt.Errorf("vmsh: serving socket not passed")
+		}
+	}
+	serveSock, okCast := rights2[0].(*hostsim.SockPairFD)
+	if !okCast {
+		return fmt.Errorf("vmsh: passed fd is %T, want socket", rights2[0])
+	}
+	s.v.Proc.InstallFD(serveSock)
+	serveSock.SetHandler(mux)
+	s.serveSock = serveSock
+	return nil
+}

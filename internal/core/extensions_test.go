@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vmsh/internal/fsimage"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+)
+
+// TestExtensionPCITransportCloudHypervisor exercises the
+// virtio-over-PCI extension (§6.2 future work): with MSI-routed
+// irqfds, the MSI-X-only irqchip accepts the registration and Cloud
+// Hypervisor becomes attachable.
+func TestExtensionPCITransportCloudHypervisor(t *testing.T) {
+	h := hostsim.NewHost()
+	inst, err := hypervisor.Launch(h, hypervisor.Config{
+		Kind:   hypervisor.CloudHypervisor,
+		RootFS: fsimage.GuestRoot("chv"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the extension it still fails (Table 1).
+	v := New(h)
+	if _, err := v.Attach(inst.Proc.PID, Options{Minimal: true}); err == nil {
+		t.Fatal("legacy gsi attach to Cloud Hypervisor succeeded")
+	}
+
+	// With it, the full flow works.
+	h2 := hostsim.NewHost()
+	inst2, err := hypervisor.Launch(h2, hypervisor.Config{
+		Kind:   hypervisor.CloudHypervisor,
+		RootFS: fsimage.GuestRoot("chv"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := attach(t, h2, inst2, Options{PCITransport: true})
+	out, err := sess.Exec("cat /var/lib/vmsh/etc/hostname")
+	if err != nil || !strings.Contains(out, "chv") {
+		t.Fatalf("%q %v", out, err)
+	}
+}
+
+// TestExtensionPCITransportOnGSIHypervisors: modern KVM accepts
+// MSI-routed irqfds on ordinary VMs too, so the extension is safe to
+// use everywhere.
+func TestExtensionPCITransportOnGSIHypervisors(t *testing.T) {
+	h, inst := launch(t, hypervisor.QEMU, "5.10")
+	sess := attach(t, h, inst, Options{PCITransport: true})
+	if _, err := sess.Exec("echo pci-ok"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExtensionFirecrackerSeccompProfile exercises the
+// "vmsh-compatible" filter set: attach succeeds with seccomp still
+// armed, and the filters keep doing their job for everything else.
+func TestExtensionFirecrackerSeccompProfile(t *testing.T) {
+	h := hostsim.NewHost()
+	inst, err := hypervisor.Launch(h, hypervisor.Config{
+		Kind:           hypervisor.Firecracker,
+		RootFS:         fsimage.GuestRoot("fc"),
+		SeccompProfile: "vmsh-compatible",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Proc.Seccomp == nil {
+		t.Fatal("filters were silently disabled")
+	}
+	sess := attach(t, h, inst, Options{})
+	out, err := sess.Exec("uname -r")
+	if err != nil || !strings.Contains(out, "5.10") {
+		t.Fatalf("%q %v", out, err)
+	}
+	// The filter still blocks syscalls outside the profile.
+	if _, err := inst.Proc.Syscall(hostsim.SysRecvmsg, 0, 0, 0); err != hostsim.ErrSeccomp {
+		t.Fatalf("unlisted syscall not blocked: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"vmsh/internal/hostsim"
+	"vmsh/internal/kvm"
+	"vmsh/internal/mem"
+)
+
+// procMem is VMSH's view of guest physical memory: every access is a
+// process_vm_readv/writev into the hypervisor's mapping of the guest,
+// translated through the memslot table recovered by the eBPF probe.
+// No caching — the guest mutates these bytes concurrently (virtqueue
+// indices), so reads must always hit the live mapping.
+type procMem struct {
+	host  *hostsim.Host
+	self  *hostsim.Process
+	pid   int
+	slots []kvm.MemSlotInfo
+}
+
+func (pm *procMem) hvaFor(gpa mem.GPA, n int) (mem.HVA, error) {
+	for _, s := range pm.slots {
+		if gpa >= s.GPA && uint64(gpa-s.GPA)+uint64(n) <= s.Size {
+			return s.HVA + mem.HVA(gpa-s.GPA), nil
+		}
+	}
+	return 0, fmt.Errorf("vmsh: gpa [%#x,+%d) not in any memslot", gpa, n)
+}
+
+// ReadPhys implements mem.PhysReader.
+func (pm *procMem) ReadPhys(gpa mem.GPA, buf []byte) error {
+	hva, err := pm.hvaFor(gpa, len(buf))
+	if err != nil {
+		return err
+	}
+	return pm.host.ProcessVMRead(pm.self, pm.pid, hva, buf)
+}
+
+// WritePhys implements mem.PhysWriter.
+func (pm *procMem) WritePhys(gpa mem.GPA, buf []byte) error {
+	hva, err := pm.hvaFor(gpa, len(buf))
+	if err != nil {
+		return err
+	}
+	return pm.host.ProcessVMWrite(pm.self, pm.pid, hva, buf)
+}
+
+// addSlot extends the translator after VMSH installs its own memslot.
+func (pm *procMem) addSlot(s kvm.MemSlotInfo) { pm.slots = append(pm.slots, s) }
+
+// maxGPAEnd returns the highest in-use guest physical address; VMSH
+// allocates its slot above it (§4.2: hypervisors allocate low to
+// high, so the top of the address space is free).
+func (pm *procMem) maxGPAEnd() mem.GPA {
+	var max mem.GPA
+	for _, s := range pm.slots {
+		if end := s.GPA + mem.GPA(s.Size); end > max {
+			max = end
+		}
+	}
+	return max
+}

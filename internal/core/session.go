@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"vmsh/internal/guestlib"
+	"vmsh/internal/guestos"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/kvm"
+	"vmsh/internal/mem"
+	"vmsh/internal/virtio"
+)
+
+// Session is a live attachment to a VM.
+type Session struct {
+	v      *VMSH
+	target *hostsim.Process
+	tracer *hostsim.Tracer // non-nil only in wrap_syscall mode
+	pm     *procMem
+
+	vmFD    int
+	vcpuFDs []int
+	libGPA  mem.GPA
+	libGVA  mem.GVA
+	hdr     *guestlib.Header
+
+	trap       TrapMode
+	version    guestos.Version
+	kernelBase mem.GVA
+
+	blk  *virtio.BlkDevice
+	cons *virtio.ConsoleDevice
+
+	blkEvFD, consEvFD int
+	sigHVA            uint64
+	wrapVM            *kvm.VM
+	// serveSock is the ioregionfd serving end; closing it (clearing
+	// its handler) deregisters the MMIO routing kernel-side.
+	serveSock *hostsim.SockPairFD
+
+	out      bytes.Buffer
+	detached bool
+}
+
+// Version reports the guest kernel version the sideloader detected.
+func (s *Session) Version() guestos.Version { return s.version }
+
+// KernelBase reports where KASLR put the guest kernel (diagnostics).
+func (s *Session) KernelBase() mem.GVA { return s.kernelBase }
+
+// Trap reports the active MMIO interception mechanism.
+func (s *Session) Trap() TrapMode { return s.trap }
+
+// readSync reads one word of the shared sync area via process_vm.
+func (s *Session) readSync(word int) (uint64, error) {
+	raw := make([]byte, 8)
+	if err := s.pm.ReadPhys(s.libGPA+mem.GPA(s.hdr.SyncOff+uint64(word*8)), raw); err != nil {
+		return 0, err
+	}
+	return hostsim.DecodeU64(raw, 0), nil
+}
+
+// writeSync writes one word of the shared sync area.
+func (s *Session) writeSync(word int, val uint64) error {
+	return s.pm.WritePhys(s.libGPA+mem.GPA(s.hdr.SyncOff+uint64(word*8)), hostsim.EncodeU64s(val))
+}
+
+// SendConsole delivers raw bytes to the guest console (keystrokes).
+func (s *Session) SendConsole(data []byte) {
+	s.cons.SendToGuest(data)
+}
+
+// Output returns everything the guest console produced so far.
+func (s *Session) Output() string { return s.out.String() }
+
+// Exec runs one shell command over the console and returns its output
+// (without the trailing prompt).
+func (s *Session) Exec(cmd string) (string, error) {
+	if s.detached {
+		return "", fmt.Errorf("vmsh: session detached")
+	}
+	mark := s.out.Len()
+	s.cons.SendToGuest([]byte(cmd + "\n"))
+	outSlice := s.out.String()[mark:]
+	if !strings.HasSuffix(outSlice, guestos.Prompt) {
+		return outSlice, fmt.Errorf("vmsh: shell did not return a prompt (got %q)", outSlice)
+	}
+	return strings.TrimSuffix(outSlice, guestos.Prompt), nil
+}
+
+// BlkRequests reports how many requests the vmsh-blk device served.
+func (s *Session) BlkRequests() int64 { return s.blk.Requests }
+
+// teardownTraps removes the MMIO interception.
+func (s *Session) teardownTraps() {
+	if s.wrapVM != nil {
+		s.wrapVM.SetWrapTrap(0, 0, nil)
+		s.wrapVM = nil
+	}
+	if s.tracer != nil {
+		s.tracer.SetSyscallTax(false)
+	}
+	if s.serveSock != nil {
+		// Close the ioregionfd serving socket: the kernel drops the
+		// MMIO routing for this (now dead) session.
+		s.serveSock.SetHandler(nil)
+		s.serveSock = nil
+	}
+}
+
+// Detach asks the library to unwind (§4.4): control word + console
+// interrupt, wait for the ack, then remove traps and ptrace.
+func (s *Session) Detach() error {
+	if s.detached {
+		return nil
+	}
+	if err := s.writeSync(guestlib.SyncControl, guestlib.ControlDetach); err != nil {
+		return err
+	}
+	// Kick the guest via the console irqfd so it notices the request.
+	if _, err := s.v.Proc.Syscall(hostsim.SysWrite, uint64(s.consEvFD), s.sigHVA, 8); err != nil {
+		return err
+	}
+	ack, err := s.readSync(guestlib.SyncAck)
+	if err != nil {
+		return err
+	}
+	if ack != 1 {
+		return fmt.Errorf("vmsh: guest did not acknowledge detach")
+	}
+	s.teardownTraps()
+	if s.tracer != nil {
+		_ = s.tracer.Detach()
+		s.tracer = nil
+	}
+	s.detached = true
+	return nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"vmsh/internal/hypervisor"
+)
+
+// TestTrapAutoPrefersIoregionfd: on a patched host kernel the auto
+// mode lands on the fast path and detaches ptrace after setup.
+func TestTrapAutoPrefersIoregionfd(t *testing.T) {
+	h, inst := launch(t, hypervisor.QEMU, "5.10")
+	sess := attach(t, h, inst, Options{Trap: TrapAuto})
+	if sess.Trap() != TrapIoregionfd {
+		t.Fatalf("resolved to %v", sess.Trap())
+	}
+	if inst.Proc.Traced() {
+		t.Fatal("tracer left behind on the fast path")
+	}
+	if _, err := sess.Exec("echo fast"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrapAutoFallsBackWithoutPatch: a stock host kernel rejects
+// KVM_SET_IOREGION with ENOSYS and VMSH transparently uses the ptrace
+// trap instead.
+func TestTrapAutoFallsBackWithoutPatch(t *testing.T) {
+	h, inst := launch(t, hypervisor.QEMU, "5.10")
+	h.NoIoregionfd = true
+	sess := attach(t, h, inst, Options{Trap: TrapAuto})
+	if sess.Trap() != TrapWrapSyscall {
+		t.Fatalf("resolved to %v", sess.Trap())
+	}
+	if !inst.Proc.SyscallTaxed() {
+		t.Fatal("wrap_syscall tax not active after fallback")
+	}
+	if _, err := sess.Exec("echo slow-but-working"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExplicitIoregionfdFailsWithoutPatch: when the user forces the
+// fast path on an unpatched kernel, attach fails loudly instead of
+// silently degrading.
+func TestExplicitIoregionfdFailsWithoutPatch(t *testing.T) {
+	h, inst := launch(t, hypervisor.QEMU, "5.10")
+	h.NoIoregionfd = true
+	v := New(h)
+	img := buildToolImage(t, h, "noior.img")
+	if _, err := v.Attach(inst.Proc.PID, Options{Image: img, Trap: TrapIoregionfd}); err == nil {
+		t.Fatal("forced ioregionfd attach succeeded on an unpatched kernel")
+	}
+}

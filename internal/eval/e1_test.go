@@ -1,0 +1,42 @@
+package eval
+
+import "testing"
+
+func TestE1Xfstests(t *testing.T) {
+	r, err := RunXfstests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §6.1: all runnable tests pass natively.
+	if r.Native.Failed != 0 {
+		t.Fatalf("native failures: %v", r.Native.Failures)
+	}
+	// The same three quota-reporting tests fail on both virtio paths.
+	if r.QemuBlk.Failed != 3 {
+		t.Fatalf("qemu-blk failed %d, want 3: %v", r.QemuBlk.Failed, r.QemuBlk.Failures)
+	}
+	if r.VmshBlk.Failed != 3 {
+		t.Fatalf("vmsh-blk failed %d, want 3: %v", r.VmshBlk.Failed, r.VmshBlk.Failures)
+	}
+	for _, f := range append(r.QemuBlk.Failures, r.VmshBlk.Failures...) {
+		if !containsQuota(f) {
+			t.Fatalf("non-quota failure: %s", f)
+		}
+	}
+	// Feature-gated tests skip everywhere.
+	if r.Native.Skipped == 0 || r.Native.Skipped != r.QemuBlk.Skipped {
+		t.Fatalf("skip counts: native %d qemu %d", r.Native.Skipped, r.QemuBlk.Skipped)
+	}
+	if r.Native.Total != 619 {
+		t.Fatalf("suite size %d", r.Native.Total)
+	}
+}
+
+func containsQuota(s string) bool {
+	for i := 0; i+5 <= len(s); i++ {
+		if s[i:i+5] == "quota" {
+			return true
+		}
+	}
+	return false
+}

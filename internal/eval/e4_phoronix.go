@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"vmsh/internal/blockdev"
+	"vmsh/internal/core"
+	"vmsh/internal/fsimage"
+	"vmsh/internal/guestos"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+	"vmsh/internal/simplefs"
+	"vmsh/internal/workloads"
+)
+
+// PhoronixRow is one Figure 5 row: relative slowdown of vmsh-blk
+// against qemu-blk for one workload.
+type PhoronixRow struct {
+	Name     string
+	QemuBlk  time.Duration
+	VmshBlk  time.Duration
+	Relative float64 // vmsh / qemu; > 1 means vmsh slower
+}
+
+// RunPhoronix regenerates Figure 5 (E4): the Phoronix disk suite on a
+// filesystem served by qemu-blk versus the same filesystem served by
+// vmsh-blk, inside the same guest.
+func RunPhoronix() ([]PhoronixRow, error) {
+	return RunPhoronixOpts(core.Options{})
+}
+
+// RunPhoronixOpts allows ablation variants (e.g. BounceCopy).
+func RunPhoronixOpts(extra core.Options) ([]PhoronixRow, error) {
+	h := hostsim.NewHost()
+	inst, err := hypervisor.Launch(h, hypervisor.Config{
+		Kind:    hypervisor.QEMU,
+		RAMSize: 512 << 20,
+		RootFS:  fsimage.GuestRoot("phoronix"),
+		ExtraDisks: []hypervisor.DiskSpec{
+			{GuestName: "vdb", Size: 512 << 20, Mkfs: true, MountAt: "/mnt/qemu"},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	kern := inst.Kernel
+
+	img := h.CreateFile("phoronix-vmsh.img", 512<<20, false)
+	if err := fsimage.Build(blockdev.NewHostFileDevice(img), fsimage.Manifest{}); err != nil {
+		return nil, err
+	}
+	v := core.New(h)
+	opts := extra
+	opts.Image = img
+	opts.Minimal = true
+	if _, err := v.Attach(inst.Proc.PID, opts); err != nil {
+		return nil, err
+	}
+	vmshDrv, ok := kern.BlockDevByName("vmshblk0")
+	if !ok {
+		return nil, fmt.Errorf("vmshblk0 missing")
+	}
+	fs, err := simplefs.Mount(vmshDrv)
+	if err != nil {
+		return nil, err
+	}
+	fs.NowFn = kern.NowSec
+	kern.InitProc.NS.AddMount("/mnt/vmsh", guestos.SFS{FS: fs})
+
+	var rows []PhoronixRow
+	for i, bench := range workloads.PhoronixDiskSuite() {
+		run := func(mount string) (time.Duration, error) {
+			if err := kern.DropCaches(); err != nil {
+				return 0, err
+			}
+			p := inst.NewGuestProc("pts")
+			dir := fmt.Sprintf("%s/run-%02d", mount, i)
+			d, err := workloads.RunPhoronix(bench, p, dir)
+			if err != nil {
+				return 0, err
+			}
+			// Clean the scratch tree between benchmarks (untimed).
+			if err := p.RemoveAll(dir); err != nil {
+				return 0, err
+			}
+			return d, nil
+		}
+		q, err := run("/mnt/qemu")
+		if err != nil {
+			return nil, fmt.Errorf("qemu-blk %s: %w", bench.Name, err)
+		}
+		vm, err := run("/mnt/vmsh")
+		if err != nil {
+			return nil, fmt.Errorf("vmsh-blk %s: %w", bench.Name, err)
+		}
+		rows = append(rows, PhoronixRow{
+			Name: bench.Name, QemuBlk: q, VmshBlk: vm,
+			Relative: float64(vm) / float64(q),
+		})
+	}
+	return rows, nil
+}
+
+// PhoronixStats summarises Figure 5: mean, standard deviation, and
+// the worst row.
+func PhoronixStats(rows []PhoronixRow) (mean, stddev, worst float64, worstName string) {
+	if len(rows) == 0 {
+		return
+	}
+	for _, r := range rows {
+		mean += r.Relative
+		if r.Relative > worst {
+			worst, worstName = r.Relative, r.Name
+		}
+	}
+	mean /= float64(len(rows))
+	for _, r := range rows {
+		d := r.Relative - mean
+		stddev += d * d
+	}
+	stddev = math.Sqrt(stddev / float64(len(rows)))
+	return
+}
+
+// PhoronixTable renders Figure 5.
+func PhoronixTable(rows []PhoronixRow) *Table {
+	t := &Table{ID: "E4 / Figure 5", Title: "Phoronix disk suite, vmsh-blk relative to qemu-blk (lower is better)"}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, Row{Name: r.Name, Measured: r.Relative, Unit: "x"})
+	}
+	mean, stddev, worst, worstName := PhoronixStats(rows)
+	t.Rows = append(t.Rows,
+		Row{Name: "AVERAGE", Measured: mean, Unit: "x", Paper: 1.5, Note: fmt.Sprintf("± %.2f (paper ± 0.6)", stddev)},
+		Row{Name: "WORST (" + worstName + ")", Measured: worst, Unit: "x", Paper: 3.7, Note: "paper worst: fio 2MB direct"},
+	)
+	return t
+}

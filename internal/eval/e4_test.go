@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE4PhoronixShape(t *testing.T) {
+	rows, err := RunPhoronix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 32 {
+		t.Fatalf("%d rows, Figure 5 has 32", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%-36s %6.2fx (qemu %v, vmsh %v)", r.Name, r.Relative, r.QemuBlk, r.VmshBlk)
+	}
+	mean, _, worst, worstName := PhoronixStats(rows)
+	t.Logf("average %.2fx, worst %.2fx (%s)", mean, worst, worstName)
+
+	// Paper shapes (§6.3-A):
+	// 1. Average ~1.5x slower.
+	if mean < 1.05 || mean > 2.2 {
+		t.Errorf("average slowdown %.2f, paper reports ~1.5", mean)
+	}
+	// 2. Worst case is a direct-IO fio row, several times slower.
+	if !strings.HasPrefix(worstName, "Fio:") {
+		t.Errorf("worst row is %q, paper's worst rows are fio direct IO", worstName)
+	}
+	if worst < 1.8 {
+		t.Errorf("worst %.2f too mild, paper reports up to 3.7", worst)
+	}
+	// 3. Page-cache-friendly metadata workloads barely suffer.
+	for _, r := range rows {
+		if strings.HasPrefix(r.Name, "Compile Bench") || strings.HasPrefix(r.Name, "Sqlite") {
+			if r.Relative > 1.8 {
+				t.Errorf("%s: %.2fx — cache-friendly workloads should stay near 1x", r.Name, r.Relative)
+			}
+		}
+		if r.Relative < 0.7 {
+			t.Errorf("%s: vmsh-blk implausibly faster (%.2fx)", r.Name, r.Relative)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package eval
+
+import (
+	"fmt"
+
+	"vmsh/internal/blockdev"
+	"vmsh/internal/core"
+	"vmsh/internal/fsimage"
+	"vmsh/internal/guestos"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+	"vmsh/internal/simplefs"
+	"vmsh/internal/workloads"
+)
+
+// FioSetup identifies one bar group of Figure 6.
+type FioSetup struct {
+	Name    string
+	Results []workloads.FioResult
+}
+
+const (
+	fioDiskSize   = 192 << 20
+	fioTotalBytes = 32 << 20
+)
+
+// fioVM launches the standard fio guest with a raw data disk.
+func fioVM(h *hostsim.Host) (*hypervisor.Instance, error) {
+	return hypervisor.Launch(h, hypervisor.Config{
+		Kind:   hypervisor.QEMU,
+		RootFS: fsimage.GuestRoot("fio"),
+		ExtraDisks: []hypervisor.DiskSpec{
+			{GuestName: "vdb", Size: fioDiskSize},
+		},
+	})
+}
+
+// attachScratch attaches VMSH with a scratch image using the given
+// trap mode.
+func attachScratch(h *hostsim.Host, inst *hypervisor.Instance, trap core.TrapMode) (*core.Session, error) {
+	img := h.CreateFile(fmt.Sprintf("fio-vmsh-%s.img", trap), fioDiskSize, false)
+	if err := fsimage.Build(blockdev.NewHostFileDevice(img), fsimage.Manifest{}); err != nil {
+		return nil, err
+	}
+	v := core.New(h)
+	return v.Attach(inst.Proc.PID, core.Options{Image: img, Minimal: true, Trap: trap})
+}
+
+// runDeviceSpecs runs the Figure 6 jobs against a raw block target.
+func runDeviceSpecs(h *hostsim.Host, dev workloads.BlockTarget) ([]workloads.FioResult, error) {
+	var out []workloads.FioResult
+	for _, spec := range workloads.StandardFigure6Specs(fioTotalBytes) {
+		r, err := workloads.FioOnDevice(h, dev, spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunFioDirect regenerates the Direct/Block-IO panels of Figure 6a/6b:
+// native, qemu-blk alone, qemu-blk and vmsh-blk under each trap.
+func RunFioDirect() ([]FioSetup, error) {
+	var setups []FioSetup
+
+	// native: raw device on the host.
+	{
+		h := hostsim.NewHost()
+		f := h.CreateFile("native.img", fioDiskSize, true)
+		res, err := runDeviceSpecs(h, blockdev.NewHostFileDevice(f))
+		if err != nil {
+			return nil, err
+		}
+		setups = append(setups, FioSetup{Name: "native", Results: res})
+	}
+
+	// qemu-blk with no VMSH attached.
+	{
+		h := hostsim.NewHost()
+		inst, err := fioVM(h)
+		if err != nil {
+			return nil, err
+		}
+		dev, _ := inst.GuestDisk("vdb")
+		res, err := runDeviceSpecs(h, dev)
+		if err != nil {
+			return nil, err
+		}
+		setups = append(setups, FioSetup{Name: "qemu-blk", Results: res})
+	}
+
+	// qemu-blk and vmsh-blk while attached, per trap mode.
+	for _, trap := range []core.TrapMode{core.TrapWrapSyscall, core.TrapIoregionfd} {
+		h := hostsim.NewHost()
+		inst, err := fioVM(h)
+		if err != nil {
+			return nil, err
+		}
+		sess, err := attachScratch(h, inst, trap)
+		if err != nil {
+			return nil, err
+		}
+		_ = sess
+		qemuDev, _ := inst.GuestDisk("vdb")
+		qres, err := runDeviceSpecs(h, qemuDev)
+		if err != nil {
+			return nil, err
+		}
+		setups = append(setups, FioSetup{Name: fmt.Sprintf("%s qemu-blk", trap), Results: qres})
+
+		vmshDev, ok := inst.GuestDisk("vmshblk0")
+		if !ok {
+			return nil, fmt.Errorf("vmshblk0 missing")
+		}
+		vres, err := runDeviceSpecs(h, vmshDev)
+		if err != nil {
+			return nil, err
+		}
+		setups = append(setups, FioSetup{Name: fmt.Sprintf("%s vmsh-blk", trap), Results: vres})
+	}
+	return setups, nil
+}
+
+// RunFioFileIO regenerates the File-IO panels: qemu-blk (fs), qemu-9p,
+// vmsh-blk under both traps.
+func RunFioFileIO() ([]FioSetup, error) {
+	h := hostsim.NewHost()
+	inst, err := hypervisor.Launch(h, hypervisor.Config{
+		Kind:   hypervisor.QEMU,
+		RootFS: fsimage.GuestRoot("fio"),
+		ExtraDisks: []hypervisor.DiskSpec{
+			{GuestName: "vdb", Size: fioDiskSize, Mkfs: true, MountAt: "/mnt/qemu"},
+		},
+		NinePShare: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	kern := inst.Kernel
+	sess, err := attachScratch(h, inst, core.TrapIoregionfd)
+	if err != nil {
+		return nil, err
+	}
+	_ = sess
+	vmshDev, _ := kern.BlockDevByName("vmshblk0")
+	fs, err := simplefs.Mount(vmshDev)
+	if err != nil {
+		return nil, err
+	}
+	fs.NowFn = kern.NowSec
+	kern.InitProc.NS.AddMount("/mnt/vmsh", guestos.SFS{FS: fs})
+
+	targets := []struct {
+		name string
+		dir  string
+	}{
+		{"qemu-blk file", "/mnt/qemu"},
+		{"qemu-9p file", "/mnt/9p"},
+		{"ioregionfd vmsh-blk file", "/mnt/vmsh"},
+	}
+	var setups []FioSetup
+	for _, tgt := range targets {
+		var results []workloads.FioResult
+		for i, spec := range workloads.StandardFigure6Specs(fioTotalBytes) {
+			if err := kern.DropCaches(); err != nil {
+				return nil, err
+			}
+			p := inst.NewGuestProc("fio")
+			r, err := workloads.FioOnFile(p, fmt.Sprintf("%s/job%d.dat", tgt.dir, i), spec)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", tgt.name, spec.Name, err)
+			}
+			results = append(results, r)
+		}
+		setups = append(setups, FioSetup{Name: tgt.name, Results: results})
+	}
+	return setups, nil
+}
+
+// FioTables renders Figure 6a (throughput) and 6b (IOPS).
+func FioTables(direct, file []FioSetup) (*Table, *Table) {
+	thr := &Table{ID: "E5 / Figure 6a", Title: "fio throughput (256 KiB sequential), MB/s"}
+	iops := &Table{ID: "E5 / Figure 6b", Title: "fio IOPS (4 KiB sequential), kIOPS"}
+	addAll := func(prefix string, setups []FioSetup) {
+		for _, s := range setups {
+			for _, r := range s.Results {
+				row := Row{Name: prefix + s.Name + " " + r.Spec.RW}
+				switch r.Spec.BS {
+				case 256 * 1024:
+					row.Measured, row.Unit = r.MBps, "MB/s"
+					thr.Rows = append(thr.Rows, row)
+				case 4096:
+					row.Measured, row.Unit = r.IOPS/1000, "kIOPS"
+					iops.Rows = append(iops.Rows, row)
+				}
+			}
+		}
+	}
+	addAll("", direct)
+	addAll("", file)
+	return thr, iops
+}

@@ -1,0 +1,109 @@
+package eval
+
+import "testing"
+
+// find returns the result matching setup name + rw + bs class.
+func find(setups []FioSetup, name, rw string, bs int) float64 {
+	for _, s := range setups {
+		if s.Name != name {
+			continue
+		}
+		for _, r := range s.Results {
+			if r.Spec.RW == rw && r.Spec.BS == bs {
+				if bs == 4096 {
+					return r.IOPS
+				}
+				return r.MBps
+			}
+		}
+	}
+	return 0
+}
+
+func TestE5FioDirectShape(t *testing.T) {
+	setups, err := RunFioDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range setups {
+		t.Logf("%s:", s.Name)
+		for _, r := range s.Results {
+			t.Logf("   %s", r)
+		}
+	}
+
+	natT := find(setups, "native", "read", 256*1024)
+	qT := find(setups, "qemu-blk", "read", 256*1024)
+	natI := find(setups, "native", "read", 4096)
+	qI := find(setups, "qemu-blk", "read", 4096)
+	vI := find(setups, "ioregionfd vmsh-blk", "read", 4096)
+	vT := find(setups, "ioregionfd vmsh-blk", "read", 256*1024)
+	qWrapI := find(setups, "wrap_syscall qemu-blk", "read", 4096)
+	qWrapT := find(setups, "wrap_syscall qemu-blk", "read", 256*1024)
+	qIorI := find(setups, "ioregionfd qemu-blk", "read", 4096)
+	qIorT := find(setups, "ioregionfd qemu-blk", "read", 256*1024)
+
+	// Paper shapes (§6.3 B/C):
+	// 1. Direct-IO throughput: virtualisation reaches ~native.
+	if qT < natT*0.85 {
+		t.Errorf("qemu-blk throughput %.0f should be near native %.0f", qT, natT)
+	}
+	// 2. Native IOPS at least 2x any virtualised setup.
+	if natI < 2*qI {
+		t.Errorf("native IOPS %.0f should be >= 2x qemu-blk %.0f", natI, qI)
+	}
+	// 3. vmsh-blk roughly halves qemu-blk (throughput and IOPS).
+	if ratio := qI / vI; ratio < 1.5 || ratio > 3.2 {
+		t.Errorf("vmsh-blk IOPS ratio %.2f, want ~2", ratio)
+	}
+	if ratio := qT / vT; ratio < 1.4 || ratio > 3.2 {
+		t.Errorf("vmsh-blk throughput ratio %.2f, want ~2", ratio)
+	}
+	// 4. wrap_syscall taxes unrelated qemu-blk IO: IOPS ~6x down,
+	// read throughput ~1.5x down.
+	if ratio := qI / qWrapI; ratio < 3.5 || ratio > 9 {
+		t.Errorf("wrap_syscall qemu-blk IOPS penalty %.2fx, want ~6x", ratio)
+	}
+	if ratio := qT / qWrapT; ratio < 1.2 || ratio > 2.2 {
+		t.Errorf("wrap_syscall qemu-blk throughput penalty %.2fx, want ~1.5x", ratio)
+	}
+	// 5. ioregionfd leaves qemu-blk untouched.
+	if qIorI < qI*0.95 || qIorT < qT*0.95 {
+		t.Errorf("ioregionfd hurt qemu-blk: %.0f vs %.0f IOPS, %.0f vs %.0f MB/s",
+			qIorI, qI, qIorT, qT)
+	}
+	// 6. Both trap modes give vmsh-blk itself similar performance.
+	vWrapI := find(setups, "wrap_syscall vmsh-blk", "read", 4096)
+	if r := vI / vWrapI; r < 0.7 || r > 1.6 {
+		t.Errorf("vmsh-blk IOPS differ too much across traps: %.2f", r)
+	}
+}
+
+func TestE5FioFileIOShape(t *testing.T) {
+	setups, err := RunFioFileIO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range setups {
+		t.Logf("%s:", s.Name)
+		for _, r := range s.Results {
+			t.Logf("   %s", r)
+		}
+	}
+	qI := find(setups, "qemu-blk file", "read", 4096)
+	nI := find(setups, "qemu-9p file", "read", 4096)
+	vI := find(setups, "ioregionfd vmsh-blk file", "read", 4096)
+
+	// qemu-9p IOPS collapse (paper: 7.8x below qemu-blk).
+	if ratio := qI / nI; ratio < 4 || ratio > 14 {
+		t.Errorf("qemu-9p IOPS penalty %.2fx, want ~7.8x", ratio)
+	}
+	// vmsh-blk file IOPS close to qemu-blk (paper: 14% degradation)
+	// and far above 9p (paper: 7x better).
+	if ratio := qI / vI; ratio < 0.9 || ratio > 2.0 {
+		t.Errorf("vmsh-blk file IOPS penalty %.2fx, want ~1.14x", ratio)
+	}
+	if ratio := vI / nI; ratio < 3 {
+		t.Errorf("vmsh-blk should beat 9p IOPS by ~7x, got %.2fx", ratio)
+	}
+}

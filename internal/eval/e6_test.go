@@ -1,0 +1,32 @@
+package eval
+
+import (
+	"testing"
+	"time"
+)
+
+func TestE6ConsoleLatency(t *testing.T) {
+	l, err := RunConsoleLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("native %v | ssh %v | vmsh %v", l.Native, l.SSH, l.VMSH)
+
+	// Paper shapes (§6.3-D, Figure 7):
+	// 1. VMSH console latency is ~0.9 ms, similar to SSH.
+	if l.VMSH < 300*time.Microsecond || l.VMSH > 2*time.Millisecond {
+		t.Errorf("vmsh latency %v outside the ~0.9ms regime", l.VMSH)
+	}
+	ratio := float64(l.VMSH) / float64(l.SSH)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("vmsh/ssh ratio %.2f, paper reports them similar", ratio)
+	}
+	// 2. Native pty is several times faster than both.
+	if l.Native*3 > l.VMSH {
+		t.Errorf("native %v not clearly faster than vmsh %v", l.Native, l.VMSH)
+	}
+	// 3. Well under human perception (~13 ms per the paper's cite).
+	if l.VMSH > 13*time.Millisecond {
+		t.Errorf("vmsh latency %v above human-perception threshold", l.VMSH)
+	}
+}

@@ -1,0 +1,24 @@
+// Package fserr defines the errno-style sentinel errors shared by the
+// guest VFS and the filesystems beneath it.
+package fserr
+
+import "errors"
+
+var (
+	ErrNotFound     = errors.New("no such file or directory (ENOENT)")
+	ErrExists       = errors.New("file exists (EEXIST)")
+	ErrNotDir       = errors.New("not a directory (ENOTDIR)")
+	ErrIsDir        = errors.New("is a directory (EISDIR)")
+	ErrNotEmpty     = errors.New("directory not empty (ENOTEMPTY)")
+	ErrNoSpace      = errors.New("no space left on device (ENOSPC)")
+	ErrNameTooLong  = errors.New("file name too long (ENAMETOOLONG)")
+	ErrNotSupported = errors.New("operation not supported (EOPNOTSUPP)")
+	ErrInvalid      = errors.New("invalid argument (EINVAL)")
+	ErrPerm         = errors.New("operation not permitted (EPERM)")
+	ErrAccess       = errors.New("permission denied (EACCES)")
+	ErrBusy         = errors.New("device or resource busy (EBUSY)")
+	ErrTooManyLinks = errors.New("too many levels of symbolic links (ELOOP)")
+	ErrBadHandle    = errors.New("bad file handle (EBADF)")
+	ErrReadOnly     = errors.New("read-only file system (EROFS)")
+	ErrXDev         = errors.New("invalid cross-device link (EXDEV)")
+)

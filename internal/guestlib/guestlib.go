@@ -1,0 +1,324 @@
+// Package guestlib defines the side-loaded kernel library blob format
+// shared by the VMSH loader (internal/core, which builds and relocates
+// the blob) and the guest kernel (internal/guestos, which interprets
+// it from guest memory).
+//
+// The real VMSH ships a relocatable ELF library plus an assembly
+// trampoline; since this reproduction cannot execute machine code, the
+// blob carries a tiny operation stream instead. Crucially, the
+// interpreter resolves every call *through the relocation slots the
+// loader patched in guest memory*: if the sideloader's ksymtab parse
+// or address fix-up is wrong, the slot points at a non-symbol address
+// and the guest panics — the faithful analogue of jumping through a
+// bad relocation.
+package guestlib
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Magic begins every blob.
+const Magic = "VMSHLIB1"
+
+// ExeMagic begins the embedded guest userspace program payload.
+const ExeMagic = "VMSHEXE1"
+
+// Header field offsets (all u64 little-endian unless noted).
+const (
+	OffMagic     = 0x00 // 8 bytes
+	OffTotalSize = 0x08
+	OffRelocOff  = 0x10
+	OffRelocCnt  = 0x18
+	OffStrOff    = 0x20
+	OffStrLen    = 0x28
+	OffProgOff   = 0x30
+	OffProgLen   = 0x38
+	OffSyncOff   = 0x40
+	OffSavedRegs = 0x48
+	OffDataOff   = 0x50
+	OffDataLen   = 0x58
+	HeaderSize   = 0x60
+)
+
+// RelocEntrySize: {nameOff u64, resolved u64}. The loader writes the
+// resolved kernel virtual address into the second word.
+const RelocEntrySize = 16
+
+// SyncAreaSize is the shared-memory synchronisation region the host
+// polls (§4.2 "shared memory region that the guest polls for updates
+// from VMSH and vice versa").
+const SyncAreaSize = 64
+
+// Sync word indices (u64 each).
+const (
+	SyncStatus  = 0 // guest -> host: attach progress / errors
+	SyncControl = 1 // host -> guest: detach requests
+	SyncAck     = 2 // guest -> host: control acks
+)
+
+// Status values.
+const (
+	StatusBooting   = 0
+	StatusDevices   = 1 // devices registered
+	StatusReady     = 2 // overlay spawned, console live
+	StatusDetached  = 3
+	StatusErrorBase = 0xe000000000000000 // | errno
+)
+
+// Control values.
+const (
+	ControlNone   = 0
+	ControlDetach = 1
+)
+
+// Program opcodes.
+const (
+	OpEnd  = 0
+	OpCall = 1 // dstReg, relocIdx, argc, argc x (kind, val)
+	OpSync = 2 // value -> sync status word
+)
+
+// Call argument kinds.
+const (
+	ArgImm     = 0 // literal value
+	ArgBlobPtr = 1 // val = blob offset; passed as GVA of blob base + off
+	ArgReg     = 2 // val = register index, passes a previous result
+)
+
+// NumRegs is the interpreter register file size.
+const NumRegs = 16
+
+// Builder assembles a blob.
+type Builder struct {
+	relocNames []string
+	strtab     []byte
+	strOffs    map[string]uint64
+	prog       []uint64
+	data       []byte
+	err        error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{strOffs: make(map[string]uint64)}
+}
+
+// Reloc declares a kernel symbol dependency and returns its index.
+func (b *Builder) Reloc(name string) int {
+	for i, n := range b.relocNames {
+		if n == name {
+			return i
+		}
+	}
+	b.internString(name)
+	b.relocNames = append(b.relocNames, name)
+	return len(b.relocNames) - 1
+}
+
+func (b *Builder) internString(s string) uint64 {
+	if off, ok := b.strOffs[s]; ok {
+		return off
+	}
+	off := uint64(len(b.strtab))
+	b.strtab = append(b.strtab, s...)
+	b.strtab = append(b.strtab, 0)
+	b.strOffs[s] = off
+	return off
+}
+
+// Arg is one encoded call argument.
+type Arg struct {
+	Kind uint64
+	Val  uint64
+}
+
+// Imm builds a literal argument.
+func Imm(v uint64) Arg { return Arg{Kind: ArgImm, Val: v} }
+
+// BlobPtr builds an argument resolving to blobBase+off at run time.
+func BlobPtr(off uint64) Arg { return Arg{Kind: ArgBlobPtr, Val: off} }
+
+// Reg passes a previous call result.
+func Reg(idx int) Arg { return Arg{Kind: ArgReg, Val: uint64(idx)} }
+
+// Data appends raw bytes to the blob's data section and returns a
+// BlobPtr-able offset (relative to the data section start; the builder
+// rewrites it to a blob-relative offset at Build time via the marker
+// below).
+func (b *Builder) Data(raw []byte) uint64 {
+	off := uint64(len(b.data))
+	b.data = append(b.data, raw...)
+	// Pad to 8 bytes so structs stay aligned.
+	for len(b.data)%8 != 0 {
+		b.data = append(b.data, 0)
+	}
+	return off | dataSectionTag
+}
+
+// DataString appends a NUL-terminated string to the data section.
+func (b *Builder) DataString(s string) uint64 {
+	return b.Data(append([]byte(s), 0))
+}
+
+// dataSectionTag marks offsets that are data-section relative; Build
+// rewrites tagged values into blob-relative offsets.
+const dataSectionTag = 1 << 62
+
+// Call emits a kernel function call.
+func (b *Builder) Call(dst int, relocIdx int, args ...Arg) {
+	if dst < 0 || dst >= NumRegs {
+		b.err = fmt.Errorf("guestlib: bad register %d", dst)
+		return
+	}
+	b.prog = append(b.prog, OpCall, uint64(dst), uint64(relocIdx), uint64(len(args)))
+	for _, a := range args {
+		b.prog = append(b.prog, a.Kind, a.Val)
+	}
+}
+
+// Sync emits a status update visible to the polling host.
+func (b *Builder) Sync(status uint64) { b.prog = append(b.prog, OpSync, status) }
+
+// End terminates the program (the trampoline restores registers).
+func (b *Builder) End() { b.prog = append(b.prog, OpEnd) }
+
+// ProgMark returns the current program offset in words — used to embed
+// sub-program entry points (kthread bodies).
+func (b *Builder) ProgMark() uint64 { return uint64(len(b.prog)) }
+
+// PatchCallArg rewrites argument argIdx of the first OpCall targeting
+// relocIdx to the immediate value val. It returns false if no such
+// call exists. Used for forward references (a kthread entry offset
+// only known after its body is emitted).
+func (b *Builder) PatchCallArg(relocIdx, argIdx int, val uint64) bool {
+	i := 0
+	for i < len(b.prog) {
+		switch b.prog[i] {
+		case OpCall:
+			argc := b.prog[i+3]
+			if int(b.prog[i+2]) == relocIdx {
+				if uint64(argIdx) >= argc {
+					return false
+				}
+				b.prog[i+4+argIdx*2] = ArgImm
+				b.prog[i+5+argIdx*2] = val
+				return true
+			}
+			i += int(4 + argc*2)
+		case OpSync:
+			i += 2
+		case OpEnd:
+			i++
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// Build produces the final blob bytes.
+func (b *Builder) Build() ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	relocOff := uint64(HeaderSize)
+	relocLen := uint64(len(b.relocNames) * RelocEntrySize)
+	strOff := relocOff + relocLen
+	strLen := uint64(len(b.strtab))
+	progOff := align8(strOff + strLen)
+	progLen := uint64(len(b.prog) * 8)
+	syncOff := progOff + progLen
+	savedOff := syncOff + SyncAreaSize
+	dataOff := savedOff + 18*8
+	total := dataOff + uint64(len(b.data))
+
+	blob := make([]byte, total)
+	copy(blob[OffMagic:], Magic)
+	put := func(off int, v uint64) { binary.LittleEndian.PutUint64(blob[off:], v) }
+	put(OffTotalSize, total)
+	put(OffRelocOff, relocOff)
+	put(OffRelocCnt, uint64(len(b.relocNames)))
+	put(OffStrOff, strOff)
+	put(OffStrLen, strLen)
+	put(OffProgOff, progOff)
+	put(OffProgLen, progLen)
+	put(OffSyncOff, syncOff)
+	put(OffSavedRegs, savedOff)
+	put(OffDataOff, dataOff)
+	put(OffDataLen, uint64(len(b.data)))
+
+	for i, name := range b.relocNames {
+		e := relocOff + uint64(i*RelocEntrySize)
+		put(int(e), strOff+b.strOffs[name])
+		put(int(e)+8, 0) // resolved later by the loader
+	}
+	copy(blob[strOff:], b.strtab)
+	for i, w := range b.prog {
+		// Rewrite data-section-tagged values to blob offsets.
+		if w&dataSectionTag != 0 {
+			w = dataOff + w&^uint64(dataSectionTag)
+		}
+		binary.LittleEndian.PutUint64(blob[progOff+uint64(i*8):], w)
+	}
+	copy(blob[dataOff:], b.data)
+	return blob, nil
+}
+
+func align8(v uint64) uint64 { return (v + 7) &^ 7 }
+
+// --- parsing (interpreter + loader side) ------------------------------
+
+// Header is the decoded blob header.
+type Header struct {
+	TotalSize uint64
+	RelocOff  uint64
+	RelocCnt  uint64
+	StrOff    uint64
+	StrLen    uint64
+	ProgOff   uint64
+	ProgLen   uint64
+	SyncOff   uint64
+	SavedOff  uint64
+	DataOff   uint64
+	DataLen   uint64
+}
+
+// ParseHeader validates magic and decodes the header fields.
+func ParseHeader(b []byte) (*Header, error) {
+	if len(b) < HeaderSize || string(b[:8]) != Magic {
+		return nil, fmt.Errorf("guestlib: bad blob magic")
+	}
+	g := func(off int) uint64 { return binary.LittleEndian.Uint64(b[off:]) }
+	h := &Header{
+		TotalSize: g(OffTotalSize),
+		RelocOff:  g(OffRelocOff), RelocCnt: g(OffRelocCnt),
+		StrOff: g(OffStrOff), StrLen: g(OffStrLen),
+		ProgOff: g(OffProgOff), ProgLen: g(OffProgLen),
+		SyncOff: g(OffSyncOff), SavedOff: g(OffSavedRegs),
+		DataOff: g(OffDataOff), DataLen: g(OffDataLen),
+	}
+	return h, nil
+}
+
+// RelocName reads the symbol name of reloc entry i out of blob bytes.
+func (h *Header) RelocName(blob []byte, i int) (string, error) {
+	if uint64(i) >= h.RelocCnt {
+		return "", fmt.Errorf("guestlib: reloc %d out of range", i)
+	}
+	nameOff := binary.LittleEndian.Uint64(blob[h.RelocOff+uint64(i*RelocEntrySize):])
+	end := nameOff
+	for end < uint64(len(blob)) && blob[end] != 0 {
+		end++
+	}
+	if end >= uint64(len(blob)) {
+		return "", fmt.Errorf("guestlib: unterminated reloc name")
+	}
+	return string(blob[nameOff:end]), nil
+}
+
+// RelocSlotOffset returns the blob offset of the resolved-address word
+// for reloc i (what the loader patches).
+func (h *Header) RelocSlotOffset(i int) uint64 {
+	return h.RelocOff + uint64(i*RelocEntrySize) + 8
+}

@@ -1,0 +1,128 @@
+package guestlib
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestBuildParseRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	rA := b.Reloc("printk")
+	rB := b.Reloc("filp_open")
+	if b.Reloc("printk") != rA {
+		t.Fatal("duplicate reloc not deduplicated")
+	}
+	str := b.DataString("hello")
+	b.Call(0, rA, BlobPtr(str))
+	b.Call(1, rB, Imm(42), Reg(0))
+	b.Sync(StatusReady)
+	b.End()
+
+	blob, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseHeader(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalSize != uint64(len(blob)) {
+		t.Fatalf("total %d != %d", h.TotalSize, len(blob))
+	}
+	if h.RelocCnt != 2 {
+		t.Fatalf("relocs %d", h.RelocCnt)
+	}
+	n0, _ := h.RelocName(blob, 0)
+	n1, _ := h.RelocName(blob, 1)
+	if n0 != "printk" || n1 != "filp_open" {
+		t.Fatalf("names %q %q", n0, n1)
+	}
+	if _, err := h.RelocName(blob, 2); err == nil {
+		t.Fatal("out-of-range reloc name")
+	}
+	// Slots start unresolved.
+	if got := binary.LittleEndian.Uint64(blob[h.RelocSlotOffset(0):]); got != 0 {
+		t.Fatalf("slot pre-resolved to %#x", got)
+	}
+	// Data section offsets were rewritten to blob-relative; the
+	// string is findable there.
+	prog := blob[h.ProgOff : h.ProgOff+h.ProgLen]
+	argVal := binary.LittleEndian.Uint64(prog[5*8:]) // call0 arg0 value
+	if string(blob[argVal:argVal+5]) != "hello" {
+		t.Fatalf("blob ptr arg resolves to %q", blob[argVal:argVal+5])
+	}
+}
+
+func TestParseHeaderRejectsGarbage(t *testing.T) {
+	if _, err := ParseHeader([]byte("short")); err == nil {
+		t.Fatal("short blob parsed")
+	}
+	junk := make([]byte, HeaderSize)
+	copy(junk, "NOTMAGIC")
+	if _, err := ParseHeader(junk); err == nil {
+		t.Fatal("bad magic parsed")
+	}
+}
+
+func TestPatchCallArg(t *testing.T) {
+	b := NewBuilder()
+	rT := b.Reloc("kthread_create_on_node")
+	rW := b.Reloc("wake_up_process")
+	b.Call(3, rT, Imm(0), Imm(7))
+	b.Call(4, rW, Reg(3))
+	b.Sync(1)
+	b.End()
+	entry := b.ProgMark()
+	b.Call(5, rW, Imm(1))
+	b.End()
+	if !b.PatchCallArg(rT, 0, entry) {
+		t.Fatal("patch failed")
+	}
+	if b.PatchCallArg(rT, 5, 0) {
+		t.Fatal("patched nonexistent arg")
+	}
+	if b.PatchCallArg(99, 0, 0) {
+		t.Fatal("patched nonexistent call")
+	}
+	blob, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := ParseHeader(blob)
+	prog := blob[h.ProgOff : h.ProgOff+h.ProgLen]
+	// Call layout: op dst reloc argc (kind val)...; arg0 val at word 5.
+	if got := binary.LittleEndian.Uint64(prog[5*8:]); got != entry {
+		t.Fatalf("patched value %d, want %d", got, entry)
+	}
+}
+
+func TestBadRegisterRejected(t *testing.T) {
+	b := NewBuilder()
+	r := b.Reloc("printk")
+	b.Call(NumRegs, r) // out of range
+	b.End()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("bad register accepted")
+	}
+}
+
+func TestDataAlignment(t *testing.T) {
+	b := NewBuilder()
+	o1 := b.Data([]byte{1, 2, 3})
+	o2 := b.Data([]byte{4})
+	_ = b.Reloc("printk")
+	b.End()
+	blob, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := ParseHeader(blob)
+	off1 := o1 &^ uint64(1<<62)
+	off2 := o2 &^ uint64(1<<62)
+	if off2%8 != 0 {
+		t.Fatalf("second data entry unaligned at %d", off2)
+	}
+	if blob[h.DataOff+off1] != 1 || blob[h.DataOff+off2] != 4 {
+		t.Fatal("data bytes misplaced")
+	}
+}

@@ -1,0 +1,284 @@
+package guestos
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vmsh/internal/arch"
+	"vmsh/internal/guestlib"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/kvm"
+	"vmsh/internal/mem"
+	"vmsh/internal/pagetable"
+)
+
+// libCtx is the execution context of the side-loaded library.
+type libCtx struct {
+	k       *Kernel
+	blobGVA mem.GVA
+	hdr     *guestlib.Header
+	vio     *pagetable.VirtIO
+	regs    [guestlib.NumRegs]uint64
+	exited  bool
+}
+
+// runLibrary executes the blob the sideloader pointed RIP at. The
+// entire flow mirrors §4.1-4.2: the trampoline saves the interrupted
+// register state into the blob, the program runs resolving every call
+// through the patched relocation slots, and the trampoline restores
+// the original registers at the end.
+func (k *Kernel) runLibrary(v *kvm.VCPU, rip mem.GVA) {
+	vio := k.virtIO()
+
+	// The library must be mapped in guest virtual memory; a bad RIP or
+	// unmapped page is an instant panic, like real hardware.
+	head := make([]byte, guestlib.HeaderSize)
+	if err := vio.ReadVirt(rip, head); err != nil {
+		k.panicf("unable to fetch instruction at RIP %#x: %v", rip, err)
+		return
+	}
+	hdr, err := guestlib.ParseHeader(head)
+	if err != nil {
+		k.panicf("invalid opcode at RIP %#x: %v", rip, err)
+		return
+	}
+
+	ctx := &libCtx{k: k, blobGVA: rip, hdr: hdr, vio: vio}
+	k.libRegion.base = rip
+	k.libRegion.size = hdr.TotalSize
+
+	// Trampoline entry: save the interrupted registers into the blob.
+	// Slot 16 (the instruction pointer) is NOT overwritten: the
+	// current one points into the library itself, so the sideloader
+	// pre-wrote the original value there before hijacking the vCPU.
+	// On arm64 the saved set is X0-X15 plus PSTATE (the registers the
+	// interpreter's calling convention clobbers), mirroring how the
+	// real assembly trampoline only spills what it uses.
+	saved := v.GetRegs()
+	var savedRaw []byte
+	if k.Arch == arch.ARM64 {
+		savedRaw = hostsim.EncodeU64s(saved.X[:16]...)
+	} else {
+		savedRaw = hostsim.EncodeU64s(
+			saved.RAX, saved.RBX, saved.RCX, saved.RDX,
+			saved.RSI, saved.RDI, saved.RSP, saved.RBP,
+			saved.R8, saved.R9, saved.R10, saved.R11,
+			saved.R12, saved.R13, saved.R14, saved.R15)
+	}
+	if err := vio.WriteVirt(rip+mem.GVA(hdr.SavedOff), savedRaw); err != nil {
+		k.panicf("trampoline: cannot save registers: %v", err)
+		return
+	}
+	var flagsRaw [8]byte
+	flags := saved.RFLAGS
+	if k.Arch == arch.ARM64 {
+		flags = saved.PSTATE
+	}
+	binary.LittleEndian.PutUint64(flagsRaw[:], flags)
+	if err := vio.WriteVirt(rip+mem.GVA(hdr.SavedOff+17*8), flagsRaw[:]); err != nil {
+		k.panicf("trampoline: cannot save flags: %v", err)
+		return
+	}
+
+	if err := ctx.runProgram(0); err != nil {
+		k.Printk("vmsh-lib: aborted: %v", err)
+		ctx.writeSync(guestlib.SyncStatus, guestlib.StatusErrorBase|1)
+	}
+
+	// Trampoline exit: restore registers; the guest resumes where it
+	// was interrupted (the idle loop here).
+	restRaw := make([]byte, 18*8)
+	if err := vio.ReadVirt(rip+mem.GVA(hdr.SavedOff), restRaw); err != nil {
+		k.panicf("trampoline: cannot restore registers: %v", err)
+		return
+	}
+	g := func(i int) uint64 { return hostsim.DecodeU64(restRaw, i) }
+	if k.Arch == arch.ARM64 {
+		r := v.GetRegs()
+		for i := 0; i < 16; i++ {
+			r.X[i] = g(i)
+		}
+		r.PC, r.PSTATE = g(16), g(17)
+		v.SetRegs(r)
+		return
+	}
+	v.SetRegs(hostsim.Regs{
+		RAX: g(0), RBX: g(1), RCX: g(2), RDX: g(3),
+		RSI: g(4), RDI: g(5), RSP: g(6), RBP: g(7),
+		R8: g(8), R9: g(9), R10: g(10), R11: g(11),
+		R12: g(12), R13: g(13), R14: g(14), R15: g(15),
+		RIP: g(16), RFLAGS: g(17),
+	})
+}
+
+// progWord fetches program word i from guest memory.
+func (ctx *libCtx) progWord(i uint64) (uint64, error) {
+	if i*8 >= ctx.hdr.ProgLen {
+		return 0, fmt.Errorf("program counter %d beyond program", i)
+	}
+	var raw [8]byte
+	if err := ctx.vio.ReadVirt(ctx.blobGVA+mem.GVA(ctx.hdr.ProgOff+i*8), raw[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(raw[:]), nil
+}
+
+// runProgram interprets the op stream starting at word offset start.
+func (ctx *libCtx) runProgram(start uint64) error {
+	pc := start
+	steps := 0
+	for !ctx.exited {
+		if steps++; steps > 100000 {
+			return fmt.Errorf("program runaway at pc %d", pc)
+		}
+		op, err := ctx.progWord(pc)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case guestlib.OpEnd:
+			return nil
+
+		case guestlib.OpSync:
+			val, err := ctx.progWord(pc + 1)
+			if err != nil {
+				return err
+			}
+			ctx.writeSync(guestlib.SyncStatus, val)
+			pc += 2
+
+		case guestlib.OpCall:
+			dst, err := ctx.progWord(pc + 1)
+			if err != nil {
+				return err
+			}
+			relocIdx, err := ctx.progWord(pc + 2)
+			if err != nil {
+				return err
+			}
+			argc, err := ctx.progWord(pc + 3)
+			if err != nil {
+				return err
+			}
+			if argc > 8 {
+				return fmt.Errorf("call with %d args", argc)
+			}
+			args := make([]uint64, argc)
+			for i := uint64(0); i < argc; i++ {
+				kind, err := ctx.progWord(pc + 4 + i*2)
+				if err != nil {
+					return err
+				}
+				val, err := ctx.progWord(pc + 5 + i*2)
+				if err != nil {
+					return err
+				}
+				switch kind {
+				case guestlib.ArgImm:
+					args[i] = val
+				case guestlib.ArgBlobPtr:
+					args[i] = uint64(ctx.blobGVA) + val
+				case guestlib.ArgReg:
+					if val >= guestlib.NumRegs {
+						return fmt.Errorf("bad register %d", val)
+					}
+					args[i] = ctx.regs[val]
+				default:
+					return fmt.Errorf("bad arg kind %d", kind)
+				}
+			}
+			// Resolve the call through the relocation slot the
+			// sideloader patched in guest memory.
+			var slotRaw [8]byte
+			slotGVA := ctx.blobGVA + mem.GVA(ctx.hdr.RelocSlotOffset(int(relocIdx)))
+			if err := ctx.vio.ReadVirt(slotGVA, slotRaw[:]); err != nil {
+				return err
+			}
+			target := mem.GVA(binary.LittleEndian.Uint64(slotRaw[:]))
+			fn, ok := ctx.k.funcs[target]
+			if !ok {
+				// Jumping through an unpatched or mis-resolved slot
+				// crashes the kernel — the real-world failure mode of
+				// a bad ksymtab parse.
+				ctx.k.panicf("BUG: kernel NULL/invalid call via reloc %d to %#x", relocIdx, target)
+				return fmt.Errorf("invalid call target %#x", target)
+			}
+			ret, err := fn(ctx, args)
+			if err != nil {
+				return fmt.Errorf("reloc %d (%#x): %w", relocIdx, target, err)
+			}
+			if dst < guestlib.NumRegs {
+				ctx.regs[dst] = ret
+			}
+			pc += 4 + argc*2
+
+		default:
+			ctx.k.panicf("invalid opcode %d at program word %d", op, pc)
+			return fmt.Errorf("invalid opcode %d", op)
+		}
+	}
+	return nil
+}
+
+// writeSync stores a word in the blob's sync area (host-visible via
+// process_vm reads of the library memslot).
+func (ctx *libCtx) writeSync(word int, val uint64) {
+	var raw [8]byte
+	binary.LittleEndian.PutUint64(raw[:], val)
+	_ = ctx.vio.WriteVirt(ctx.blobGVA+mem.GVA(ctx.hdr.SyncOff+uint64(word*8)), raw[:])
+}
+
+// syncWordGVA exposes sync word addresses once a library is loaded.
+func (k *Kernel) syncWordGVA(word int) (mem.GVA, bool) {
+	if k.libRegion.base == 0 {
+		return 0, false
+	}
+	head := make([]byte, guestlib.HeaderSize)
+	if err := k.virtIO().ReadVirt(k.libRegion.base, head); err != nil {
+		return 0, false
+	}
+	hdr, err := guestlib.ParseHeader(head)
+	if err != nil {
+		return 0, false
+	}
+	return k.libRegion.base + mem.GVA(hdr.SyncOff+uint64(word*8)), true
+}
+
+// checkVMSHControl polls the host->guest control word; on a detach
+// request it unregisters the VMSH devices, stops the overlay processes
+// and acknowledges.
+func (k *Kernel) checkVMSHControl() {
+	gva, ok := k.syncWordGVA(guestlib.SyncControl)
+	if !ok {
+		return
+	}
+	var raw [8]byte
+	if err := k.virtIO().ReadVirt(gva, raw[:]); err != nil {
+		return
+	}
+	if binary.LittleEndian.Uint64(raw[:]) != guestlib.ControlDetach {
+		return
+	}
+	// Stop overlay processes.
+	for _, p := range k.Procs() {
+		if p.Container == "vmsh-overlay" {
+			p.Exit()
+		}
+	}
+	// Unregister devices in reverse order.
+	for i := len(k.vmshDevs) - 1; i >= 0; i-- {
+		_ = k.unregisterVMSHDevice(k.vmshDevs[i].handle)
+	}
+	k.vmshDevs = nil
+	// Acknowledge and mark status.
+	if ackGVA, ok := k.syncWordGVA(guestlib.SyncAck); ok {
+		binary.LittleEndian.PutUint64(raw[:], 1)
+		_ = k.virtIO().WriteVirt(ackGVA, raw[:])
+	}
+	if stGVA, ok := k.syncWordGVA(guestlib.SyncStatus); ok {
+		binary.LittleEndian.PutUint64(raw[:], guestlib.StatusDetached)
+		_ = k.virtIO().WriteVirt(stGVA, raw[:])
+	}
+	k.Printk("vmsh: detached; devices unregistered, overlay stopped")
+	k.libRegion.base = 0
+}

@@ -1,0 +1,159 @@
+package guestos
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"vmsh/internal/mem"
+)
+
+// callKfunc invokes a bound kernel function directly.
+func callKfunc(t *testing.T, k *Kernel, name string, args ...uint64) (uint64, error) {
+	t.Helper()
+	gva, ok := k.SymbolAddr(name)
+	if !ok {
+		t.Fatalf("no symbol %s", name)
+	}
+	fn, ok := k.funcs[gva]
+	if !ok {
+		t.Fatalf("no binding for %s", name)
+	}
+	ctx := &libCtx{k: k, vio: k.virtIO()}
+	return fn(ctx, args)
+}
+
+// scratchGVA returns a writable guest-virtual scratch address.
+func scratchGVA(k *Kernel) mem.GVA { return k.KernelBase + 0x180000 }
+
+func putString(t *testing.T, k *Kernel, gva mem.GVA, s string) {
+	t.Helper()
+	if err := k.virtIO().WriteVirt(gva, append([]byte(s), 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintkBinding(t *testing.T) {
+	_, k := bootKernel(t, "5.10", 3)
+	putString(t, k, scratchGVA(k), "hello from the library")
+	n, err := callKfunc(t, k, "printk", uint64(scratchGVA(k)))
+	if err != nil || n == 0 {
+		t.Fatalf("%d %v", n, err)
+	}
+	if !strings.Contains(strings.Join(k.Log, "\n"), "hello from the library") {
+		t.Fatal("printk output missing from kernel log")
+	}
+}
+
+func TestFileIONewSignature(t *testing.T) {
+	_, k := bootKernel(t, "5.10", 3) // >= 4.14: pos-pointer signature
+	path := scratchGVA(k)
+	putString(t, k, path, "/tmp/kfile")
+	h, err := callKfunc(t, k, "filp_open", uint64(path), 0x41, 0o644) // O_CREAT|O_WRONLY
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := scratchGVA(k) + 0x1000
+	posPtr := scratchGVA(k) + 0x2000
+	putString(t, k, buf, "written-via-kernel_write")
+	if err := k.virtIO().WriteVirt(posPtr, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := callKfunc(t, k, "kernel_write", h, uint64(buf), 10, uint64(posPtr))
+	if err != nil || n != 10 {
+		t.Fatalf("write %d %v", n, err)
+	}
+	// The position pointer advanced.
+	var raw [8]byte
+	_ = k.virtIO().ReadVirt(posPtr, raw[:])
+	if binary.LittleEndian.Uint64(raw[:]) != 10 {
+		t.Fatalf("pos = %d", binary.LittleEndian.Uint64(raw[:]))
+	}
+	if _, err := callKfunc(t, k, "filp_close", h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.InitProc.ReadFile("/tmp/kfile")
+	if err != nil || string(got) != "written-vi" {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestFileIOOldSignature(t *testing.T) {
+	_, k := bootKernel(t, "4.9", 3) // < 4.14: immediate-position signature
+	path := scratchGVA(k)
+	putString(t, k, path, "/tmp/old")
+	h, err := callKfunc(t, k, "filp_open", uint64(path), 0x41, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := scratchGVA(k) + 0x1000
+	putString(t, k, buf, "old-style")
+	// old signature: (handle, pos, buf, count)
+	if _, err := callKfunc(t, k, "kernel_write", h, 0, uint64(buf), 9); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := k.InitProc.ReadFile("/tmp/old")
+	if string(got) != "old-style" {
+		t.Fatalf("%q", got)
+	}
+}
+
+func TestSignatureMismatchFails(t *testing.T) {
+	// Calling a >=4.14 kernel with the OLD argument convention makes
+	// it interpret the immediate position 0 as the pos *pointer* —
+	// an unmapped address — and fault. This is the §6.2 variant
+	// hazard the loader's version detection exists to avoid.
+	_, k := bootKernel(t, "5.10", 3)
+	path := scratchGVA(k)
+	putString(t, k, path, "/tmp/mismatch")
+	h, err := callKfunc(t, k, "filp_open", uint64(path), 0x41, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := scratchGVA(k) + 0x1000
+	putString(t, k, buf, "data")
+	_, err = callKfunc(t, k, "kernel_write", h, 0 /* pos, old-style */, uint64(buf), 4)
+	if err == nil {
+		t.Fatal("old-convention call succeeded on a new-signature kernel")
+	}
+	if !strings.Contains(err.Error(), "EFAULT") {
+		t.Fatalf("unexpected failure mode: %v", err)
+	}
+}
+
+func TestBadHandleErrors(t *testing.T) {
+	_, k := bootKernel(t, "5.10", 3)
+	if _, err := callKfunc(t, k, "filp_close", 9999); err == nil {
+		t.Fatal("closed a nonexistent handle")
+	}
+	if _, err := callKfunc(t, k, "kernel_read", 9999, 0, 0, 0); err == nil {
+		t.Fatal("read from a nonexistent handle")
+	}
+	if _, err := callKfunc(t, k, "wake_up_process", 424242); err == nil {
+		t.Fatal("woke a nonexistent kthread")
+	}
+}
+
+func TestPlatformDeviceRegisterNoDevice(t *testing.T) {
+	// Registering a descriptor pointing at empty MMIO space fails
+	// cleanly (ENODEV) rather than wedging the kernel.
+	_, k := bootKernel(t, "5.10", 3)
+	desc := EncodeDeviceDesc(true, 0xdead0000, 50)
+	gva := scratchGVA(k)
+	if err := k.virtIO().WriteVirt(gva, desc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := callKfunc(t, k, "platform_device_register", uint64(gva)); err == nil {
+		t.Fatal("registered a device where none exists")
+	}
+	if k.Panicked != nil {
+		t.Fatal("kernel panicked on a clean probe failure")
+	}
+}
+
+func TestUnregisterUnknownHandle(t *testing.T) {
+	_, k := bootKernel(t, "5.10", 3)
+	if _, err := callKfunc(t, k, "platform_device_unregister", 7); err == nil {
+		t.Fatal("unregistered a nonexistent device")
+	}
+}

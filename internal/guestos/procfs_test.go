@@ -1,0 +1,130 @@
+package guestos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProcfsVersionAndMeminfo(t *testing.T) {
+	_, k := bootKernel(t, "5.4", 11)
+	p := k.Spawn(k.InitProc, "t")
+	v, err := p.ReadFile("/proc/version")
+	if err != nil || !strings.Contains(string(v), "Linux version 5.4") {
+		t.Fatalf("%q %v", v, err)
+	}
+	m, err := p.ReadFile("/proc/meminfo")
+	if err != nil || !strings.Contains(string(m), "MemTotal:") {
+		t.Fatalf("%q %v", m, err)
+	}
+}
+
+func TestProcfsPerPid(t *testing.T) {
+	_, k := bootKernel(t, "5.10", 11)
+	ct := k.StartContainer(ContainerSpec{
+		Name: "db", Comm: "postgres", UID: 70, GID: 70,
+		Cgroup: "/docker/db", Seccomp: "runtime/default", AppArmor: "docker-default",
+	})
+	p := k.Spawn(k.InitProc, "reader")
+	pidDir := "/proc/" + itoa(ct.PID)
+
+	st, err := p.ReadFile(pidDir + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Name:\tpostgres", "Uid:\t70", "Seccomp:\truntime/default"} {
+		if !strings.Contains(string(st), want) {
+			t.Fatalf("status missing %q:\n%s", want, st)
+		}
+	}
+	cg, _ := p.ReadFile(pidDir + "/cgroup")
+	if !strings.Contains(string(cg), "/docker/db") {
+		t.Fatalf("cgroup: %q", cg)
+	}
+	aa, _ := p.ReadFile(pidDir + "/attr-current")
+	if !strings.Contains(string(aa), "docker-default") {
+		t.Fatalf("apparmor: %q", aa)
+	}
+	// Missing pid is ENOENT.
+	if _, err := p.ReadFile("/proc/99999/status"); err == nil {
+		t.Fatal("read status of missing pid")
+	}
+	// Read-only.
+	if err := p.WriteFile("/proc/version", []byte("nope"), 0o644); err == nil {
+		t.Fatal("wrote to procfs")
+	}
+}
+
+func TestProcfsIsLive(t *testing.T) {
+	// No stale caching: new processes appear immediately.
+	_, k := bootKernel(t, "5.10", 11)
+	p := k.Spawn(k.InitProc, "reader")
+	before, err := p.ReadDir("/proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := k.Spawn(k.InitProc, "newcomer")
+	after, _ := p.ReadDir("/proc")
+	if len(after) != len(before)+1 {
+		t.Fatalf("proc listing not live: %d -> %d", len(before), len(after))
+	}
+	// Uptime advances with the virtual clock.
+	u1, _ := p.ReadFile("/proc/uptime")
+	k.Clock().Advance(2_000_000_000)
+	u2, _ := p.ReadFile("/proc/uptime")
+	if string(u1) == string(u2) {
+		t.Fatal("uptime frozen (stale cache)")
+	}
+	_ = fresh
+}
+
+func TestProcfsKallsyms(t *testing.T) {
+	// The in-guest symbol listing matches the kernel's real addresses
+	// (a monitoring attachment could cross-check the sideloader).
+	_, k := bootKernel(t, "5.10", 11)
+	p := k.Spawn(k.InitProc, "t")
+	data, err := p.ReadFile("/proc/kallsyms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := k.SymbolAddr("printk")
+	found := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasSuffix(line, " T printk") {
+			found = strings.HasPrefix(line, strings.TrimPrefix(
+				strings.ToLower(trimToHex(uint64(want))), "0x"))
+		}
+	}
+	if !found {
+		t.Fatalf("printk at %#x not listed correctly:\n%s", want, firstLines(string(data), 4))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func trimToHex(v uint64) string {
+	const digits = "0123456789abcdef"
+	out := make([]byte, 16)
+	for i := 15; i >= 0; i-- {
+		out[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(out)
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

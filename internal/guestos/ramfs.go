@@ -1,0 +1,284 @@
+package guestos
+
+import (
+	"sort"
+
+	"vmsh/internal/fserr"
+	"vmsh/internal/simplefs"
+)
+
+// ramfs is the in-memory filesystem backing /, /dev and /tmp when no
+// disk root is mounted.
+type ramfs struct {
+	root    *ramNode
+	nextIno uint64
+}
+
+func newRAMFS() *ramfs {
+	fs := &ramfs{nextIno: 2}
+	fs.root = &ramNode{fs: fs, ino: 1, mode: simplefs.ModeDir | 0o755, nlink: 2,
+		children: make(map[string]*ramNode)}
+	return fs
+}
+
+// Root implements FileSystem.
+func (r *ramfs) Root() FSNode { return r.root }
+
+// Sync implements FileSystem (memory is always in sync).
+func (r *ramfs) Sync() error { return nil }
+
+// Statfs implements FileSystem.
+func (r *ramfs) Statfs() simplefs.StatfsInfo {
+	return simplefs.StatfsInfo{BlockSize: 4096, Blocks: 1 << 20, BlocksFree: 1 << 20,
+		Inodes: 1 << 20, InodesFree: 1 << 20}
+}
+
+// QuotaReport implements FileSystem; ramfs has no quota.
+func (r *ramfs) QuotaReport() ([]simplefs.QuotaUsage, error) {
+	return nil, fserr.ErrNotSupported
+}
+
+type ramNode struct {
+	fs       *ramfs
+	ino      uint64
+	mode     uint32
+	uid, gid uint32
+	nlink    uint32
+	atime    uint64
+	mtime    uint64
+	data     []byte
+	target   string
+	children map[string]*ramNode
+}
+
+func (n *ramNode) Stat() simplefs.FileInfo {
+	return simplefs.FileInfo{
+		Ino: uint32(n.ino), Mode: n.mode, UID: n.uid, GID: n.gid,
+		Nlink: n.nlink, Size: int64(len(n.data)),
+		Atime: n.atime, Mtime: n.mtime,
+	}
+}
+
+func (n *ramNode) IsDir() bool     { return n.mode&simplefs.ModeTypeMask == simplefs.ModeDir }
+func (n *ramNode) IsSymlink() bool { return n.mode&simplefs.ModeTypeMask == simplefs.ModeSymlink }
+
+func (n *ramNode) Lookup(name string) (FSNode, error) {
+	if !n.IsDir() {
+		return nil, fserr.ErrNotDir
+	}
+	c, ok := n.children[name]
+	if !ok {
+		return nil, fserr.ErrNotFound
+	}
+	return c, nil
+}
+
+func (n *ramNode) newChild(name string, mode, uid, gid uint32) (*ramNode, error) {
+	if !n.IsDir() {
+		return nil, fserr.ErrNotDir
+	}
+	if len(name) == 0 || len(name) > simplefs.MaxNameLen {
+		return nil, fserr.ErrNameTooLong
+	}
+	if _, exists := n.children[name]; exists {
+		return nil, fserr.ErrExists
+	}
+	n.fs.nextIno++
+	c := &ramNode{fs: n.fs, ino: n.fs.nextIno, mode: mode, uid: uid, gid: gid, nlink: 1}
+	if c.IsDir() {
+		c.children = make(map[string]*ramNode)
+		c.nlink = 2
+		n.nlink++
+	}
+	n.children[name] = c
+	return c, nil
+}
+
+func (n *ramNode) Create(name string, perm, uid, gid uint32) (FSNode, error) {
+	return n.newChild(name, simplefs.ModeFile|perm&simplefs.ModePermMask, uid, gid)
+}
+
+func (n *ramNode) Mkdir(name string, perm, uid, gid uint32) (FSNode, error) {
+	return n.newChild(name, simplefs.ModeDir|perm&simplefs.ModePermMask, uid, gid)
+}
+
+func (n *ramNode) Symlink(name, target string, uid, gid uint32) (FSNode, error) {
+	c, err := n.newChild(name, simplefs.ModeSymlink|0o777, uid, gid)
+	if err != nil {
+		return nil, err
+	}
+	c.target = target
+	return c, nil
+}
+
+func (n *ramNode) Readlink() (string, error) {
+	if !n.IsSymlink() {
+		return "", fserr.ErrInvalid
+	}
+	return n.target, nil
+}
+
+func (n *ramNode) Link(target FSNode, name string) error {
+	t, ok := target.(*ramNode)
+	if !ok {
+		return fserr.ErrXDev
+	}
+	if t.IsDir() {
+		return fserr.ErrPerm
+	}
+	if !n.IsDir() {
+		return fserr.ErrNotDir
+	}
+	if _, exists := n.children[name]; exists {
+		return fserr.ErrExists
+	}
+	n.children[name] = t
+	t.nlink++
+	return nil
+}
+
+func (n *ramNode) Unlink(name string) error {
+	c, ok := n.children[name]
+	if !ok {
+		return fserr.ErrNotFound
+	}
+	if c.IsDir() {
+		return fserr.ErrIsDir
+	}
+	delete(n.children, name)
+	c.nlink--
+	return nil
+}
+
+func (n *ramNode) Rmdir(name string) error {
+	c, ok := n.children[name]
+	if !ok {
+		return fserr.ErrNotFound
+	}
+	if !c.IsDir() {
+		return fserr.ErrNotDir
+	}
+	if len(c.children) > 0 {
+		return fserr.ErrNotEmpty
+	}
+	delete(n.children, name)
+	n.nlink--
+	return nil
+}
+
+func (n *ramNode) Rename(oldName string, dst FSNode, newName string) error {
+	d, ok := dst.(*ramNode)
+	if !ok {
+		return fserr.ErrXDev
+	}
+	src, ok := n.children[oldName]
+	if !ok {
+		return fserr.ErrNotFound
+	}
+	if existing, exists := d.children[newName]; exists {
+		if existing == src {
+			return nil
+		}
+		if existing.IsDir() {
+			if !src.IsDir() {
+				return fserr.ErrIsDir
+			}
+			if len(existing.children) > 0 {
+				return fserr.ErrNotEmpty
+			}
+			d.nlink--
+		} else if src.IsDir() {
+			return fserr.ErrNotDir
+		}
+		delete(d.children, newName)
+	}
+	delete(n.children, oldName)
+	d.children[newName] = src
+	if src.IsDir() && n != d {
+		n.nlink--
+		d.nlink++
+	}
+	return nil
+}
+
+func (n *ramNode) ReadDir() ([]simplefs.DirEntry, error) {
+	if !n.IsDir() {
+		return nil, fserr.ErrNotDir
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]simplefs.DirEntry, 0, len(names))
+	for _, name := range names {
+		c := n.children[name]
+		out = append(out, simplefs.DirEntry{
+			Ino: uint32(c.ino), Type: c.mode & simplefs.ModeTypeMask, Name: name})
+	}
+	return out, nil
+}
+
+func (n *ramNode) ReadAt(buf []byte, off int64) (int, error) {
+	if n.IsDir() {
+		return 0, fserr.ErrIsDir
+	}
+	if off < 0 {
+		return 0, fserr.ErrInvalid
+	}
+	if off >= int64(len(n.data)) {
+		return 0, nil
+	}
+	return copy(buf, n.data[off:]), nil
+}
+
+func (n *ramNode) WriteAt(buf []byte, off int64) (int, error) {
+	if n.IsDir() {
+		return 0, fserr.ErrIsDir
+	}
+	if off < 0 {
+		return 0, fserr.ErrInvalid
+	}
+	end := off + int64(len(buf))
+	if end > int64(len(n.data)) {
+		grown := make([]byte, end)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	copy(n.data[off:], buf)
+	return len(buf), nil
+}
+
+func (n *ramNode) Truncate(size int64) error {
+	if n.IsDir() {
+		return fserr.ErrIsDir
+	}
+	if size < 0 {
+		return fserr.ErrInvalid
+	}
+	if size <= int64(len(n.data)) {
+		n.data = n.data[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, n.data)
+	n.data = grown
+	return nil
+}
+
+func (n *ramNode) Chmod(perm uint32) error {
+	n.mode = n.mode&simplefs.ModeTypeMask | perm&simplefs.ModePermMask
+	return nil
+}
+
+func (n *ramNode) Chown(uid, gid uint32) error {
+	n.uid, n.gid = uid, gid
+	return nil
+}
+
+func (n *ramNode) SetTimes(atime, mtime uint64) error {
+	n.atime, n.mtime = atime, mtime
+	return nil
+}
+
+func (n *ramNode) ID() uint64 { return n.ino }

@@ -1,0 +1,62 @@
+package guestos
+
+import "strings"
+
+// TTY is a guest terminal. The VMSH console driver feeds InputFromHost
+// and consumes output via toHost; a shell (or any line-oriented
+// program) attaches as the LineHandler.
+type TTY struct {
+	k      *Kernel
+	Name   string
+	toHost func([]byte) error
+
+	lineBuf []byte
+	// LineHandler receives each completed input line.
+	LineHandler func(line string)
+}
+
+// NewTTY registers a terminal with an output sink.
+func (k *Kernel) NewTTY(name string, toHost func([]byte) error) *TTY {
+	t := &TTY{k: k, Name: name, toHost: toHost}
+	k.ttys[name] = t
+	return t
+}
+
+// TTYByName resolves a registered terminal.
+func (k *Kernel) TTYByName(name string) (*TTY, bool) {
+	t, ok := k.ttys[name]
+	return t, ok
+}
+
+// InputFromHost is called by the console driver with received bytes;
+// line discipline splits them into LineHandler calls.
+func (t *TTY) InputFromHost(data []byte) {
+	t.k.Clock().Advance(t.k.Costs().TTYProcess)
+	t.lineBuf = append(t.lineBuf, data...)
+	for {
+		idx := -1
+		for i, b := range t.lineBuf {
+			if b == '\n' {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		line := strings.TrimRight(string(t.lineBuf[:idx]), "\r")
+		t.lineBuf = t.lineBuf[idx+1:]
+		if t.LineHandler != nil {
+			t.LineHandler(line)
+		}
+	}
+}
+
+// WriteString sends output towards the host console.
+func (t *TTY) WriteString(s string) error {
+	t.k.Clock().Advance(t.k.Costs().TTYProcess)
+	if t.toHost == nil {
+		return nil
+	}
+	return t.toHost([]byte(s))
+}

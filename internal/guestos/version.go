@@ -1,0 +1,70 @@
+package guestos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vmsh/internal/ksym"
+)
+
+// Version identifies a guest kernel release. The simulation models the
+// three ABI axes §6.2 found relevant across the LTS span 4.4 - 5.10:
+// the ksymtab layout (changed twice), the kernel_read/kernel_write
+// signature (changed once, in 4.14) and the layout of two structures
+// passed to exported functions (changed in 5.4).
+type Version struct {
+	Major, Minor int
+}
+
+// ParseVersion parses "5.10" style strings.
+func ParseVersion(s string) (Version, error) {
+	parts := strings.SplitN(strings.TrimSpace(s), ".", 3)
+	if len(parts) < 2 {
+		return Version{}, fmt.Errorf("guestos: bad version %q", s)
+	}
+	maj, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return Version{}, fmt.Errorf("guestos: bad version %q: %v", s, err)
+	}
+	min, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return Version{}, fmt.Errorf("guestos: bad version %q: %v", s, err)
+	}
+	return Version{Major: maj, Minor: min}, nil
+}
+
+// String implements fmt.Stringer.
+func (v Version) String() string { return fmt.Sprintf("%d.%d", v.Major, v.Minor) }
+
+// AtLeast reports v >= (maj, min).
+func (v Version) AtLeast(maj, min int) bool {
+	return v.Major > maj || (v.Major == maj && v.Minor >= min)
+}
+
+// KsymLayout returns the export table encoding this kernel uses.
+// Absolute pointers through 4.18, PREL32 in 4.19, PREL32 with symbol
+// namespaces from 5.4.
+func (v Version) KsymLayout() ksym.Layout {
+	switch {
+	case v.AtLeast(5, 4):
+		return ksym.LayoutPosRelNS
+	case v.AtLeast(4, 19):
+		return ksym.LayoutPosRel
+	default:
+		return ksym.LayoutAbsolute
+	}
+}
+
+// NewFileIOSig reports whether kernel_read/kernel_write take a position
+// *pointer* (>= 4.14) rather than an immediate offset. These are the
+// "2 out of the 10 required kernel functions" with variants (§6.2).
+func (v Version) NewFileIOSig() bool { return v.AtLeast(4, 14) }
+
+// DescStructV2 reports whether the platform/virtio device descriptor
+// structs use the v2 layout (>= 5.4). These are the "2 out of 4 kernel
+// structures" that must be conditioned per version (§6.2).
+func (v Version) DescStructV2() bool { return v.AtLeast(5, 4) }
+
+// LTSVersions are the kernels Table 1 lists as tested.
+var LTSVersions = []string{"5.10", "5.4", "4.19", "4.14", "4.9", "4.4"}

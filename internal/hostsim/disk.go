@@ -1,0 +1,209 @@
+package hostsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vmsh/internal/vclock"
+)
+
+// Disk is the NVMe-class backing store (the paper's dedicated Intel
+// P4600). All host files live on it; every access charges device time
+// to the virtual clock according to the cost model.
+type Disk struct {
+	clock *vclock.Clock
+	costs *vclock.Costs
+	// QueueDepth is the assumed device-side parallelism for latency
+	// amortisation; fio-style workloads set it per run.
+	QueueDepth int
+
+	mu                      sync.Mutex
+	reads, writes           int64
+	bytesRead, bytesWritten int64
+}
+
+// NewDisk returns a disk bound to the given clock/cost model.
+func NewDisk(clock *vclock.Clock, costs *vclock.Costs) *Disk {
+	return &Disk{clock: clock, costs: costs, QueueDepth: 1}
+}
+
+// ChargeRead accounts one read command of n bytes.
+func (d *Disk) ChargeRead(n int) {
+	d.mu.Lock()
+	d.reads++
+	d.bytesRead += int64(n)
+	qd := d.QueueDepth
+	d.mu.Unlock()
+	d.clock.Advance(vclock.DeviceTime(n, d.costs.NVMeReadLat, d.costs.NVMeReadBW, d.costs.NVMeSegment, qd))
+}
+
+// ChargeWrite accounts one write command of n bytes.
+func (d *Disk) ChargeWrite(n int) {
+	d.mu.Lock()
+	d.writes++
+	d.bytesWritten += int64(n)
+	qd := d.QueueDepth
+	d.mu.Unlock()
+	d.clock.Advance(vclock.DeviceTime(n, d.costs.NVMeWriteLat, d.costs.NVMeWriteBW, d.costs.NVMeSegment, qd))
+}
+
+// ChargeFlush accounts a cache flush.
+func (d *Disk) ChargeFlush() { d.clock.Advance(d.costs.NVMeFlush) }
+
+// Stats returns cumulative command/byte counters.
+func (d *Disk) Stats() (reads, writes, bytesRead, bytesWritten int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads, d.writes, d.bytesRead, d.bytesWritten
+}
+
+// HostFile is a file on the host filesystem (VM images, the vmsh fs
+// image). Pages can be cached in the host page cache; direct mode
+// bypasses the cache like O_DIRECT.
+type HostFile struct {
+	Name   string
+	disk   *Disk
+	costs  *vclock.Costs
+	clock  *vclock.Clock
+	Direct bool // O_DIRECT: every access hits the device
+
+	mu     sync.Mutex
+	data   []byte
+	cached map[int64]bool // 4KiB page residency in host page cache
+	dirty  map[int64]bool
+}
+
+const hostPage = 4096
+
+// CreateFile makes (or truncates) a host file of the given size.
+func (h *Host) CreateFile(name string, size int64, direct bool) *HostFile {
+	f := &HostFile{
+		Name:   name,
+		disk:   h.Disk,
+		costs:  h.Costs,
+		clock:  h.Clock,
+		Direct: direct,
+		data:   make([]byte, size),
+		cached: make(map[int64]bool),
+		dirty:  make(map[int64]bool),
+	}
+	h.mu.Lock()
+	h.files[name] = f
+	h.mu.Unlock()
+	return f
+}
+
+// OpenFile looks a file up by name.
+func (h *Host) OpenFile(name string) (*HostFile, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, ok := h.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: host file %s", ErrNoEnt, name)
+	}
+	return f, nil
+}
+
+// DiskRef returns the disk this file lives on.
+func (f *HostFile) DiskRef() *Disk { return f.disk }
+
+// Size returns the file length.
+func (f *HostFile) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(len(f.data))
+}
+
+// ReadAt reads into buf at off, charging either device or page-cache
+// costs depending on mode and residency.
+func (f *HostFile) ReadAt(buf []byte, off int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 || off+int64(len(buf)) > int64(len(f.data)) {
+		return fmt.Errorf("%w: read [%d,+%d) beyond %s (%d bytes)", ErrInval, off, len(buf), f.Name, len(f.data))
+	}
+	f.charge(off, len(buf), false)
+	copy(buf, f.data[off:])
+	return nil
+}
+
+// WriteAt writes buf at off.
+func (f *HostFile) WriteAt(buf []byte, off int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off < 0 || off+int64(len(buf)) > int64(len(f.data)) {
+		return fmt.Errorf("%w: write [%d,+%d) beyond %s (%d bytes)", ErrInval, off, len(buf), f.Name, len(f.data))
+	}
+	f.charge(off, len(buf), true)
+	copy(f.data[off:], buf)
+	return nil
+}
+
+// charge accounts one access. Called with f.mu held.
+func (f *HostFile) charge(off int64, n int, write bool) {
+	if f.Direct {
+		if write {
+			f.disk.ChargeWrite(n)
+		} else {
+			f.disk.ChargeRead(n)
+		}
+		return
+	}
+	// Buffered: count cache misses page by page; hits cost page-cache
+	// handling plus the copy.
+	first, last := off/hostPage, (off+int64(n)-1)/hostPage
+	missBytes := 0
+	for p := first; p <= last; p++ {
+		if !f.cached[p] {
+			f.cached[p] = true
+			missBytes += hostPage
+		}
+		if write {
+			f.dirty[p] = true
+		}
+	}
+	if missBytes > 0 && !write {
+		f.disk.ChargeRead(missBytes)
+	}
+	pages := int(last - first + 1)
+	f.clock.Advance(time.Duration(pages)*f.costs.PageCacheHit + vclock.Copy(n, f.costs.MemcpyBW))
+}
+
+// Fsync writes back all dirty pages.
+func (f *HostFile) Fsync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	nd := len(f.dirty)
+	if nd > 0 {
+		f.disk.ChargeWrite(nd * hostPage)
+		f.dirty = make(map[int64]bool)
+	}
+	f.disk.ChargeFlush()
+	return nil
+}
+
+// Bytes exposes the raw contents (mmap view). Accesses through the
+// returned slice are not charged; callers that model mmap IO charge
+// via ChargeMmapTouch.
+func (f *HostFile) Bytes() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.data
+}
+
+// ChargeMmapTouch accounts touching n bytes at off through a mapping:
+// page-cache hit cost, plus device reads for missing pages.
+func (f *HostFile) ChargeMmapTouch(off int64, n int, write bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.charge(off, n, write)
+}
+
+// HostFileFD is the fd-table wrapper for an open host file.
+type HostFileFD struct {
+	File *HostFile
+}
+
+// ProcLink implements FD.
+func (h *HostFileFD) ProcLink() string { return h.File.Name }

@@ -1,0 +1,317 @@
+// Package hostsim simulates the slice of a Linux host that VMSH
+// depends on: processes with threads, register files and address
+// spaces; file descriptor tables; ptrace attach/interrupt/inject;
+// process_vm_readv/writev; /proc fd enumeration; seccomp filters; eBPF
+// kprobes; unix sockets with SCM_RIGHTS fd passing; eventfds; and an
+// NVMe-class backing disk with host files.
+//
+// The VMSH core (internal/core) interacts with hypervisors and guests
+// exclusively through this surface, the same way the real system uses
+// the kernel: it never touches guest or hypervisor Go objects
+// directly. That keeps the paper's trust and interface boundaries
+// intact even though everything runs in one Go process.
+package hostsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vmsh/internal/arch"
+	"vmsh/internal/vclock"
+)
+
+// Sentinel errors mirroring the errno values the real interfaces
+// return.
+var (
+	ErrPerm       = errors.New("operation not permitted (EPERM)")
+	ErrBadFD      = errors.New("bad file descriptor (EBADF)")
+	ErrNoEnt      = errors.New("no such entity (ENOENT)")
+	ErrInval      = errors.New("invalid argument (EINVAL)")
+	ErrFault      = errors.New("bad address (EFAULT)")
+	ErrNotTraced  = errors.New("target not traced (ESRCH)")
+	ErrSeccomp    = errors.New("syscall blocked by seccomp (SIGSYS)")
+	ErrNoSys      = errors.New("syscall not implemented (ENOSYS)")
+	ErrConnRefuse = errors.New("connection refused (ECONNREFUSED)")
+)
+
+// Capability is a Linux capability the simulation distinguishes.
+type Capability int
+
+// The capabilities VMSH's privilege story involves.
+const (
+	CapSysPtrace Capability = iota
+	CapBPF
+	CapSysAdmin
+)
+
+// String implements fmt.Stringer.
+func (c Capability) String() string {
+	switch c {
+	case CapSysPtrace:
+		return "CAP_SYS_PTRACE"
+	case CapBPF:
+		return "CAP_BPF"
+	case CapSysAdmin:
+		return "CAP_SYS_ADMIN"
+	default:
+		return fmt.Sprintf("CAP(%d)", int(c))
+	}
+}
+
+// Creds are a process's credentials.
+type Creds struct {
+	UID  int
+	Caps map[Capability]bool
+}
+
+// Has reports whether the cap is held.
+func (c Creds) Has(cap Capability) bool { return c.Caps[cap] }
+
+// Clone deep-copies the credential set.
+func (c Creds) Clone() Creds {
+	n := Creds{UID: c.UID, Caps: make(map[Capability]bool, len(c.Caps))}
+	for k, v := range c.Caps {
+		n.Caps[k] = v
+	}
+	return n
+}
+
+// Host is one simulated machine: process table, virtual clock, cost
+// model, kprobe registry and the backing disk.
+type Host struct {
+	Clock *vclock.Clock
+	Costs *vclock.Costs
+	Disk  *Disk
+
+	// NoIoregionfd models a host kernel without the (at paper time,
+	// under-review) ioregionfd patch: the KVM_SET_IOREGION ioctl is
+	// unknown and VMSH must fall back to the ptrace trap.
+	NoIoregionfd bool
+
+	mu        sync.Mutex
+	procs     map[int]*Process
+	nextPID   int
+	kprobes   map[string][]*KProbe
+	listeners map[string]*UnixListener
+	files     map[string]*HostFile
+}
+
+// NewHost creates a host with the default cost model.
+func NewHost() *Host {
+	clock := vclock.New()
+	costs := vclock.Default()
+	return &Host{
+		Clock:     clock,
+		Costs:     costs,
+		Disk:      NewDisk(clock, costs),
+		procs:     make(map[int]*Process),
+		nextPID:   100,
+		kprobes:   make(map[string][]*KProbe),
+		listeners: make(map[string]*UnixListener),
+		files:     make(map[string]*HostFile),
+	}
+}
+
+// NewProcess registers a new process.
+func (h *Host) NewProcess(name string, creds Creds) *Process {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pid := h.nextPID
+	h.nextPID++
+	p := &Process{
+		host:   h,
+		PID:    pid,
+		Name:   name,
+		Creds:  creds.Clone(),
+		fds:    make(map[int]*FDEntry),
+		nextFD: 3,
+		AS:     NewAddrSpace(),
+	}
+	p.NewThread() // main thread
+	h.procs[pid] = p
+	return p
+}
+
+// Process looks up a pid.
+func (h *Host) Process(pid int) (*Process, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.procs[pid]
+	return p, ok
+}
+
+// Pids returns all live pids in ascending order.
+func (h *Host) Pids() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, 0, len(h.procs))
+	for pid, p := range h.procs {
+		if !p.exited {
+			out = append(out, pid)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Exit removes a process from the table.
+func (h *Host) Exit(p *Process) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p.exited = true
+	delete(h.procs, p.PID)
+}
+
+// Process is one simulated process.
+type Process struct {
+	host  *Host
+	PID   int
+	Name  string
+	Creds Creds
+	// Arch is the process's CPU architecture (X86_64 by default);
+	// it selects the syscall ABI for injection and the kvm register
+	// struct layouts.
+	Arch arch.Arch
+
+	mu      sync.Mutex
+	threads []*Thread
+	nextTID int
+	fds     map[int]*FDEntry
+	nextFD  int
+	AS      *AddrSpace
+	Seccomp *SeccompPolicy
+	tracer  *Tracer
+	exited  bool
+
+	// OnResume models the process's blocked system calls continuing
+	// after every thread is resumed from a ptrace stop — for a
+	// hypervisor, the in-flight KVM_RUN re-entering the guest.
+	OnResume func()
+}
+
+// Host returns the owning host.
+func (p *Process) Host() *Host { return p.host }
+
+// Thread is one schedulable context with an x86-64 register file.
+type Thread struct {
+	TID     int
+	Regs    Regs
+	Stopped bool
+	Comm    string
+}
+
+// Regs is the simulated general register file. The x86-64 fields
+// follow struct kvm_regs / user_regs_struct; the arm64 fields follow
+// struct user_pt_regs. A thread uses the set matching its process's
+// architecture — the other set stays zero.
+type Regs struct {
+	// x86_64
+	RAX, RBX, RCX, RDX uint64
+	RSI, RDI, RBP, RSP uint64
+	R8, R9, R10, R11   uint64
+	R12, R13, R14, R15 uint64
+	RIP, RFLAGS        uint64
+
+	// arm64
+	X      [31]uint64
+	SP     uint64
+	PC     uint64
+	PSTATE uint64
+}
+
+// InstrPtr returns the architecture's instruction pointer.
+func (r *Regs) InstrPtr(a arch.Arch) uint64 {
+	if a == arch.ARM64 {
+		return r.PC
+	}
+	return r.RIP
+}
+
+// SetInstrPtr stores the architecture's instruction pointer.
+func (r *Regs) SetInstrPtr(a arch.Arch, v uint64) {
+	if a == arch.ARM64 {
+		r.PC = v
+	} else {
+		r.RIP = v
+	}
+}
+
+// NewThread adds a thread to the process.
+func (p *Process) NewThread() *Thread {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := &Thread{TID: p.PID*10 + p.nextTID, Comm: fmt.Sprintf("%s/%d", p.Name, p.nextTID)}
+	p.nextTID++
+	p.threads = append(p.threads, t)
+	return t
+}
+
+// Threads returns a snapshot of the thread list.
+func (p *Process) Threads() []*Thread {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Thread, len(p.threads))
+	copy(out, p.threads)
+	return out
+}
+
+// MainThread returns the first thread.
+func (p *Process) MainThread() *Thread { return p.Threads()[0] }
+
+// SeccompPolicy is a per-process allowlist of syscall numbers. A nil
+// policy allows everything; a non-nil policy kills the process on a
+// violation, like Firecracker's filters do.
+type SeccompPolicy struct {
+	Allowed map[uint64]bool
+	// Violated is latched when a blocked syscall was attempted.
+	Violated bool
+}
+
+// Allows reports whether nr passes the filter.
+func (s *SeccompPolicy) Allows(nr uint64) bool {
+	if s == nil {
+		return true
+	}
+	return s.Allowed[nr]
+}
+
+// checkSeccomp enforces the policy for a syscall about to execute in
+// this process (whether self-issued or injected — the kernel cannot
+// tell the difference, which is exactly the Firecracker problem from
+// §6.2).
+func (p *Process) checkSeccomp(nr uint64) error {
+	if p.Seccomp.Allows(nr) {
+		return nil
+	}
+	p.Seccomp.Violated = true
+	return ErrSeccomp
+}
+
+// chargeSyscall advances the clock for one syscall, including the
+// ptrace tax if a tracer installed syscall hooks (the wrap_syscall
+// trap stops the thread at syscall entry and exit).
+func (p *Process) chargeSyscall() {
+	c := p.host.Costs
+	p.host.Clock.Advance(c.Syscall)
+	if tr := p.tracerRef(); tr != nil && tr.syscallTax {
+		p.host.Clock.Advance(2 * c.PtraceStop)
+	}
+}
+
+func (p *Process) tracerRef() *Tracer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tracer
+}
+
+// Traced reports whether a tracer is attached.
+func (p *Process) Traced() bool { return p.tracerRef() != nil }
+
+// SyscallTaxed reports whether the wrap_syscall tax currently applies
+// to this process's syscalls (used by the KVM dispatch path).
+func (p *Process) SyscallTaxed() bool {
+	tr := p.tracerRef()
+	return tr != nil && tr.syscallTax
+}

@@ -1,0 +1,154 @@
+package ksym
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vmsh/internal/mem"
+)
+
+const imgBase = mem.GVA(0xffffffff81000000)
+
+// testSymbols returns a plausible kernel export set including all
+// anchors.
+func testSymbols() []Symbol {
+	names := []string{
+		"filp_open", "filp_close", "kernel_read", "kernel_write",
+		"wake_up_process", "kthread_create_on_node", "kthread_stop",
+		"schedule", "do_exit", "platform_device_register",
+		"register_virtio_mmio_device", "vmalloc", "vfree",
+		"printk", "memcpy", "strlen",
+	}
+	syms := make([]Symbol, len(names))
+	for i, n := range names {
+		syms[i] = Symbol{Name: n, Value: imgBase + mem.GVA(0x1000+i*0x40)}
+	}
+	return syms
+}
+
+// buildImage embeds the encoded sections into a synthetic kernel image
+// window with noise around them, mimicking image bytes.
+func buildImage(t *testing.T, layout Layout) ([]byte, map[string]mem.GVA) {
+	t.Helper()
+	img := make([]byte, 256*1024)
+	rnd := rand.New(rand.NewSource(7))
+	rnd.Read(img)
+	// Avoid the noise accidentally containing anchor strings: zero a guard.
+	tabOff, strOff := 0x20000, 0x30000
+	syms := testSymbols()
+	sec, err := Build(layout, syms, imgBase+mem.GVA(tabOff), imgBase+mem.GVA(strOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clear margins so section boundaries are crisp.
+	for i := tabOff - 64; i < tabOff+len(sec.Tab)+64; i++ {
+		img[i] = 0
+	}
+	for i := strOff - 64; i < strOff+len(sec.Strings)+64; i++ {
+		img[i] = 0
+	}
+	copy(img[tabOff:], sec.Tab)
+	copy(img[strOff:], sec.Strings)
+	want := make(map[string]mem.GVA, len(syms))
+	for _, s := range syms {
+		want[s.Name] = s.Value
+	}
+	return img, want
+}
+
+func TestScanAllLayouts(t *testing.T) {
+	for _, layout := range []Layout{LayoutAbsolute, LayoutPosRel, LayoutPosRelNS} {
+		t.Run(layout.String(), func(t *testing.T) {
+			img, want := buildImage(t, layout)
+			res, err := Scan(img, imgBase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Layout != layout {
+				t.Fatalf("detected layout %v, want %v", res.Layout, layout)
+			}
+			for name, gva := range want {
+				got, ok := res.Symbols[name]
+				if !ok {
+					t.Fatalf("symbol %q missing", name)
+				}
+				if got != gva {
+					t.Fatalf("symbol %q = %#x, want %#x", name, got, gva)
+				}
+			}
+			if len(res.Symbols) != len(want) {
+				t.Fatalf("recovered %d symbols, want %d", len(res.Symbols), len(want))
+			}
+		})
+	}
+}
+
+func TestScanNoAnchors(t *testing.T) {
+	img := make([]byte, 4096)
+	if _, err := Scan(img, imgBase); err == nil {
+		t.Fatal("scan of empty image succeeded")
+	}
+}
+
+func TestScanStringsWithoutTable(t *testing.T) {
+	img := make([]byte, 8192)
+	copy(img[100:], "kernel_read\x00filp_open\x00")
+	if _, err := Scan(img, imgBase); err == nil {
+		t.Fatal("scan without a table succeeded")
+	}
+}
+
+func TestBuildRejectsBadNames(t *testing.T) {
+	if _, err := Build(LayoutPosRel, []Symbol{{Name: ""}}, imgBase, imgBase+0x1000); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := Build(LayoutPosRel, []Symbol{{Name: "a\x00b"}}, imgBase, imgBase+0x1000); err == nil {
+		t.Fatal("NUL in name accepted")
+	}
+	dup := []Symbol{{Name: "x", Value: imgBase}, {Name: "x", Value: imgBase}}
+	if _, err := Build(LayoutPosRel, dup, imgBase, imgBase+0x1000); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestEntrySizes(t *testing.T) {
+	if LayoutAbsolute.EntrySize() != 16 || LayoutPosRel.EntrySize() != 8 || LayoutPosRelNS.EntrySize() != 12 {
+		t.Fatal("entry sizes drifted from the kernel ABI")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: Build->Scan recovers every symbol for random value
+	// placements, in every layout.
+	layouts := []Layout{LayoutAbsolute, LayoutPosRel, LayoutPosRelNS}
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		layout := layouts[rnd.Intn(len(layouts))]
+		syms := testSymbols()
+		for i := range syms {
+			syms[i].Value = imgBase + mem.GVA(rnd.Intn(1<<20)&^7)
+		}
+		img := make([]byte, 128*1024)
+		tabOff, strOff := 0x8000, 0x10000
+		sec, err := Build(layout, syms, imgBase+mem.GVA(tabOff), imgBase+mem.GVA(strOff))
+		if err != nil {
+			return false
+		}
+		copy(img[tabOff:], sec.Tab)
+		copy(img[strOff:], sec.Strings)
+		res, err := Scan(img, imgBase)
+		if err != nil {
+			return false
+		}
+		for _, s := range syms {
+			if res.Symbols[s.Name] != s.Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package ksym
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestScanNeverPanicsOnJunk: the scanner consumes attacker-adjacent
+// bytes (arbitrary guest memory); whatever it sees, it must return an
+// error or a coherent result — never panic, never read out of range.
+func TestScanNeverPanicsOnJunk(t *testing.T) {
+	prop := func(seed int64, size uint16) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		img := make([]byte, int(size)+64)
+		rnd.Read(img)
+		// Sprinkle anchor fragments to drag the scanner deeper.
+		if len(img) > 128 {
+			copy(img[rnd.Intn(len(img)-32):], "kernel_read\x00")
+		}
+		res, err := Scan(img, imgBase)
+		if err != nil {
+			return true
+		}
+		// If it claims success, the result must be internally sane.
+		if len(res.Symbols) == 0 {
+			return false
+		}
+		for name, gva := range res.Symbols {
+			if name == "" || uint64(gva)>>47 != 0x1ffff {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanTruncatedSections: sections cut off mid-entry must not
+// confuse the consistency check into bogus symbols.
+func TestScanTruncatedSections(t *testing.T) {
+	for _, layout := range []Layout{LayoutAbsolute, LayoutPosRel, LayoutPosRelNS} {
+		img, _ := buildImage(t, layout)
+		// Truncate progressively from the end.
+		for cut := len(img) - 1; cut > len(img)-2048; cut -= 127 {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%v: panic on truncation at %d: %v", layout, cut, r)
+					}
+				}()
+				res, err := Scan(img[:cut], imgBase)
+				if err == nil && len(res.Symbols) == 0 {
+					t.Fatalf("%v: empty success at cut %d", layout, cut)
+				}
+			}()
+		}
+	}
+}
+
+// TestScanPrefersLongestRun: when junk produces a tiny accidental
+// match, the real table (longer consecutive run) must win.
+func TestScanPrefersLongestRun(t *testing.T) {
+	img, want := buildImage(t, LayoutPosRelNS)
+	// Craft one fake absolute-layout entry pointing into the strings.
+	res, err := Scan(img, imgBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Layout != LayoutPosRelNS {
+		t.Fatalf("layout %v", res.Layout)
+	}
+	if len(res.Symbols) != len(want) {
+		t.Fatalf("%d symbols, want %d", len(res.Symbols), len(want))
+	}
+}

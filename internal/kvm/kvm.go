@@ -1,0 +1,405 @@
+// Package kvm simulates the Linux KVM kernel API at the surface VMSH
+// consumes: VM and vCPU file descriptors with binary ioctl structs,
+// user memory slots aliasing hypervisor mappings, MMIO exit dispatch,
+// irqfd interrupt routing and the (at paper time, proposed) ioregionfd
+// fast MMIO path.
+//
+// The hypervisor personalities in internal/hypervisor own these fds;
+// VMSH reaches them only through injected ioctls and /proc discovery.
+package kvm
+
+import (
+	"fmt"
+	"sync"
+
+	"vmsh/internal/arch"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/mem"
+)
+
+// ioctl command numbers. The values are stand-ins but the calling
+// convention (binary structs through userspace pointers) matches the
+// real API.
+const (
+	KVMCheckExtension      = 0xAE03
+	KVMSetUserMemoryRegion = 0xAE46
+	KVMIrqfd               = 0xAE76
+	KVMSetIoregion         = 0xAE49 // the ioregionfd proposal
+	KVMRun                 = 0xAE80
+	KVMGetRegs             = 0xAE81
+	KVMSetRegs             = 0xAE82
+	KVMGetSregs            = 0xAE83
+)
+
+// IrqfdFlagMSI marks an irqfd registration as carrying an MSI message
+// route rather than a legacy gsi line — the path PCIe MSI-X interrupt
+// delivery uses, and the only one a Cloud Hypervisor VM accepts.
+const IrqfdFlagMSI = 1 << 2
+
+// Sregs is the simulated special register file: a reduced kvm_sregs
+// on x86-64, and the translation-control system registers on arm64
+// (TTBR0_EL1 plays CR3's role of pointing at the page table root).
+type Sregs struct {
+	// x86_64
+	CR0, CR2, CR3, CR4, CR8 uint64
+	EFER, ApicBase          uint64
+	// arm64
+	SCTLR, TTBR0, TTBR1, TCR uint64
+}
+
+// PageTableRoot returns the architecture's page-table base register.
+func (s Sregs) PageTableRoot(a arch.Arch) uint64 {
+	if a == arch.ARM64 {
+		return s.TTBR0
+	}
+	return s.CR3
+}
+
+// MemSlot is one guest physical memory slot.
+type MemSlot struct {
+	Slot uint32
+	GPA  mem.GPA
+	Size uint64
+	HVA  mem.HVA
+	Phys *mem.Phys
+}
+
+// MemSlotInfo is the kprobe payload VMSH's eBPF program reads from
+// kvm_vm_ioctl's arguments.
+type MemSlotInfo struct {
+	Slot uint32
+	GPA  mem.GPA
+	Size uint64
+	HVA  mem.HVA
+}
+
+// Executor runs guest code. internal/guestos installs one per VM; it
+// is invoked from KVM_RUN and must return when the guest goes idle.
+type Executor interface {
+	// RunGuest executes from the vCPU's current register state,
+	// handling any pending interrupts and hijacked RIP, until idle.
+	RunGuest(v *VCPU)
+}
+
+// MMIOHandler serves device register accesses.
+type MMIOHandler interface {
+	// MMIO performs a register access of size bytes at gpa. For
+	// reads the return value carries the data.
+	MMIO(gpa mem.GPA, size int, write bool, value uint64) uint64
+}
+
+type mmioRegion struct {
+	start mem.GPA
+	size  uint64
+	h     MMIOHandler
+	name  string
+}
+
+func (r *mmioRegion) contains(gpa mem.GPA) bool {
+	return gpa >= r.start && gpa < r.start+mem.GPA(r.size)
+}
+
+// VM is one virtual machine.
+type VM struct {
+	host  *hostsim.Host
+	owner *hostsim.Process
+	Name  string
+
+	// IRQChipMSIXOnly models hypervisors (Cloud Hypervisor) that
+	// route all interrupts through PCIe MSI-X: the gsi-based irqfd
+	// registration VMSH's MMIO transport needs is unavailable, which
+	// is exactly why Table 1 lists Cloud Hypervisor as unsupported.
+	IRQChipMSIXOnly bool
+
+	mu         sync.Mutex
+	memslots   []*MemSlot
+	vcpus      []*VCPU
+	regions    []*mmioRegion // hypervisor-emulated devices
+	ioregions  []*ioregion   // ioregionfd-routed regions (external)
+	wrap       *wrapTrap     // ptrace-based external trap
+	executor   Executor
+	irqHandler func(gsi uint32)
+
+	// Counters for the evaluation harness.
+	ExitsTotal      int64
+	ExitsToExternal int64
+}
+
+// wrapTrap is installed by internal/trap when VMSH uses the ptrace
+// MMIO path: the tracer inspects every KVM_RUN exit.
+type wrapTrap struct {
+	start mem.GPA
+	size  uint64
+	h     MMIOHandler
+}
+
+type ioregion struct {
+	start mem.GPA
+	size  uint64
+	sock  *hostsim.SockPairFD // hypervisor-side end; handler lives on peer
+}
+
+// CreateVM makes a VM owned by proc and installs its fd.
+func CreateVM(proc *hostsim.Process, name string) (*VM, int) {
+	vm := &VM{host: proc.Host(), owner: proc, Name: name}
+	fd := proc.InstallFD(&VMFD{VM: vm})
+	return vm, fd
+}
+
+// Owner returns the hypervisor process.
+func (vm *VM) Owner() *hostsim.Process { return vm.owner }
+
+// Arch returns the VM's architecture (the hypervisor process's).
+func (vm *VM) Arch() arch.Arch { return vm.owner.Arch }
+
+// Host returns the host.
+func (vm *VM) Host() *hostsim.Host { return vm.host }
+
+// SetExecutor installs the guest executor (guestos).
+func (vm *VM) SetExecutor(e Executor) { vm.executor = e }
+
+// SetIRQHandler installs the guest interrupt entry point.
+func (vm *VM) SetIRQHandler(fn func(gsi uint32)) { vm.irqHandler = fn }
+
+// AddMemSlotDirect installs a memory slot without going through the
+// ioctl path; hypervisors use it at construction time (they own the
+// VM, no injection involved).
+func (vm *VM) AddMemSlotDirect(slot uint32, gpa mem.GPA, hva mem.HVA, phys *mem.Phys) *MemSlot {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	s := &MemSlot{Slot: slot, GPA: gpa, Size: phys.Size(), HVA: hva, Phys: phys}
+	vm.memslots = append(vm.memslots, s)
+	return s
+}
+
+// MemSlots snapshots the slot list.
+func (vm *VM) MemSlots() []*MemSlot {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	out := make([]*MemSlot, len(vm.memslots))
+	copy(out, vm.memslots)
+	return out
+}
+
+// slotInfo builds the kprobe payload.
+func (vm *VM) slotInfo() []MemSlotInfo {
+	var out []MemSlotInfo
+	for _, s := range vm.MemSlots() {
+		out = append(out, MemSlotInfo{Slot: s.Slot, GPA: s.GPA, Size: s.Size, HVA: s.HVA})
+	}
+	return out
+}
+
+// NewVCPU creates a vCPU and installs its fd in the owner's table.
+func (vm *VM) NewVCPU() (*VCPU, int) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	v := &VCPU{vm: vm, Index: len(vm.vcpus)}
+	vm.vcpus = append(vm.vcpus, v)
+	fd := vm.owner.InstallFD(&VCPUFD{VCPU: v})
+	return v, fd
+}
+
+// VCPUs snapshots the vCPU list.
+func (vm *VM) VCPUs() []*VCPU {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	out := make([]*VCPU, len(vm.vcpus))
+	copy(out, vm.vcpus)
+	return out
+}
+
+// RegisterMMIO adds a hypervisor-emulated device region.
+func (vm *VM) RegisterMMIO(start mem.GPA, size uint64, h MMIOHandler, name string) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	vm.regions = append(vm.regions, &mmioRegion{start: start, size: size, h: h, name: name})
+}
+
+// SetWrapTrap installs (or clears, with h == nil) the ptrace MMIO trap.
+func (vm *VM) SetWrapTrap(start mem.GPA, size uint64, h MMIOHandler) {
+	vm.mu.Lock()
+	defer vm.mu.Unlock()
+	if h == nil {
+		vm.wrap = nil
+		return
+	}
+	vm.wrap = &wrapTrap{start: start, size: size, h: h}
+}
+
+// GuestMem returns a PhysIO view over all memory slots; this is what
+// the guest kernel (and the library interpreter) use for physical
+// access, so VMSH's top-of-memory slot is visible the moment the
+// injected SET_USER_MEMORY_REGION lands.
+func (vm *VM) GuestMem() mem.PhysIO { return guestMem{vm} }
+
+type guestMem struct{ vm *VM }
+
+func (g guestMem) slotFor(gpa mem.GPA, n int) (*MemSlot, error) {
+	for _, s := range g.vm.MemSlots() {
+		if gpa >= s.GPA && uint64(gpa-s.GPA)+uint64(n) <= s.Size {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("kvm: gpa [%#x,+%d) not backed by any memslot", gpa, n)
+}
+
+func (g guestMem) ReadPhys(gpa mem.GPA, buf []byte) error {
+	s, err := g.slotFor(gpa, len(buf))
+	if err != nil {
+		return err
+	}
+	s.Phys.ReadAt(s.Phys.Base+mem.GPA(gpa-s.GPA), buf)
+	return nil
+}
+
+func (g guestMem) WritePhys(gpa mem.GPA, buf []byte) error {
+	s, err := g.slotFor(gpa, len(buf))
+	if err != nil {
+		return err
+	}
+	s.Phys.WriteAt(s.Phys.Base+mem.GPA(gpa-s.GPA), buf)
+	return nil
+}
+
+// InjectIRQ delivers a guest interrupt on gsi (irqfd path).
+func (vm *VM) InjectIRQ(gsi uint32) {
+	vm.host.Clock.Advance(vm.host.Costs.IRQInject)
+	if vm.irqHandler != nil {
+		vm.irqHandler(gsi)
+	}
+}
+
+// MMIORead performs a guest-initiated MMIO load, paying the full exit
+// dispatch path; MMIOWrite is the store counterpart.
+func (vm *VM) MMIORead(gpa mem.GPA, size int) uint64 {
+	return vm.dispatchMMIO(gpa, size, false, 0)
+}
+
+// MMIOWrite performs a guest-initiated MMIO store.
+func (vm *VM) MMIOWrite(gpa mem.GPA, size int, value uint64) {
+	vm.dispatchMMIO(gpa, size, true, value)
+}
+
+// dispatchMMIO is the heart of the exit economics in §6.3:
+//
+//   - every access pays a VM exit;
+//   - with the wrap_syscall trap attached, every exit additionally
+//     pays ptrace stops because the tracer must inspect it — even
+//     accesses belonging to the hypervisor's own devices (this is why
+//     qemu-blk degrades under the ptrace trap);
+//   - ioregionfd-routed regions pay one socket message and a context
+//     switch into the external VMSH process, and — crucially —
+//     unrelated exits pay nothing extra because the kernel filters;
+//   - hypervisor-emulated regions pay the usual return to userspace.
+func (vm *VM) dispatchMMIO(gpa mem.GPA, size int, write bool, value uint64) uint64 {
+	c := vm.host.Costs
+	vm.host.Clock.Advance(c.VMExit)
+	vm.mu.Lock()
+	vm.ExitsTotal++
+	wrap := vm.wrap
+	taxed := vm.owner.SyscallTaxed()
+	vm.mu.Unlock()
+
+	if taxed {
+		// KVM_RUN returned to a ptraced hypervisor: entry+exit stop.
+		vm.host.Clock.Advance(2 * c.PtraceStop)
+		if wrap != nil && gpa >= wrap.start && gpa < wrap.start+mem.GPA(wrap.size) {
+			vm.mu.Lock()
+			vm.ExitsToExternal++
+			vm.mu.Unlock()
+			// The tracer parses the mmap'd kvm_run area, handles the
+			// access in the VMSH process and re-enters KVM_RUN.
+			vm.host.Clock.Advance(c.ContextSwitch)
+			ret := wrap.h.MMIO(gpa, size, write, value)
+			vm.host.Clock.Advance(c.Syscall) // re-enter KVM_RUN
+			return ret
+		}
+	}
+
+	vm.mu.Lock()
+	var ior *ioregion
+	// Newest registration wins, and regions whose serving socket was
+	// closed (handler gone) are dead — the kernel drops an ioregionfd
+	// when its fd closes.
+	for i := len(vm.ioregions) - 1; i >= 0; i-- {
+		r := vm.ioregions[i]
+		if gpa >= r.start && gpa < r.start+mem.GPA(r.size) && r.sock.Peer.Handler() != nil {
+			ior = r
+			break
+		}
+	}
+	vm.mu.Unlock()
+	if ior != nil {
+		vm.mu.Lock()
+		vm.ExitsToExternal++
+		vm.mu.Unlock()
+		// In-kernel filtering: only this access pays, nothing else.
+		vm.host.Clock.Advance(c.IoregionfdMsg + c.ContextSwitch)
+		h, _ := ior.sock.Peer.Handler().(MMIOHandler)
+		if h != nil {
+			return h.MMIO(gpa, size, write, value)
+		}
+		return ^uint64(0)
+	}
+
+	vm.mu.Lock()
+	var reg *mmioRegion
+	for _, r := range vm.regions {
+		if r.contains(gpa) {
+			reg = r
+			break
+		}
+	}
+	vm.mu.Unlock()
+	if reg != nil {
+		// Exit to the hypervisor's own userspace loop and back.
+		vm.host.Clock.Advance(c.Syscall)
+		return reg.h.MMIO(gpa, size, write, value)
+	}
+	// Unclaimed MMIO reads float high, writes are dropped.
+	return ^uint64(0)
+}
+
+// VCPU is one virtual CPU.
+type VCPU struct {
+	vm    *VM
+	Index int
+
+	mu    sync.Mutex
+	Regs  hostsim.Regs
+	Sregs Sregs
+
+	pendingIRQ []uint32
+}
+
+// VM returns the owning VM.
+func (v *VCPU) VM() *VM { return v.vm }
+
+// GetRegs returns a copy of the register file.
+func (v *VCPU) GetRegs() hostsim.Regs {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.Regs
+}
+
+// SetRegs replaces the register file.
+func (v *VCPU) SetRegs(r hostsim.Regs) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.Regs = r
+}
+
+// GetSregs returns the special registers.
+func (v *VCPU) GetSregs() Sregs {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.Sregs
+}
+
+// SetSregs replaces the special registers.
+func (v *VCPU) SetSregs(s Sregs) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.Sregs = s
+}

@@ -1,0 +1,180 @@
+// Package mem defines the three address spaces the VMSH stack deals
+// with — guest physical (GPA), guest virtual (GVA) and hypervisor/host
+// virtual (HVA) — and the physical memory slabs that back them.
+//
+// Guest physical memory is real bytes: page tables, the kernel image,
+// ksymtab sections, virtqueues and the side-loaded library all live in
+// these slabs, and both the guest and (through the simulated
+// process_vm_readv path) VMSH read and write the same bytes.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// GPA is a guest physical address.
+type GPA uint64
+
+// GVA is a guest virtual address.
+type GVA uint64
+
+// HVA is a host (hypervisor process) virtual address.
+type HVA uint64
+
+// PageSize is the only page size the simulated MMU uses.
+const PageSize = 4096
+
+// PageAlign rounds v up to the next page boundary.
+func PageAlign(v uint64) uint64 {
+	return (v + PageSize - 1) &^ uint64(PageSize-1)
+}
+
+// Phys is a contiguous slab of guest physical memory.
+type Phys struct {
+	Base GPA
+	Data []byte
+}
+
+// NewPhys allocates a zeroed slab of the given size at base.
+func NewPhys(base GPA, size uint64) *Phys {
+	return &Phys{Base: base, Data: make([]byte, size)}
+}
+
+// Size returns the slab length in bytes.
+func (p *Phys) Size() uint64 { return uint64(len(p.Data)) }
+
+// End returns the first GPA past the slab.
+func (p *Phys) End() GPA { return p.Base + GPA(len(p.Data)) }
+
+// Contains reports whether [gpa, gpa+n) lies inside the slab.
+func (p *Phys) Contains(gpa GPA, n int) bool {
+	if gpa < p.Base {
+		return false
+	}
+	off := uint64(gpa - p.Base)
+	return off+uint64(n) <= p.Size()
+}
+
+// Slice returns the byte window at [gpa, gpa+n). It panics on
+// out-of-range access: that is a simulator bug, not a guest error.
+func (p *Phys) Slice(gpa GPA, n int) []byte {
+	if !p.Contains(gpa, n) {
+		panic(fmt.Sprintf("mem: phys access [%#x,+%d) outside slab [%#x,%#x)", gpa, n, p.Base, p.End()))
+	}
+	off := gpa - p.Base
+	return p.Data[off : uint64(off)+uint64(n)]
+}
+
+// ReadAt copies bytes at gpa into buf.
+func (p *Phys) ReadAt(gpa GPA, buf []byte) { copy(buf, p.Slice(gpa, len(buf))) }
+
+// WriteAt copies buf into the slab at gpa.
+func (p *Phys) WriteAt(gpa GPA, buf []byte) { copy(p.Slice(gpa, len(buf)), buf) }
+
+// U16 reads a little-endian uint16 at gpa.
+func (p *Phys) U16(gpa GPA) uint16 { return binary.LittleEndian.Uint16(p.Slice(gpa, 2)) }
+
+// U32 reads a little-endian uint32 at gpa.
+func (p *Phys) U32(gpa GPA) uint32 { return binary.LittleEndian.Uint32(p.Slice(gpa, 4)) }
+
+// U64 reads a little-endian uint64 at gpa.
+func (p *Phys) U64(gpa GPA) uint64 { return binary.LittleEndian.Uint64(p.Slice(gpa, 8)) }
+
+// PutU16 writes a little-endian uint16 at gpa.
+func (p *Phys) PutU16(gpa GPA, v uint16) { binary.LittleEndian.PutUint16(p.Slice(gpa, 2), v) }
+
+// PutU32 writes a little-endian uint32 at gpa.
+func (p *Phys) PutU32(gpa GPA, v uint32) { binary.LittleEndian.PutUint32(p.Slice(gpa, 4), v) }
+
+// PutU64 writes a little-endian uint64 at gpa.
+func (p *Phys) PutU64(gpa GPA, v uint64) { binary.LittleEndian.PutUint64(p.Slice(gpa, 8), v) }
+
+// PhysReader is the read-side view of guest physical memory. The guest
+// kernel reads its own slab directly; the VMSH sideloader implements
+// this interface on top of process_vm_readv through the hypervisor's
+// memslot mappings, so every introspection step pays the real path.
+type PhysReader interface {
+	// ReadPhys fills buf from guest physical memory at gpa. It
+	// returns an error (never panics) for unmapped ranges: the
+	// sideloader probes speculatively.
+	ReadPhys(gpa GPA, buf []byte) error
+}
+
+// PhysWriter is the write-side counterpart of PhysReader.
+type PhysWriter interface {
+	WritePhys(gpa GPA, buf []byte) error
+}
+
+// PhysIO combines both directions.
+type PhysIO interface {
+	PhysReader
+	PhysWriter
+}
+
+// SlabIO adapts a *Phys directly to PhysIO (the guest's own view).
+type SlabIO struct{ Phys *Phys }
+
+// ReadPhys implements PhysReader.
+func (s SlabIO) ReadPhys(gpa GPA, buf []byte) error {
+	if !s.Phys.Contains(gpa, len(buf)) {
+		return fmt.Errorf("mem: read [%#x,+%d) unmapped", gpa, len(buf))
+	}
+	s.Phys.ReadAt(gpa, buf)
+	return nil
+}
+
+// WritePhys implements PhysWriter.
+func (s SlabIO) WritePhys(gpa GPA, buf []byte) error {
+	if !s.Phys.Contains(gpa, len(buf)) {
+		return fmt.Errorf("mem: write [%#x,+%d) unmapped", gpa, len(buf))
+	}
+	s.Phys.WriteAt(gpa, buf)
+	return nil
+}
+
+// ReadU64 is a helper reading a little-endian uint64 through a PhysReader.
+func ReadU64(r PhysReader, gpa GPA) (uint64, error) {
+	var b [8]byte
+	if err := r.ReadPhys(gpa, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian uint64 through a PhysWriter.
+func WriteU64(w PhysWriter, gpa GPA, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return w.WritePhys(gpa, b[:])
+}
+
+// BumpAlloc hands out page-aligned guest physical ranges from a fixed
+// window, low to high. The guest kernel uses one for page tables and
+// virtqueue pages; the sideloader uses another inside its own memslot.
+type BumpAlloc struct {
+	next GPA
+	end  GPA
+}
+
+// NewBumpAlloc returns an allocator over [start, end).
+func NewBumpAlloc(start, end GPA) *BumpAlloc {
+	return &BumpAlloc{next: GPA(PageAlign(uint64(start))), end: end}
+}
+
+// AllocPages reserves n pages and returns the base GPA.
+func (a *BumpAlloc) AllocPages(n int) (GPA, error) {
+	need := uint64(n) * PageSize
+	if uint64(a.end-a.next) < need {
+		return 0, fmt.Errorf("mem: bump allocator exhausted (want %d pages, %#x left)", n, a.end-a.next)
+	}
+	g := a.next
+	a.next += GPA(need)
+	return g, nil
+}
+
+// Used reports how many bytes have been handed out.
+func (a *BumpAlloc) Used() uint64 { return uint64(a.next) }
+
+// Next returns the next GPA that would be allocated.
+func (a *BumpAlloc) Next() GPA { return a.next }

@@ -1,0 +1,109 @@
+package pagetable
+
+import (
+	"testing"
+
+	"vmsh/internal/mem"
+)
+
+const arm64Base = mem.GVA(0xffff800010000000)
+
+func newARMEnv(t *testing.T) (mem.SlabIO, *Mapper) {
+	t.Helper()
+	phys := mem.NewPhys(0, 1<<22)
+	io := mem.SlabIO{Phys: phys}
+	alloc := mem.NewBumpAlloc(1<<20, 1<<22)
+	m, err := NewMapper(io, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Fmt = ARM64Format{}
+	return io, m
+}
+
+func TestARM64MapTranslate(t *testing.T) {
+	io, m := newARMEnv(t)
+	if err := m.Map(arm64Base, 0x7000, FlagWrite|FlagGlobal); err != nil {
+		t.Fatal(err)
+	}
+	w := &Walker{R: io, Root: m.Root, Fmt: ARM64Format{}}
+	gpa, flags, ok, err := w.Translate(arm64Base + 0x42)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if gpa != 0x7042 {
+		t.Fatalf("gpa %#x", gpa)
+	}
+	// arm64 leaf descriptors carry valid+page bits and the AF.
+	if flags&arm64Valid == 0 || flags&arm64Table == 0 || flags&arm64AF == 0 {
+		t.Fatalf("descriptor bits %#x", flags)
+	}
+	// Writable+global: neither RO nor nG set.
+	if flags&arm64RO != 0 || flags&arm64NG != 0 {
+		t.Fatalf("perm bits %#x", flags)
+	}
+}
+
+func TestARM64ReadOnlyNonGlobal(t *testing.T) {
+	io, m := newARMEnv(t)
+	if err := m.Map(arm64Base, 0x7000, 0); err != nil { // no write, no global
+		t.Fatal(err)
+	}
+	w := &Walker{R: io, Root: m.Root, Fmt: ARM64Format{}}
+	_, flags, ok, _ := w.Translate(arm64Base)
+	if !ok {
+		t.Fatal("not mapped")
+	}
+	if flags&arm64RO == 0 || flags&arm64NG == 0 {
+		t.Fatalf("expected RO+nG, got %#x", flags)
+	}
+}
+
+func TestARM64FormatNotX86Compatible(t *testing.T) {
+	// A table built with the arm64 format must NOT translate under
+	// the x86 walker and vice versa: the descriptor encodings differ
+	// in exactly the bits that matter.
+	io, m := newARMEnv(t)
+	if err := m.MapRange(arm64Base, 0x10000, 4*mem.PageSize, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	// The x86 walker sees "present" (bit 0 doubles as valid) but
+	// would at minimum mis-decode permissions; more importantly a
+	// table entry has bit 1 set which x86 reads as writable — so we
+	// check a semantic difference instead: encode an arm64 read-only
+	// page and confirm the raw entries differ from the x86 encoding
+	// of the same mapping.
+	armLeaf := ARM64Format{}.MakeLeaf(0x10000, 0)
+	x86Leaf := X86Format{}.MakeLeaf(0x10000, 0)
+	if armLeaf == x86Leaf {
+		t.Fatal("arm64 and x86 leaf encodings identical")
+	}
+	var af ARM64Format
+	var xf X86Format
+	if !af.Present(armLeaf) || !xf.Present(x86Leaf) {
+		t.Fatal("present bits broken")
+	}
+	if af.Addr(armLeaf) != 0x10000 || xf.Addr(x86Leaf) != 0x10000 {
+		t.Fatal("address extraction broken")
+	}
+	_ = io
+}
+
+func TestARM64VisitRange(t *testing.T) {
+	io, m := newARMEnv(t)
+	if err := m.MapRange(arm64Base+0x200000, 0x40000, 8*mem.PageSize, FlagGlobal); err != nil {
+		t.Fatal(err)
+	}
+	w := &Walker{R: io, Root: m.Root, Fmt: ARM64Format{}}
+	var runs []Mapped
+	err := w.VisitRange(arm64Base, arm64Base+0x400000, func(r Mapped) bool {
+		runs = append(runs, r)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].GVA != arm64Base+0x200000 || runs[0].Size != 8*mem.PageSize {
+		t.Fatalf("runs = %+v", runs)
+	}
+}

@@ -1,0 +1,196 @@
+package pagetable
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"vmsh/internal/mem"
+)
+
+func newEnv(t *testing.T) (mem.SlabIO, *mem.BumpAlloc, *Mapper) {
+	t.Helper()
+	phys := mem.NewPhys(0, 1<<22) // 4 MiB
+	io := mem.SlabIO{Phys: phys}
+	alloc := mem.NewBumpAlloc(1<<20, 1<<22)
+	m, err := NewMapper(io, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return io, alloc, m
+}
+
+const kernelBase = mem.GVA(0xffffffff80000000)
+
+func TestMapTranslate(t *testing.T) {
+	io, _, m := newEnv(t)
+	if err := m.Map(kernelBase, 0x5000, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	w := &Walker{R: io, Root: m.Root}
+	gpa, flags, ok, err := w.Translate(kernelBase + 0x123)
+	if err != nil || !ok {
+		t.Fatalf("translate failed: ok=%v err=%v", ok, err)
+	}
+	if gpa != 0x5123 {
+		t.Fatalf("gpa = %#x, want 0x5123", gpa)
+	}
+	if flags&FlagWrite == 0 || flags&FlagPresent == 0 {
+		t.Fatalf("flags = %#x", flags)
+	}
+}
+
+func TestTranslateUnmapped(t *testing.T) {
+	io, _, m := newEnv(t)
+	w := &Walker{R: io, Root: m.Root}
+	_, _, ok, err := w.Translate(kernelBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("unmapped address translated")
+	}
+}
+
+func TestNonCanonicalRejected(t *testing.T) {
+	io, _, m := newEnv(t)
+	if err := m.Map(mem.GVA(0x0000900000000000), 0, 0); err == nil {
+		t.Fatal("non-canonical map accepted")
+	}
+	w := &Walker{R: io, Root: m.Root}
+	if _, _, ok, _ := w.Translate(mem.GVA(0x0000900000000000)); ok {
+		t.Fatal("non-canonical translate succeeded")
+	}
+}
+
+func TestUnalignedRejected(t *testing.T) {
+	_, _, m := newEnv(t)
+	if err := m.Map(kernelBase+1, 0x5000, 0); err == nil {
+		t.Fatal("unaligned gva accepted")
+	}
+	if err := m.Map(kernelBase, 0x5001, 0); err == nil {
+		t.Fatal("unaligned gpa accepted")
+	}
+}
+
+func TestMapRangeAndVisit(t *testing.T) {
+	io, _, m := newEnv(t)
+	// Two disjoint runs: 4 pages at kernelBase, 2 pages higher up.
+	if err := m.MapRange(kernelBase, 0x10000, 4*mem.PageSize, FlagGlobal); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MapRange(kernelBase+0x100000, 0x40000, 2*mem.PageSize, FlagGlobal); err != nil {
+		t.Fatal(err)
+	}
+	w := &Walker{R: io, Root: m.Root}
+	var runs []Mapped
+	err := w.VisitRange(kernelBase, kernelBase+0x200000, func(r Mapped) bool {
+		runs = append(runs, r)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2: %+v", len(runs), runs)
+	}
+	if runs[0].GVA != kernelBase || runs[0].Size != 4*mem.PageSize || runs[0].GPA != 0x10000 {
+		t.Fatalf("run0 = %+v", runs[0])
+	}
+	if runs[1].GVA != kernelBase+0x100000 || runs[1].Size != 2*mem.PageSize {
+		t.Fatalf("run1 = %+v", runs[1])
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	io, _, m := newEnv(t)
+	if err := m.MapRange(kernelBase, 0x10000, 2*mem.PageSize, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MapRange(kernelBase+0x10000, 0x30000, mem.PageSize, 0); err != nil {
+		t.Fatal(err)
+	}
+	w := &Walker{R: io, Root: m.Root}
+	n := 0
+	err := w.VisitRange(kernelBase, kernelBase+0x20000, func(Mapped) bool {
+		n++
+		return false
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("visited %d runs, err=%v", n, err)
+	}
+}
+
+func TestVirtIO(t *testing.T) {
+	io, _, m := newEnv(t)
+	// Map two virtually-contiguous but physically-discontiguous pages.
+	if err := m.Map(kernelBase, 0x6000, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(kernelBase+mem.PageSize, 0x9000, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	v := &VirtIO{Walker: &Walker{R: io, Root: m.Root}, W: io}
+	msg := bytes.Repeat([]byte("straddle!"), 600) // > 1 page
+	if err := v.WriteVirt(kernelBase+0x800, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := v.ReadVirt(kernelBase+0x800, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("straddling virtual IO corrupted data")
+	}
+	// The two halves really landed on different physical pages.
+	var a, b [4]byte
+	if err := io.ReadPhys(0x6800, a[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := io.ReadPhys(0x9000, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a[:], msg[:4]) || !bytes.Equal(b[:], msg[mem.PageSize-0x800:mem.PageSize-0x800+4]) {
+		t.Fatal("physical layout not as mapped")
+	}
+}
+
+func TestVirtIOUnmappedFails(t *testing.T) {
+	io, _, m := newEnv(t)
+	v := &VirtIO{Walker: &Walker{R: io, Root: m.Root}, W: io}
+	if err := v.ReadVirt(kernelBase, make([]byte, 8)); err == nil {
+		t.Fatal("read of unmapped virtual address succeeded")
+	}
+}
+
+func TestReadOnlyVirtIO(t *testing.T) {
+	io, _, m := newEnv(t)
+	if err := m.Map(kernelBase, 0x6000, 0); err != nil {
+		t.Fatal(err)
+	}
+	v := &VirtIO{Walker: &Walker{R: io, Root: m.Root}}
+	if err := v.WriteVirt(kernelBase, []byte{1}); err == nil {
+		t.Fatal("write through read-only view succeeded")
+	}
+}
+
+func TestTranslateProperty(t *testing.T) {
+	// Property: for any page index within a mapped window, translation
+	// returns base + offset.
+	io, _, m := newEnv(t)
+	const pages = 64
+	if err := m.MapRange(kernelBase, 0x100000, pages*mem.PageSize, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	w := &Walker{R: io, Root: m.Root}
+	f := func(page uint8, off uint16) bool {
+		p := uint64(page) % pages
+		o := uint64(off) % mem.PageSize
+		gva := kernelBase + mem.GVA(p*mem.PageSize+o)
+		gpa, _, ok, err := w.Translate(gva)
+		return err == nil && ok && gpa == mem.GPA(0x100000+p*mem.PageSize+o)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package serverless
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vmsh/internal/guestos"
+)
+
+// deployDemo sets up a platform with a healthy and a buggy function.
+func deployDemo(t *testing.T) *Platform {
+	t.Helper()
+	pl := New()
+	pl.Deploy("resize", func(p *guestos.Proc, payload string) (string, error) {
+		return "resized:" + payload, nil
+	})
+	pl.Deploy("thumbnail", func(p *guestos.Proc, payload string) (string, error) {
+		if strings.Contains(payload, "corrupt") {
+			// The bug leaves a partial temp file behind — state a
+			// debugger would want to inspect.
+			_ = p.WriteFile("/tmp/partial-output", []byte("truncated "+payload), 0o644)
+			return "", errors.New("decode failed: unexpected EOF")
+		}
+		return "thumb:" + payload, nil
+	})
+	return pl
+}
+
+func TestInvokeAndScale(t *testing.T) {
+	pl := deployDemo(t)
+	resp, err := pl.Invoke("resize", "img1")
+	if err != nil || resp != "resized:img1" {
+		t.Fatalf("%q, %v", resp, err)
+	}
+	// A second function spawns its own instance.
+	if _, err := pl.Invoke("thumbnail", "img2"); err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Instances()) != 2 {
+		t.Fatalf("%d instances", len(pl.Instances()))
+	}
+	// Idle instances are reused, not respawned.
+	if _, err := pl.Invoke("resize", "img3"); err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Instances()) != 2 {
+		t.Fatalf("instance leaked: %d", len(pl.Instances()))
+	}
+	if stopped := pl.ScaleDown(); stopped != 2 {
+		t.Fatalf("scaled down %d", stopped)
+	}
+	// New invocations respawn.
+	if _, err := pl.Invoke("resize", "img4"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUseCaseServerlessDebugShell(t *testing.T) {
+	pl := deployDemo(t)
+	if _, err := pl.Invoke("resize", "ok.png"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Invoke("thumbnail", "corrupt.png"); err == nil {
+		t.Fatal("buggy invocation should fail")
+	}
+
+	// 1. The log parser finds exactly the faulty lambda.
+	faulty := pl.FindFaulty()
+	if len(faulty) != 1 || faulty[0].Function != "thumbnail" {
+		t.Fatalf("faulty = %+v", faulty)
+	}
+
+	// 2. Attach a debug shell to its VM.
+	dbg, err := pl.AttachDebugShell(faulty[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. The developer inspects the error log and the partial state
+	// the bug left behind — through the overlay, with tools the slim
+	// image never had.
+	out, err := dbg.Session.Exec("cat /var/lib/vmsh/var/log/fn.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ERROR") || !strings.Contains(out, "decode failed") {
+		t.Fatalf("log via debug shell: %q", out)
+	}
+	out, _ = dbg.Session.Exec("cat /var/lib/vmsh/tmp/partial-output")
+	if !strings.Contains(out, "truncated corrupt.png") {
+		t.Fatalf("partial state not visible: %q", out)
+	}
+
+	// 4. Scale-down must not kill the pinned instance.
+	if pl.ScaleDown() == 0 {
+		t.Fatal("healthy idle instance should scale down")
+	}
+	if faulty[0].Stopped {
+		t.Fatal("debugged instance was scaled down")
+	}
+
+	// 5. Closing the session unpins; the next sweep reclaims it.
+	if err := dbg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.ScaleDown() != 1 || !faulty[0].Stopped {
+		t.Fatal("instance not reclaimed after debug session")
+	}
+}

@@ -1,0 +1,636 @@
+package simplefs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vmsh/internal/blockdev"
+	"vmsh/internal/fserr"
+)
+
+// memDevice is an in-memory block device for tests.
+type memDevice struct {
+	data []byte
+	fua  bool
+}
+
+func (m *memDevice) ReadAt(off int64, buf []byte) error {
+	if err := blockdev.CheckAligned(off, len(buf)); err != nil {
+		return err
+	}
+	copy(buf, m.data[off:])
+	return nil
+}
+func (m *memDevice) WriteAt(off int64, buf []byte) error {
+	if err := blockdev.CheckAligned(off, len(buf)); err != nil {
+		return err
+	}
+	copy(m.data[off:], buf)
+	return nil
+}
+func (m *memDevice) Flush() error      { return nil }
+func (m *memDevice) Size() int64       { return int64(len(m.data)) }
+func (m *memDevice) SupportsFUA() bool { return m.fua }
+func (m *memDevice) SetQueueDepth(int) {}
+
+func newFS(t *testing.T, mb int, fua bool) (*FS, *memDevice) {
+	t.Helper()
+	dev := &memDevice{data: make([]byte, mb<<20), fua: fua}
+	if err := Mkfs(dev, MkfsOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, dev
+}
+
+func TestMkfsMountRoundTrip(t *testing.T) {
+	fs, _ := newFS(t, 8, true)
+	root, err := fs.Root()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.IsDir() {
+		t.Fatal("root is not a directory")
+	}
+	st := fs.Statfs()
+	if st.BlocksFree == 0 || st.InodesFree == 0 {
+		t.Fatalf("statfs = %+v", st)
+	}
+}
+
+func TestMountBadMagic(t *testing.T) {
+	dev := &memDevice{data: make([]byte, 1<<20)}
+	if _, err := Mount(dev); err == nil {
+		t.Fatal("mounted an unformatted device")
+	}
+}
+
+func TestCreateLookupReadWrite(t *testing.T) {
+	fs, _ := newFS(t, 8, true)
+	root, _ := fs.Root()
+	f, err := root.Create("hello.txt", 0o644, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("persist me")
+	if _, err := f.WriteAt(msg, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.Lookup("hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if n, err := got.ReadAt(buf, 0); err != nil || n != len(msg) {
+		t.Fatalf("read %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatal("data mismatch")
+	}
+	if got.Stat().Mode&ModePermMask != 0o644 {
+		t.Fatalf("mode = %o", got.Stat().Mode)
+	}
+}
+
+func TestPersistenceAcrossRemount(t *testing.T) {
+	fs, dev := newFS(t, 8, true)
+	root, _ := fs.Root()
+	f, _ := root.Create("file", 0o600, 42, 42)
+	data := bytes.Repeat([]byte("xyz"), 5000)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Mkdir("sub", 0o755, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root2, _ := fs2.Root()
+	f2, err := root2.Lookup("file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if _, err := f2.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("data lost across remount")
+	}
+	if f2.Stat().UID != 42 {
+		t.Fatal("ownership lost")
+	}
+	if _, err := root2.Lookup("sub"); err != nil {
+		t.Fatal("directory lost")
+	}
+}
+
+func TestLargeFileIndirectBlocks(t *testing.T) {
+	fs, _ := newFS(t, 64, true)
+	root, _ := fs.Root()
+	f, _ := root.Create("big", 0o644, 0, 0)
+	// Past 12 direct (48 KiB) and past indirect (48 KiB + 4 MiB):
+	// write at 5 MiB to exercise the double-indirect path.
+	probePoints := []int64{0, 40 << 10, 100 << 10, 5 << 20}
+	for i, off := range probePoints {
+		chunk := bytes.Repeat([]byte{byte(i + 1)}, 8192)
+		if _, err := f.WriteAt(chunk, off); err != nil {
+			t.Fatalf("write at %d: %v", off, err)
+		}
+	}
+	for i, off := range probePoints {
+		buf := make([]byte, 8192)
+		if _, err := f.ReadAt(buf, off); err != nil {
+			t.Fatalf("read at %d: %v", off, err)
+		}
+		want := bytes.Repeat([]byte{byte(i + 1)}, 8192)
+		if !bytes.Equal(buf, want) {
+			t.Fatalf("data at %d corrupted", off)
+		}
+	}
+	// Holes between the probe points read as zeros.
+	buf := make([]byte, 4096)
+	if _, err := f.ReadAt(buf, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("hole is not zero")
+		}
+	}
+}
+
+func TestSparseFileAccounting(t *testing.T) {
+	fs, _ := newFS(t, 16, true)
+	root, _ := fs.Root()
+	f, _ := root.Create("sparse", 0o644, 7, 7)
+	free0 := fs.Statfs().BlocksFree
+	if _, err := f.WriteAt([]byte("end"), 2<<20); err != nil {
+		t.Fatal(err)
+	}
+	used := free0 - fs.Statfs().BlocksFree
+	if used > 4 { // 1 data block + pointer blocks, not 512
+		t.Fatalf("sparse write consumed %d blocks", used)
+	}
+	if f.Stat().Size != 2<<20+3 {
+		t.Fatalf("size = %d", f.Stat().Size)
+	}
+}
+
+func TestTruncateShrinkFreesBlocks(t *testing.T) {
+	fs, _ := newFS(t, 16, true)
+	root, _ := fs.Root()
+	f, _ := root.Create("t", 0o644, 0, 0)
+	data := make([]byte, 1<<20)
+	if _, err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	freeAfterWrite := fs.Statfs().BlocksFree
+	if err := f.Truncate(4096); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Statfs().BlocksFree <= freeAfterWrite {
+		t.Fatal("truncate freed nothing")
+	}
+	if f.Stat().Size != 4096 {
+		t.Fatalf("size = %d", f.Stat().Size)
+	}
+}
+
+func TestTruncateTailZeroed(t *testing.T) {
+	fs, _ := newFS(t, 8, true)
+	root, _ := fs.Root()
+	f, _ := root.Create("t", 0o644, 0, 0)
+	if _, err := f.WriteAt(bytes.Repeat([]byte{0xff}, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(4096); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 4096; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("stale byte %#x at %d after truncate up", buf[i], i)
+		}
+	}
+}
+
+func TestUnlinkFreesSpace(t *testing.T) {
+	fs, _ := newFS(t, 16, true)
+	root, _ := fs.Root()
+	// First cycle lets the root directory grow its entry block, which
+	// legitimately stays allocated afterwards; steady state must then
+	// be leak-free.
+	cycle := func() {
+		f, err := root.Create("gone", 0o644, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(make([]byte, 256<<10), 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := root.Unlink("gone"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle()
+	free0 := fs.Statfs()
+	cycle()
+	after := fs.Statfs()
+	if after.BlocksFree != free0.BlocksFree || after.InodesFree != free0.InodesFree {
+		t.Fatalf("space leaked: %+v vs %+v", free0, after)
+	}
+	if _, err := root.Lookup("gone"); err != fserr.ErrNotFound {
+		t.Fatalf("lookup after unlink = %v", err)
+	}
+}
+
+func TestHardLinks(t *testing.T) {
+	fs, _ := newFS(t, 8, true)
+	root, _ := fs.Root()
+	f, _ := root.Create("a", 0o644, 0, 0)
+	if _, err := f.WriteAt([]byte("shared"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Link(f, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stat().Nlink != 2 {
+		t.Fatalf("nlink = %d", f.Stat().Nlink)
+	}
+	if err := root.Unlink("a"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := root.Lookup("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := b.ReadAt(buf, 0); err != nil || string(buf) != "shared" {
+		t.Fatalf("data via second link: %q %v", buf, err)
+	}
+	if b.Stat().Nlink != 1 {
+		t.Fatalf("nlink after unlink = %d", b.Stat().Nlink)
+	}
+	// Hard links to directories are forbidden.
+	d, _ := root.Mkdir("d", 0o755, 0, 0)
+	if err := root.Link(d, "dlink"); err == nil {
+		t.Fatal("hard link to directory accepted")
+	}
+}
+
+func TestSymlinks(t *testing.T) {
+	fs, _ := newFS(t, 8, true)
+	root, _ := fs.Root()
+	if _, err := root.Symlink("ln", "/target/path", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	ln, _ := root.Lookup("ln")
+	if !ln.IsSymlink() {
+		t.Fatal("not a symlink")
+	}
+	target, err := ln.Readlink()
+	if err != nil || target != "/target/path" {
+		t.Fatalf("readlink = %q, %v", target, err)
+	}
+	f, _ := root.Create("plain", 0o644, 0, 0)
+	_ = f
+	plain, _ := root.Lookup("plain")
+	if _, err := plain.Readlink(); err == nil {
+		t.Fatal("readlink on regular file succeeded")
+	}
+}
+
+func TestMkdirRmdirSemantics(t *testing.T) {
+	fs, _ := newFS(t, 8, true)
+	root, _ := fs.Root()
+	d, err := root.Mkdir("dir", 0o755, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Stat().Nlink != 3 { // 2 + subdir
+		t.Fatalf("root nlink = %d", root.Stat().Nlink)
+	}
+	if _, err := d.Create("f", 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Rmdir("dir"); err != fserr.ErrNotEmpty {
+		t.Fatalf("rmdir non-empty = %v", err)
+	}
+	if err := d.Unlink("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Rmdir("dir"); err != nil {
+		t.Fatal(err)
+	}
+	if root.Stat().Nlink != 2 {
+		t.Fatalf("root nlink after rmdir = %d", root.Stat().Nlink)
+	}
+	if err := root.Rmdir("missing"); err != fserr.ErrNotFound {
+		t.Fatalf("rmdir missing = %v", err)
+	}
+}
+
+func TestRenameSemantics(t *testing.T) {
+	fs, _ := newFS(t, 8, true)
+	root, _ := fs.Root()
+	a, _ := root.Create("a", 0o644, 0, 0)
+	_, _ = a.WriteAt([]byte("A"), 0)
+	sub, _ := root.Mkdir("sub", 0o755, 0, 0)
+
+	// Plain rename.
+	if err := root.Rename("a", root, "a2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Lookup("a"); err != fserr.ErrNotFound {
+		t.Fatal("old name still present")
+	}
+	// Cross-directory rename moves nlink for dirs.
+	d2, _ := root.Mkdir("d2", 0o755, 0, 0)
+	if err := root.Rename("d2", sub, "moved"); err != nil {
+		t.Fatal(err)
+	}
+	if root.Stat().Nlink != 3 || sub.Stat().Nlink != 3 {
+		t.Fatalf("nlinks after dir move: root=%d sub=%d", root.Stat().Nlink, sub.Stat().Nlink)
+	}
+	_ = d2
+	// Replace an existing file.
+	b, _ := root.Create("b", 0o644, 0, 0)
+	_, _ = b.WriteAt([]byte("B"), 0)
+	if err := root.Rename("a2", root, "b"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := root.Lookup("b")
+	buf := make([]byte, 1)
+	_, _ = got.ReadAt(buf, 0)
+	if buf[0] != 'A' {
+		t.Fatalf("replaced content = %q", buf)
+	}
+	// File over directory fails.
+	f3, _ := root.Create("f3", 0o644, 0, 0)
+	_ = f3
+	if err := root.Rename("f3", root, "sub"); err != fserr.ErrIsDir {
+		t.Fatalf("file-over-dir rename = %v", err)
+	}
+	// Directory over non-empty directory fails.
+	root2, _ := root.Mkdir("victim", 0o755, 0, 0)
+	_, _ = root2.Create("occupied", 0o644, 0, 0)
+	d4, _ := root.Mkdir("d4", 0o755, 0, 0)
+	_ = d4
+	if err := root.Rename("d4", root, "victim"); err != fserr.ErrNotEmpty {
+		t.Fatalf("dir-over-nonempty rename = %v", err)
+	}
+}
+
+func TestReadDirListing(t *testing.T) {
+	fs, _ := newFS(t, 8, true)
+	root, _ := fs.Root()
+	names := []string{"one", "two", "three"}
+	for _, n := range names {
+		if _, err := root.Create(n, 0o644, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := root.ReadDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 {
+		t.Fatalf("%d entries", len(ents))
+	}
+	seen := map[string]bool{}
+	for _, e := range ents {
+		seen[e.Name] = true
+		if e.Type != ModeFile {
+			t.Fatalf("entry %s type %#x", e.Name, e.Type)
+		}
+	}
+	for _, n := range names {
+		if !seen[n] {
+			t.Fatalf("missing %s", n)
+		}
+	}
+}
+
+func TestManyFilesDirGrowth(t *testing.T) {
+	fs, _ := newFS(t, 32, true)
+	root, _ := fs.Root()
+	const count = 100 // > one dir block (16 slots)
+	for i := 0; i < count; i++ {
+		if _, err := root.Create(fmt.Sprintf("file-%03d", i), 0o644, 0, 0); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	ents, _ := root.ReadDir()
+	if len(ents) != count {
+		t.Fatalf("listed %d of %d", len(ents), count)
+	}
+	for i := 0; i < count; i += 7 {
+		if err := root.Unlink(fmt.Sprintf("file-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Freed slots are reused.
+	if _, err := root.Create("reuse", 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateCreateRejected(t *testing.T) {
+	fs, _ := newFS(t, 8, true)
+	root, _ := fs.Root()
+	if _, err := root.Create("x", 0o644, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Create("x", 0o644, 0, 0); err != fserr.ErrExists {
+		t.Fatalf("duplicate create = %v", err)
+	}
+	if _, err := root.Mkdir("x", 0o755, 0, 0); err != fserr.ErrExists {
+		t.Fatalf("mkdir over file = %v", err)
+	}
+}
+
+func TestNameTooLong(t *testing.T) {
+	fs, _ := newFS(t, 8, true)
+	root, _ := fs.Root()
+	long := string(bytes.Repeat([]byte("n"), maxName+1))
+	if _, err := root.Create(long, 0o644, 0, 0); err != fserr.ErrNameTooLong {
+		t.Fatalf("overlong name = %v", err)
+	}
+}
+
+func TestENOSPC(t *testing.T) {
+	dev := &memDevice{data: make([]byte, 1<<20), fua: true} // 256 blocks
+	if err := Mkfs(dev, MkfsOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := Mount(dev)
+	root, _ := fs.Root()
+	f, _ := root.Create("filler", 0o644, 0, 0)
+	_, err := f.WriteAt(make([]byte, 2<<20), 0)
+	if err != fserr.ErrNoSpace {
+		t.Fatalf("overfill = %v", err)
+	}
+	// The filesystem stays usable.
+	if err := root.Unlink("filler"); err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := root.Create("small", 0o644, 0, 0)
+	if _, err := f2.WriteAt([]byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuotaAccounting(t *testing.T) {
+	fs, _ := newFS(t, 16, true)
+	root, _ := fs.Root()
+	f, _ := root.Create("u7file", 0o644, 7, 7)
+	if _, err := f.WriteAt(make([]byte, 64<<10), 0); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs.QuotaReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u7 *QuotaUsage
+	for i := range rep {
+		if rep[i].UID == 7 {
+			u7 = &rep[i]
+		}
+	}
+	if u7 == nil || u7.Blocks < 16 || u7.Inodes != 1 {
+		t.Fatalf("uid7 usage = %+v", u7)
+	}
+	// Usage drops on unlink.
+	if err := root.Unlink("u7file"); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ = fs.QuotaReport()
+	for _, q := range rep {
+		if q.UID == 7 && (q.Blocks != 0 || q.Inodes != 0) {
+			t.Fatalf("uid7 after unlink = %+v", q)
+		}
+	}
+}
+
+func TestQuotaChownMovesUsage(t *testing.T) {
+	fs, _ := newFS(t, 16, true)
+	root, _ := fs.Root()
+	f, _ := root.Create("f", 0o644, 1, 1)
+	if _, err := f.WriteAt(make([]byte, 32<<10), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Chown(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := fs.QuotaReport()
+	var u1, u2 QuotaUsage
+	for _, q := range rep {
+		if q.UID == 1 {
+			u1 = q
+		}
+		if q.UID == 2 {
+			u2 = q
+		}
+	}
+	if u1.Blocks != 0 || u1.Inodes != 0 {
+		t.Fatalf("old owner still charged: %+v", u1)
+	}
+	if u2.Blocks < 8 || u2.Inodes != 1 {
+		t.Fatalf("new owner not charged: %+v", u2)
+	}
+}
+
+func TestQuotaPersistsWithFUA(t *testing.T) {
+	fs, dev := newFS(t, 16, true)
+	root, _ := fs.Root()
+	f, _ := root.Create("f", 0o644, 9, 9)
+	_, _ = f.WriteAt(make([]byte, 16<<10), 0)
+	_ = fs.Sync()
+	fs2, err := Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fs2.QuotaReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, q := range rep {
+		if q.UID == 9 && q.Inodes == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("quota not persisted: %+v", rep)
+	}
+}
+
+func TestQuotaDisabledWithoutFUA(t *testing.T) {
+	// This is the §6.1 mechanism: the virtio devices never negotiate
+	// FUA, so quota reporting fails there while everything else works.
+	fs, _ := newFS(t, 16, false)
+	if _, err := fs.QuotaReport(); err == nil {
+		t.Fatal("quota report without FUA succeeded")
+	}
+	root, _ := fs.Root()
+	f, err := root.Create("works", 0o644, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("fine"), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadProperty(t *testing.T) {
+	fs, _ := newFS(t, 32, true)
+	root, _ := fs.Root()
+	f, _ := root.Create("prop", 0o644, 0, 0)
+	// Model: a shadow byte slice mirrors every write.
+	shadow := make([]byte, 1<<20)
+	var maxEnd int64
+	rnd := rand.New(rand.NewSource(11))
+	prop := func(off16 uint16, size8 uint8) bool {
+		off := int64(off16) % (1 << 19)
+		size := int(size8)%2048 + 1
+		data := make([]byte, size)
+		rnd.Read(data)
+		if _, err := f.WriteAt(data, off); err != nil {
+			return false
+		}
+		copy(shadow[off:], data)
+		if off+int64(size) > maxEnd {
+			maxEnd = off + int64(size)
+		}
+		// Read back a random window inside the written extent.
+		roff := int64(rnd.Intn(int(maxEnd)))
+		rlen := rnd.Intn(int(maxEnd-roff)) + 1
+		buf := make([]byte, rlen)
+		if _, err := f.ReadAt(buf, roff); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, shadow[roff:roff+int64(rlen)])
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v, want 0", c.Now())
+	}
+	c.Advance(5 * time.Microsecond)
+	c.Advance(7 * time.Nanosecond)
+	if got := c.Now(); got != 5*time.Microsecond+7*time.Nanosecond {
+		t.Fatalf("Now() = %v", got)
+	}
+}
+
+func TestClockNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	New().Advance(-1)
+}
+
+func TestClockSince(t *testing.T) {
+	c := New()
+	c.Advance(time.Millisecond)
+	start := c.Now()
+	c.Advance(42 * time.Microsecond)
+	if got := c.Since(start); got != 42*time.Microsecond {
+		t.Fatalf("Since = %v", got)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	c := New()
+	f := func(steps []uint16) bool {
+		prev := c.Now()
+		for _, s := range steps {
+			c.Advance(time.Duration(s))
+			now := c.Now()
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyCost(t *testing.T) {
+	if Copy(0, 1e9) != 0 {
+		t.Fatal("zero bytes should be free")
+	}
+	if Copy(100, 0) != 0 {
+		t.Fatal("zero bandwidth should not divide by zero")
+	}
+	// 1 GiB at 1 GiB/s is one second.
+	got := Copy(1<<30, float64(1<<30))
+	if got != time.Second {
+		t.Fatalf("Copy(1GiB @ 1GiB/s) = %v, want 1s", got)
+	}
+}
+
+func TestDeviceTimeBandwidthFloor(t *testing.T) {
+	// Large transfer: bandwidth dominates regardless of queue depth.
+	lat := 10 * time.Microsecond
+	n := 1 << 20
+	bw := 1e9
+	got := DeviceTime(n, lat, bw, 128*1024, 32)
+	want := Copy(n, bw)
+	if got != want {
+		t.Fatalf("DeviceTime = %v, want bandwidth floor %v", got, want)
+	}
+}
+
+func TestDeviceTimeLatencyDominates(t *testing.T) {
+	// Tiny transfer at qd=1: latency dominates.
+	got := DeviceTime(512, 10*time.Microsecond, 10e9, 128*1024, 1)
+	if got != 10*time.Microsecond {
+		t.Fatalf("DeviceTime = %v, want 10us", got)
+	}
+	// qd=2 halves the effective latency.
+	got = DeviceTime(512, 10*time.Microsecond, 10e9, 128*1024, 2)
+	if got != 5*time.Microsecond {
+		t.Fatalf("DeviceTime qd=2 = %v, want 5us", got)
+	}
+}
+
+func TestDeviceTimeSegmentSplit(t *testing.T) {
+	// 256KiB with 128KiB segments = 2 commands worth of latency at qd=1.
+	got := DeviceTime(256*1024, time.Millisecond, 1e12, 128*1024, 1)
+	if got != 2*time.Millisecond {
+		t.Fatalf("DeviceTime = %v, want 2ms", got)
+	}
+}
+
+func TestDefaultCostsSane(t *testing.T) {
+	c := Default()
+	if c.VMExit <= 0 || c.PtraceStop <= 0 || c.NVMeReadBW <= 0 {
+		t.Fatal("default costs contain zeros")
+	}
+	if c.PtraceStop < c.Syscall {
+		t.Fatal("a ptrace stop must cost more than a syscall")
+	}
+	if c.ProcessVMBW >= c.MemcpyBW {
+		t.Fatal("cross-address-space copy must be slower than memcpy")
+	}
+}

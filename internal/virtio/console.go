@@ -1,0 +1,146 @@
+package virtio
+
+import (
+	"sync"
+
+	"vmsh/internal/mem"
+)
+
+// Console queue indices (virtio-console): 0 = receiveq (host->guest),
+// 1 = transmitq (guest->host).
+const (
+	ConsoleRxQ = 0
+	ConsoleTxQ = 1
+)
+
+// ConsoleDevice is the device side of the VMSH console. Host input is
+// pushed into guest-posted rx buffers; guest output is collected from
+// the tx queue and handed to Output.
+type ConsoleDevice struct {
+	Dev *MMIODev
+	// Output receives guest->host bytes.
+	Output func([]byte)
+	// SignalIRQ delivers interrupts to the guest.
+	SignalIRQ func()
+
+	mu      sync.Mutex
+	pending [][]byte // host->guest bytes waiting for rx buffers
+}
+
+// NewConsoleDevice wires a console device at base.
+func NewConsoleDevice(base mem.GPA, m mem.PhysIO) *ConsoleDevice {
+	c := &ConsoleDevice{}
+	d := NewMMIODev(base, DeviceIDConsole, 0, []int{64, 64}, m)
+	d.OnNotify = func(q int) {
+		if q == ConsoleTxQ {
+			c.drainTx()
+		} else {
+			c.flushPending()
+		}
+	}
+	c.Dev = d
+	return c
+}
+
+// MMIO forwards to the register block.
+func (c *ConsoleDevice) MMIO(gpa mem.GPA, size int, write bool, value uint64) uint64 {
+	return c.Dev.MMIO(gpa, size, write, value)
+}
+
+// SendToGuest queues host input; it is delivered into rx buffers the
+// guest driver posted, followed by an interrupt.
+func (c *ConsoleDevice) SendToGuest(data []byte) {
+	c.mu.Lock()
+	c.pending = append(c.pending, append([]byte(nil), data...))
+	c.mu.Unlock()
+	c.flushPending()
+}
+
+func (c *ConsoleDevice) flushPending() {
+	if !c.Dev.queueLive(ConsoleRxQ) {
+		return
+	}
+	dq := c.Dev.DeviceQueue(ConsoleRxQ)
+	delivered := false
+	for {
+		c.mu.Lock()
+		if len(c.pending) == 0 {
+			c.mu.Unlock()
+			break
+		}
+		msg := c.pending[0]
+		c.mu.Unlock()
+
+		chain, ok, err := dq.Pop()
+		if err != nil || !ok {
+			break // no posted buffers; retry on next notify
+		}
+		n := uint32(0)
+		for _, d := range chain.Elems {
+			if d.Flags&DescFlagWrite == 0 {
+				continue
+			}
+			chunk := msg
+			if len(chunk) > int(d.Len) {
+				chunk = chunk[:d.Len]
+			}
+			if err := dq.M.WritePhys(d.Addr, chunk); err != nil {
+				return
+			}
+			n += uint32(len(chunk))
+			msg = msg[len(chunk):]
+			if len(msg) == 0 {
+				break
+			}
+		}
+		c.mu.Lock()
+		if len(msg) == 0 {
+			c.pending = c.pending[1:]
+		} else {
+			c.pending[0] = msg
+		}
+		c.mu.Unlock()
+		if err := dq.PushUsed(chain.Head, n); err != nil {
+			return
+		}
+		delivered = true
+	}
+	if delivered {
+		c.Dev.RaiseInterrupt()
+		if c.SignalIRQ != nil {
+			c.SignalIRQ()
+		}
+	}
+}
+
+// drainTx consumes guest output.
+func (c *ConsoleDevice) drainTx() {
+	if !c.Dev.queueLive(ConsoleTxQ) {
+		return
+	}
+	dq := c.Dev.DeviceQueue(ConsoleTxQ)
+	for {
+		chain, ok, err := dq.Pop()
+		if err != nil || !ok {
+			return
+		}
+		total := uint32(0)
+		for _, d := range chain.Elems {
+			buf := make([]byte, d.Len)
+			if err := dq.M.ReadPhys(d.Addr, buf); err != nil {
+				return
+			}
+			if c.Output != nil {
+				c.Output(buf)
+			}
+			total += d.Len
+		}
+		if err := dq.PushUsed(chain.Head, total); err != nil {
+			return
+		}
+		c.Dev.RaiseInterrupt()
+		if c.SignalIRQ != nil {
+			c.SignalIRQ()
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vmsh/internal/guestos"
+)
+
+// PhoronixBench is one row of Figure 5: a named disk workload run in a
+// working directory on the filesystem under test. Sizes are scaled
+// down from the Phoronix defaults (documented in EXPERIMENTS.md) but
+// keep each workload's IO mix — that mix, not volume, is what spreads
+// Figure 5.
+type PhoronixBench struct {
+	Name string
+	Run  func(p *guestos.Proc, dir string) error
+}
+
+// RunPhoronix executes one benchmark and returns elapsed virtual time.
+func RunPhoronix(b PhoronixBench, p *guestos.Proc, dir string) (time.Duration, error) {
+	if err := p.Mkdir(dir, 0o755); err != nil {
+		return 0, err
+	}
+	clock := p.Kernel().Clock()
+	start := clock.Now()
+	if err := b.Run(p, dir); err != nil {
+		return 0, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return clock.Now() - start, nil
+}
+
+// writeFileSized creates path with size bytes in 64 KiB chunks.
+func writeFileSized(p *guestos.Proc, path string, size int64, sync bool) error {
+	f, err := p.Open(path, guestos.OCreate|guestos.OWronly|guestos.OTrunc, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	chunk := make([]byte, 64*1024)
+	for off := int64(0); off < size; off += int64(len(chunk)) {
+		n := int64(len(chunk))
+		if off+n > size {
+			n = size - off
+		}
+		if _, err := f.WriteAt(chunk[:n], off); err != nil {
+			return err
+		}
+	}
+	if sync {
+		return f.Fsync()
+	}
+	return nil
+}
+
+func readWholeFile(p *guestos.Proc, path string) error {
+	f, err := p.Open(path, guestos.ORdonly, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	size := f.Node().Stat().Size
+	buf := make([]byte, 64*1024)
+	for off := int64(0); off < size; off += int64(len(buf)) {
+		if _, err := f.ReadAt(buf, off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compileBench returns the three Compile Bench rows: a kernel-build
+// style IO mix — many small sources read, object files written,
+// directory trees created and traversed.
+func compileBench() []PhoronixBench {
+	const dirs, filesPer = 6, 24
+	mktree := func(p *guestos.Proc, dir string) error {
+		for d := 0; d < dirs; d++ {
+			sub := fmt.Sprintf("%s/src%d", dir, d)
+			if err := p.Mkdir(sub, 0o755); err != nil {
+				return err
+			}
+			for f := 0; f < filesPer; f++ {
+				if err := writeFileSized(p, fmt.Sprintf("%s/f%d.c", sub, f), 12*1024, false); err != nil {
+					return err
+				}
+			}
+		}
+		return p.Sync()
+	}
+	return []PhoronixBench{
+		{Name: "Compile Bench: Compile", Run: func(p *guestos.Proc, dir string) error {
+			if err := mktree(p, dir); err != nil {
+				return err
+			}
+			// "Compilation": read every source, emit an object ~2x.
+			for d := 0; d < dirs; d++ {
+				for f := 0; f < filesPer; f++ {
+					src := fmt.Sprintf("%s/src%d/f%d.c", dir, d, f)
+					if err := readWholeFile(p, src); err != nil {
+						return err
+					}
+					if err := writeFileSized(p, src+".o", 24*1024, false); err != nil {
+						return err
+					}
+				}
+			}
+			return p.Sync()
+		}},
+		{Name: "Compile Bench: Create", Run: mktree},
+		{Name: "Compile Bench: Read tree", Run: func(p *guestos.Proc, dir string) error {
+			if err := mktree(p, dir); err != nil {
+				return err
+			}
+			for d := 0; d < dirs; d++ {
+				sub := fmt.Sprintf("%s/src%d", dir, d)
+				ents, err := p.ReadDir(sub)
+				if err != nil {
+					return err
+				}
+				for _, e := range ents {
+					if err := readWholeFile(p, sub+"/"+e.Name); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}},
+	}
+}
+
+// dbench returns the file-server mix for n clients: per client a loop
+// of create, write, read, stat, delete with occasional flushes.
+func dbench(clients int) PhoronixBench {
+	return PhoronixBench{
+		Name: fmt.Sprintf("Dbench: %d Clients", clients),
+		Run: func(p *guestos.Proc, dir string) error {
+			const loops = 20
+			for c := 0; c < clients; c++ {
+				cdir := fmt.Sprintf("%s/client%d", dir, c)
+				if err := p.Mkdir(cdir, 0o755); err != nil {
+					return err
+				}
+				for i := 0; i < loops; i++ {
+					path := fmt.Sprintf("%s/w%d", cdir, i)
+					if err := writeFileSized(p, path, 48*1024, false); err != nil {
+						return err
+					}
+					if _, err := p.Stat(path); err != nil {
+						return err
+					}
+					if err := readWholeFile(p, path); err != nil {
+						return err
+					}
+					if i%8 == 7 {
+						if err := p.Sync(); err != nil {
+							return err
+						}
+					}
+					if i%2 == 1 {
+						if err := p.Unlink(path); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// fsMark returns one FS-Mark variant: create count files of size, in
+// dirs directories, optionally fsyncing each.
+func fsMark(name string, count int, size int64, dirs int, syncEach bool) PhoronixBench {
+	return PhoronixBench{
+		Name: name,
+		Run: func(p *guestos.Proc, dir string) error {
+			for d := 0; d < dirs; d++ {
+				if err := p.Mkdir(fmt.Sprintf("%s/d%d", dir, d), 0o755); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < count; i++ {
+				path := fmt.Sprintf("%s/d%d/file%d", dir, i%dirs, i)
+				if err := writeFileSized(p, path, size, syncEach); err != nil {
+					return err
+				}
+			}
+			if !syncEach {
+				return p.Sync()
+			}
+			return nil
+		},
+	}
+}
+
+// fioRow adapts a direct-IO fio job to a Phoronix row (fio is the only
+// suite member using O_DIRECT — the worst case of Figure 5).
+func fioRow(name, rw string, bs int, total int64) PhoronixBench {
+	return PhoronixBench{
+		Name: name,
+		Run: func(p *guestos.Proc, dir string) error {
+			spec := FioSpec{Name: name, RW: rw, BS: bs, Total: total, QD: 4, Direct: true}
+			_, err := FioOnFile(p, dir+"/fio.dat", spec)
+			return err
+		},
+	}
+}
+
+// ior returns one IOR row: write then read a file at the given
+// transfer size; roughly 20% of accesses re-touch cached blocks
+// (§6.3-A's measured page-cache hit rate).
+func ior(blockMB int) PhoronixBench {
+	return PhoronixBench{
+		Name: fmt.Sprintf("IOR: %dMB", blockMB),
+		Run: func(p *guestos.Proc, dir string) error {
+			total := int64(blockMB) * 1 << 20
+			if total > 64<<20 {
+				total = 64 << 20 // cap the scaled volume; xfer size is the variable
+			}
+			xfer := int64(blockMB) * 4096
+			if xfer > 2<<20 {
+				xfer = 2 << 20
+			}
+			f, err := p.Open(dir+"/ior.dat", guestos.OCreate|guestos.ORdwr, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			buf := make([]byte, xfer)
+			rnd := rand.New(rand.NewSource(int64(blockMB)))
+			for off := int64(0); off < total; off += xfer {
+				pos := off
+				if rnd.Intn(5) == 0 && off > 0 { // ~20% cache re-touch
+					pos = rnd.Int63n(off/xfer+1) * xfer
+				}
+				if _, err := f.WriteAt(buf, pos); err != nil {
+					return err
+				}
+			}
+			for off := int64(0); off < total; off += xfer {
+				if _, err := f.ReadAt(buf, off); err != nil {
+					return err
+				}
+			}
+			return f.Fsync()
+		},
+	}
+}
+
+// postMark is the mail-server mix: a pool of small files with
+// create/read/append/delete transactions.
+func postMark() PhoronixBench {
+	return PhoronixBench{
+		Name: "PostMark: Disk transactions",
+		Run: func(p *guestos.Proc, dir string) error {
+			const pool, txns = 60, 240
+			rnd := rand.New(rand.NewSource(4242))
+			for i := 0; i < pool; i++ {
+				if err := writeFileSized(p, fmt.Sprintf("%s/m%d", dir, i), int64(rnd.Intn(12)+1)*1024, false); err != nil {
+					return err
+				}
+			}
+			for t := 0; t < txns; t++ {
+				i := rnd.Intn(pool)
+				path := fmt.Sprintf("%s/m%d", dir, i)
+				switch t % 4 {
+				case 0:
+					if err := readWholeFile(p, path); err != nil {
+						return err
+					}
+				case 1: // append
+					f, err := p.Open(path, guestos.OWronly|guestos.OAppend, 0)
+					if err != nil {
+						return err
+					}
+					if _, err := f.Write(make([]byte, 2048)); err != nil {
+						return err
+					}
+					f.Close()
+				case 2: // delete + recreate
+					if err := p.Unlink(path); err != nil {
+						return err
+					}
+					if err := writeFileSized(p, path, 4096, false); err != nil {
+						return err
+					}
+				case 3:
+					if _, err := p.Stat(path); err != nil {
+						return err
+					}
+				}
+			}
+			return p.Sync()
+		},
+	}
+}
+
+// sqlite is the insert benchmark: §6.3-A found it journal-bound —
+// each batch creates a journal, fsyncs it, applies the change and
+// unlinks the journal (inode-heavy, not write-heavy).
+func sqlite(threads int) PhoronixBench {
+	return PhoronixBench{
+		Name: fmt.Sprintf("Sqlite: %d Threads", threads),
+		Run: func(p *guestos.Proc, dir string) error {
+			db := dir + "/test.db"
+			if err := writeFileSized(p, db, 256*1024, true); err != nil {
+				return err
+			}
+			batches := 8 * threads
+			if batches > 160 {
+				batches = 160
+			}
+			for b := 0; b < batches; b++ {
+				journal := fmt.Sprintf("%s-journal%d", db, b%threads)
+				if err := writeFileSized(p, journal, 8*1024, true); err != nil {
+					return err
+				}
+				f, err := p.Open(db, guestos.OWronly, 0)
+				if err != nil {
+					return err
+				}
+				if _, err := f.WriteAt(make([]byte, 4096), int64(b%64)*4096); err != nil {
+					return err
+				}
+				if err := f.Fsync(); err != nil {
+					return err
+				}
+				f.Close()
+				if err := p.Unlink(journal); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// PhoronixDiskSuite returns all 32 rows of Figure 5 in paper order.
+func PhoronixDiskSuite() []PhoronixBench {
+	var out []PhoronixBench
+	out = append(out, compileBench()...)
+	out = append(out, dbench(1), dbench(12))
+	out = append(out,
+		fsMark("FS-Mark: 1000 Files, 1MB", 120, 256*1024, 1, false),
+		fsMark("FS-Mark: 1k Files, No Sync", 120, 64*1024, 1, false),
+		fsMark("FS-Mark: 4k Files, 32 Dirs", 160, 16*1024, 32, false),
+		fsMark("FS-Mark: 5k Files, 1MB, 4 Threads", 160, 128*1024, 4, false),
+	)
+	out = append(out,
+		fioRow("Fio: Rand read, 4KB", "randread", 4096, 4<<20),
+		fioRow("Fio: Rand read, 2MB", "randread", 2<<20, 64<<20),
+		fioRow("Fio: Rand write, 4KB", "randwrite", 4096, 4<<20),
+		fioRow("Fio: Rand write, 2MB", "randwrite", 2<<20, 64<<20),
+		fioRow("Fio: Sequential read, 4KB", "read", 4096, 4<<20),
+		fioRow("Fio: Sequential read, 2MB", "read", 2<<20, 64<<20),
+		fioRow("Fio: Sequential write, 2KB", "write", 2048, 2<<20),
+		fioRow("Fio: Sequential write, 2MB", "write", 2<<20, 64<<20),
+	)
+	for _, mb := range []int{2, 4, 8, 16, 32, 64, 256, 512, 1025} {
+		out = append(out, ior(mb))
+	}
+	out = append(out, postMark())
+	for _, th := range []int{1, 8, 32, 64, 128} {
+		out = append(out, sqlite(th))
+	}
+	return out
+}

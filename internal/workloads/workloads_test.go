@@ -1,0 +1,174 @@
+package workloads
+
+import (
+	"testing"
+
+	"vmsh/internal/fsimage"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+)
+
+func TestFioOffsetsSequentialWrap(t *testing.T) {
+	s := FioSpec{RW: "read", BS: 4096, Total: 8 * 4096}
+	offs := s.offsets(4 * 4096)
+	if len(offs) != 8 {
+		t.Fatalf("%d offsets", len(offs))
+	}
+	for i, o := range offs {
+		want := int64(i%4) * 4096
+		if o != want {
+			t.Fatalf("offset %d = %d, want %d", i, o, want)
+		}
+	}
+}
+
+func TestFioOffsetsRandomAlignedAndBounded(t *testing.T) {
+	s := FioSpec{RW: "randwrite", BS: 512, Total: 512 * 100, Seed: 3}
+	offs := s.offsets(1 << 20)
+	seenDistinct := map[int64]bool{}
+	for _, o := range offs {
+		if o%512 != 0 || o < 0 || o >= 1<<20 {
+			t.Fatalf("bad offset %d", o)
+		}
+		seenDistinct[o] = true
+	}
+	if len(seenDistinct) < 20 {
+		t.Fatal("random offsets are not random")
+	}
+	// Deterministic for a fixed seed.
+	offs2 := s.offsets(1 << 20)
+	for i := range offs {
+		if offs[i] != offs2[i] {
+			t.Fatal("offsets not reproducible")
+		}
+	}
+}
+
+func TestFioResultMath(t *testing.T) {
+	s := FioSpec{Name: "x", RW: "read", BS: 4096, Total: 4096 * 1000}
+	r := finish(s, 10_000_000) // 10ms for 1000 ops of 4KiB
+	if r.Ops != 1000 {
+		t.Fatalf("ops %d", r.Ops)
+	}
+	if r.IOPS < 99_000 || r.IOPS > 101_000 {
+		t.Fatalf("IOPS %.0f", r.IOPS)
+	}
+	if r.MBps < 400 || r.MBps > 420 {
+		t.Fatalf("MBps %.1f", r.MBps)
+	}
+}
+
+func TestStandardFigure6Specs(t *testing.T) {
+	specs := StandardFigure6Specs(32 << 20)
+	if len(specs) != 4 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	seenBS := map[int]int{}
+	for _, s := range specs {
+		seenBS[s.BS]++
+		if s.QD != 32 {
+			t.Fatalf("%s qd=%d", s.Name, s.QD)
+		}
+	}
+	if seenBS[4096] != 2 || seenBS[256*1024] != 2 {
+		t.Fatalf("block size mix %v", seenBS)
+	}
+}
+
+func TestPhoronixSuiteRowsMatchFigure5(t *testing.T) {
+	suite := PhoronixDiskSuite()
+	if len(suite) != 32 {
+		t.Fatalf("%d rows, Figure 5 has 32", len(suite))
+	}
+	names := map[string]bool{}
+	for _, b := range suite {
+		if names[b.Name] {
+			t.Fatalf("duplicate row %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+	for _, want := range []string{
+		"Compile Bench: Compile", "Dbench: 12 Clients",
+		"Fio: Sequential write, 2MB", "IOR: 1025MB",
+		"PostMark: Disk transactions", "Sqlite: 128 Threads",
+	} {
+		if !names[want] {
+			t.Fatalf("missing row %q", want)
+		}
+	}
+}
+
+func TestEveryPhoronixBenchRuns(t *testing.T) {
+	h := hostsim.NewHost()
+	inst, err := hypervisor.Launch(h, hypervisor.Config{
+		Kind:    hypervisor.QEMU,
+		RAMSize: 512 << 20,
+		RootFS:  fsimage.GuestRoot("wl"),
+		ExtraDisks: []hypervisor.DiskSpec{
+			{GuestName: "vdb", Size: 256 << 20, Mkfs: true, MountAt: "/mnt/t"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bench := range PhoronixDiskSuite() {
+		p := inst.NewGuestProc("wl")
+		d, err := RunPhoronix(bench, p, "/mnt/t/r"+itoa(i))
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		if d <= 0 {
+			t.Fatalf("%s: zero duration", bench.Name)
+		}
+		if err := p.RemoveAll("/mnt/t/r" + itoa(i)); err != nil {
+			t.Fatalf("%s cleanup: %v", bench.Name, err)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func TestFioOnDeviceAndFileAgreeOnBytes(t *testing.T) {
+	h := hostsim.NewHost()
+	inst, err := hypervisor.Launch(h, hypervisor.Config{
+		Kind:   hypervisor.QEMU,
+		RootFS: fsimage.GuestRoot("fio"),
+		ExtraDisks: []hypervisor.DiskSpec{
+			{GuestName: "vdb", Size: 64 << 20},
+			{GuestName: "vdc", Size: 64 << 20, Mkfs: true, MountAt: "/mnt/f"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := inst.GuestDisk("vdb")
+	spec := FioSpec{Name: "t", RW: "write", BS: 4096, Total: 1 << 20, QD: 8}
+	r1, err := FioOnDevice(h, dev, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Bytes != 1<<20 || r1.Ops != 256 {
+		t.Fatalf("device run %+v", r1)
+	}
+	p := inst.NewGuestProc("fio")
+	r2, err := FioOnFile(p, "/mnt/f/job.dat", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Bytes != 1<<20 {
+		t.Fatalf("file run %+v", r2)
+	}
+	if r1.Elapsed <= 0 || r2.Elapsed <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}

@@ -1,0 +1,202 @@
+// Package vmsh is a Go reproduction of VMSH (EuroSys'22):
+// hypervisor-agnostic guest overlays for KVM virtual machines.
+//
+// VMSH attaches services to a running VM without any cooperation from
+// the hypervisor or a guest agent: it side-loads a small library into
+// the guest kernel through ptrace-driven syscall injection and guest
+// memory introspection, serves VirtIO block and console devices from
+// outside the hypervisor process, and spawns a container-based overlay
+// inside the guest whose root is a user-supplied filesystem image.
+//
+// Because the real system's substrate (KVM, ptrace, live guests)
+// cannot run here, the package operates on a byte-faithful simulation
+// of that stack — see DESIGN.md. The public API mirrors what a user of
+// the real tool would do:
+//
+//	lab := vmsh.NewLab()
+//	vm, _ := lab.LaunchVM(vmsh.VMConfig{Hypervisor: vmsh.QEMU})
+//	img, _ := lab.BuildImage("tools.img", vmsh.ToolImage())
+//	sess, _ := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+//	out, _ := sess.Exec("cat /var/lib/vmsh/etc/hostname")
+package vmsh
+
+import (
+	"fmt"
+
+	"vmsh/internal/arch"
+	"vmsh/internal/blockdev"
+	"vmsh/internal/core"
+	"vmsh/internal/fsimage"
+	"vmsh/internal/guestos"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+	"vmsh/internal/vclock"
+)
+
+// Hypervisor personalities (Table 1 of the paper).
+const (
+	QEMU            = hypervisor.QEMU
+	Kvmtool         = hypervisor.Kvmtool
+	Firecracker     = hypervisor.Firecracker
+	Crosvm          = hypervisor.Crosvm
+	CloudHypervisor = hypervisor.CloudHypervisor
+)
+
+// MMIO trap mechanisms (§5). TrapAuto probes for the ioregionfd host
+// kernel patch and falls back to the ptrace trap without it.
+const (
+	TrapIoregionfd  = core.TrapIoregionfd
+	TrapWrapSyscall = core.TrapWrapSyscall
+	TrapAuto        = core.TrapAuto
+)
+
+// Re-exported types so callers need only this package.
+type (
+	// Session is a live attachment: console, exec, detach.
+	Session = core.Session
+	// TrapMode selects the MMIO interception mechanism.
+	TrapMode = core.TrapMode
+	// Manifest declares filesystem image contents.
+	Manifest = fsimage.Manifest
+	// ManifestEntry is one file in a Manifest.
+	ManifestEntry = fsimage.Entry
+	// VM is a running virtual machine in the lab.
+	VM = hypervisor.Instance
+	// Image is a filesystem image on the lab host.
+	Image = hostsim.HostFile
+	// ContainerSpec describes a containerised guest workload (for
+	// container-context attach via AttachOptions.ContainerPID).
+	ContainerSpec = guestos.ContainerSpec
+)
+
+// ToolImage returns the standard debugging/administration image
+// manifest served through vmsh-blk.
+func ToolImage() Manifest { return fsimage.ToolImage() }
+
+// GuestRoot returns a minimal (de-bloated) guest root manifest.
+func GuestRoot(hostname string) Manifest { return fsimage.GuestRoot(hostname) }
+
+// Lab is a simulated host machine: the place VMs run and VMSH attaches.
+type Lab struct {
+	Host *hostsim.Host
+}
+
+// NewLab creates a fresh simulated host with the calibrated cost model.
+func NewLab() *Lab {
+	return &Lab{Host: hostsim.NewHost()}
+}
+
+// Clock returns elapsed virtual time (for measurements).
+func (l *Lab) Clock() *vclock.Clock { return l.Host.Clock }
+
+// Costs exposes the tunable cost model.
+func (l *Lab) Costs() *vclock.Costs { return l.Host.Costs }
+
+// Machine architectures.
+const (
+	ArchX86_64 = arch.X86_64
+	ArchARM64  = arch.ARM64
+)
+
+// VMConfig parameterises LaunchVM.
+type VMConfig struct {
+	// Hypervisor selects the personality; default QEMU.
+	Hypervisor hypervisor.Kind
+	// Arch selects the machine architecture (x86_64 default). The
+	// arm64 flavour exercises the paper's planned port: a different
+	// syscall-injection ABI, register files and page-table format.
+	Arch arch.Arch
+	// Name defaults to the personality name.
+	Name string
+	// KernelVersion is the guest kernel ("5.10" default; Table 1
+	// lists the tested LTS versions).
+	KernelVersion string
+	// RootFS is the guest root manifest; default GuestRoot("vm").
+	RootFS Manifest
+	// RAMSize defaults to 256 MiB.
+	RAMSize uint64
+	// Seed randomises KASLR.
+	Seed int64
+	// DisableSeccomp turns off Firecracker's filters (required for
+	// attach, §6.2).
+	DisableSeccomp bool
+	// SeccompProfile selects Firecracker's filter set; the
+	// "vmsh-compatible" profile (the paper's proposed future work)
+	// permits attach without disabling filtering entirely.
+	SeccompProfile string
+	// ExtraDisks attaches additional hypervisor-owned disks.
+	ExtraDisks []hypervisor.DiskSpec
+	// NinePShare mounts a 9p host share at /mnt/9p (QEMU only).
+	NinePShare bool
+}
+
+// LaunchVM boots a VM on the lab host.
+func (l *Lab) LaunchVM(cfg VMConfig) (*VM, error) {
+	root := cfg.RootFS
+	if root == nil {
+		root = GuestRoot("vm")
+	}
+	return hypervisor.Launch(l.Host, hypervisor.Config{
+		Kind:           cfg.Hypervisor,
+		Arch:           cfg.Arch,
+		Name:           cfg.Name,
+		KernelVersion:  cfg.KernelVersion,
+		RAMSize:        cfg.RAMSize,
+		Seed:           cfg.Seed,
+		RootFS:         root,
+		DisableSeccomp: cfg.DisableSeccomp,
+		SeccompProfile: cfg.SeccompProfile,
+		ExtraDisks:     cfg.ExtraDisks,
+		NinePShare:     cfg.NinePShare,
+	})
+}
+
+// BuildImage materialises a manifest as a filesystem image file on the
+// lab host, ready to attach.
+func (l *Lab) BuildImage(name string, m Manifest) (*Image, error) {
+	size := m.Size() + 64<<20
+	img := l.Host.CreateFile(name, size, false)
+	if err := fsimage.Build(blockdev.NewHostFileDevice(img), m); err != nil {
+		return nil, fmt.Errorf("vmsh: building image %s: %w", name, err)
+	}
+	return img, nil
+}
+
+// AttachOptions parameterises Attach.
+type AttachOptions struct {
+	// Image is the filesystem image to serve through vmsh-blk.
+	Image *Image
+	// Trap selects the MMIO mechanism; TrapIoregionfd by default.
+	Trap TrapMode
+	// ContainerPID adopts a guest container's context.
+	ContainerPID int
+	// NoShell suppresses the interactive shell.
+	NoShell bool
+	// PCITransport uses MSI-routed interrupts (the virtio-over-PCI
+	// extension) — required for Cloud Hypervisor.
+	PCITransport bool
+}
+
+func (o AttachOptions) toCore() core.Options {
+	return core.Options{
+		Image:        o.Image,
+		Trap:         o.Trap,
+		ContainerPID: o.ContainerPID,
+		NoShell:      o.NoShell,
+		PCITransport: o.PCITransport,
+	}
+}
+
+// Attach side-loads VMSH into the VM and returns a session. Each call
+// runs a fresh vmsh process, mirroring the real per-invocation CLI —
+// the post-setup privilege drop (§4.5) makes a vmsh process
+// single-attach by design.
+func (l *Lab) Attach(vm *VM, opts AttachOptions) (*Session, error) {
+	return core.New(l.Host).Attach(vm.Proc.PID, opts.toCore())
+}
+
+// AttachPID attaches by process id, the way the real CLI is pointed at
+// a hypervisor process.
+func (l *Lab) AttachPID(pid int, opts AttachOptions) (*Session, error) {
+	return core.New(l.Host).Attach(pid, opts.toCore())
+}

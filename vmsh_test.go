@@ -1,0 +1,144 @@
+package vmsh_test
+
+import (
+	"strings"
+	"testing"
+
+	"vmsh"
+)
+
+// TestPublicAPIQuickstart exercises the documented happy path.
+func TestPublicAPIQuickstart(t *testing.T) {
+	lab := vmsh.NewLab()
+	vm, err := lab.LaunchVM(vmsh.VMConfig{
+		Hypervisor: vmsh.QEMU,
+		RootFS:     vmsh.GuestRoot("api-vm"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := lab.BuildImage("tools.img", vmsh.ToolImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Exec("cat /var/lib/vmsh/etc/hostname")
+	if err != nil || !strings.Contains(out, "api-vm") {
+		t.Fatalf("%q %v", out, err)
+	}
+	if err := sess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if lab.Clock().Now() <= 0 {
+		t.Fatal("virtual clock never advanced")
+	}
+}
+
+// TestPublicAPIUseCaseRescue is E9 at the public surface: password
+// reset on a locked-out guest via chpasswd through the overlay.
+func TestPublicAPIUseCaseRescue(t *testing.T) {
+	lab := vmsh.NewLab()
+	vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("locked-vm")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vm.NewGuestProc("check")
+	before, err := p.ReadFile("/etc/shadow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := lab.BuildImage("rescue.img", vmsh.ToolImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Exec("chpasswd root:newpw /var/lib/vmsh")
+	if err != nil || !strings.Contains(out, "password for root updated") {
+		t.Fatalf("%q %v", out, err)
+	}
+	after, _ := p.ReadFile("/etc/shadow")
+	if string(after) == string(before) {
+		t.Fatal("shadow unchanged")
+	}
+	if !strings.Contains(string(after), "root:$6$vmsh$") {
+		t.Fatalf("unexpected shadow: %q", after)
+	}
+	// Unknown users are reported, not invented.
+	out, _ = sess.Exec("chpasswd ghost:pw /var/lib/vmsh")
+	if !strings.Contains(out, "not found") {
+		t.Fatalf("%q", out)
+	}
+}
+
+// TestPublicAPIUseCaseScanner is E10: the package CVE scan.
+func TestPublicAPIUseCaseScanner(t *testing.T) {
+	lab := vmsh.NewLab()
+	vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("alpine")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := lab.BuildImage("scan.img", vmsh.ToolImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Exec("apk-list /var/lib/vmsh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range []string{"musl", "busybox", "openssl", "zlib", "apk-tools"} {
+		if !strings.Contains(out, pkg) {
+			t.Fatalf("package list missing %s: %q", pkg, out)
+		}
+	}
+}
+
+// TestPublicAPITrapModes checks the trap selector is honoured.
+func TestPublicAPITrapModes(t *testing.T) {
+	for _, trap := range []vmsh.TrapMode{vmsh.TrapIoregionfd, vmsh.TrapWrapSyscall} {
+		lab := vmsh.NewLab()
+		vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("t")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := lab.BuildImage("t.img", vmsh.ToolImage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img, Trap: trap})
+		if err != nil {
+			t.Fatalf("%v: %v", trap, err)
+		}
+		if sess.Trap() != trap {
+			t.Fatalf("trap = %v, want %v", sess.Trap(), trap)
+		}
+	}
+}
+
+// TestPublicAPIAttachPID mirrors the real CLI pointing at a pid.
+func TestPublicAPIAttachPID(t *testing.T) {
+	lab := vmsh.NewLab()
+	vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("pid")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := lab.BuildImage("p.img", vmsh.ToolImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.AttachPID(vm.Proc.PID, vmsh.AttachOptions{Image: img}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.AttachPID(99999, vmsh.AttachOptions{Image: img}); err == nil {
+		t.Fatal("attached to a nonexistent pid")
+	}
+}
