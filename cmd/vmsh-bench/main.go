@@ -8,6 +8,7 @@
 //	E5  fio throughput + IOPS        (Figure 6a/6b)
 //	E6  console latency              (Figure 7)
 //	E7  image de-bloating            (Figure 8)
+//	E7n virtio-net sweep             (network)
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7); empty = all")
+	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n); empty = all")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -104,5 +105,14 @@ func main() {
 		}
 		fmt.Println("== E7 / Figure 8 — VM image size reduction ==")
 		fmt.Print(debloat.FormatResults(rs))
+		fmt.Println()
+	}
+
+	if sel("e7n") {
+		tbl, _, err := eval.RunNetwork(42)
+		if err != nil {
+			fail("E7n", err)
+		}
+		fmt.Print(tbl.Format())
 	}
 }

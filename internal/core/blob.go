@@ -16,7 +16,11 @@ type blobParams struct {
 	blkGSI   uint32
 	consBase mem.GPA
 	consGSI  uint32
-	overlay  overlay.Options
+	// net adds a third device descriptor for vmsh-net.
+	net     bool
+	netBase mem.GPA
+	netGSI  uint32
+	overlay overlay.Options
 	// noOverlay skips device registration of the block device and the
 	// spawn step (used by tests that only validate side-loading).
 	minimal bool
@@ -67,6 +71,10 @@ func buildBlob(p blobParams) ([]byte, error) {
 	b.Call(0, rPrintk, guestlib.BlobPtr(banner))
 	b.Call(1, rPdevReg, guestlib.BlobPtr(blkDesc))  // virtio-blk
 	b.Call(2, rPdevReg, guestlib.BlobPtr(consDesc)) // virtio-console
+	if p.net {
+		netDesc := b.Data(guestos.EncodeDeviceDesc(v2, p.netBase, p.netGSI))
+		b.Call(11, rPdevReg, guestlib.BlobPtr(netDesc)) // virtio-net
+	}
 	b.Sync(guestlib.StatusDevices)
 	if p.minimal {
 		b.Sync(guestlib.StatusReady)

@@ -36,8 +36,10 @@ import (
 	"vmsh/internal/ksym"
 	"vmsh/internal/kvm"
 	"vmsh/internal/mem"
+	"vmsh/internal/netsim"
 	"vmsh/internal/overlay"
 	"vmsh/internal/pagetable"
+	"vmsh/internal/virtio"
 )
 
 // TrapMode selects how MMIO accesses to VMSH's devices are
@@ -73,11 +75,17 @@ func (t TrapMode) String() string {
 const (
 	vmshBlkBase  = mem.GPA(0xd8000000)
 	vmshConsBase = mem.GPA(0xd8001000)
+	vmshNetBase  = mem.GPA(0xd8002000)
 	vmshBlkGSI   = uint32(48)
 	vmshConsGSI  = uint32(49)
+	vmshNetGSI   = uint32(50)
 	vmshSlotNum  = uint32(500)
 	vmshSlotSize = uint64(4 << 20)
 )
+
+// vmshMMIOWindow is the size of the contiguous trap window covering
+// all VMSH device register blocks (blk, console, net).
+const vmshMMIOWindow = uint64(vmshNetBase-vmshBlkBase) + virtio.MMIOSize
 
 // Options configures an attach.
 type Options struct {
@@ -106,6 +114,14 @@ type Options struct {
 	// becomes the device's memory BAR; only interrupt routing
 	// changes.
 	PCITransport bool
+	// Net, when non-nil, additionally serves a vmsh-net device cabled
+	// into this switch — the multi-VM overlay network. The device runs
+	// in the VMSH process like blk and console, reading virtqueues
+	// through process_vm only.
+	Net *netsim.Switch
+	// NetLink sets the per-link parameters of this VM's switch port
+	// (zero values fall back to the host cost model).
+	NetLink netsim.LinkParams
 }
 
 // VMSH is one instance of the host-side tool.
@@ -250,6 +266,9 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 		blkGSI:   vmshBlkGSI,
 		consBase: vmshConsBase,
 		consGSI:  vmshConsGSI,
+		net:      opts.Net != nil,
+		netBase:  vmshNetBase,
+		netGSI:   vmshNetGSI,
 		minimal:  opts.Minimal,
 		overlay: overlay.Options{
 			Console:      "hvc-vmsh",

@@ -97,18 +97,28 @@ func (m *mmapBackend) FlushBlk() error {
 // Capacity implements virtio.BlkBackend.
 func (m *mmapBackend) Capacity() int64 { return m.f.Size() }
 
-// mmioMux routes the VMSH MMIO window to the right device.
+// mmioMux routes the VMSH MMIO window to the right device. The net
+// handler is nil when no switch was attached; accesses to its block
+// then read as open bus (zero) instead of faulting.
 type mmioMux struct {
 	blk  kvm.MMIOHandler
 	cons kvm.MMIOHandler
+	net  kvm.MMIOHandler
 }
 
 // MMIO implements kvm.MMIOHandler.
 func (m *mmioMux) MMIO(gpa mem.GPA, size int, write bool, value uint64) uint64 {
-	if gpa >= vmshConsBase {
+	switch {
+	case gpa >= vmshNetBase:
+		if m.net == nil {
+			return 0
+		}
+		return m.net.MMIO(gpa, size, write, value)
+	case gpa >= vmshConsBase:
 		return m.cons.MMIO(gpa, size, write, value)
+	default:
+		return m.blk.MMIO(gpa, size, write, value)
 	}
-	return m.blk.MMIO(gpa, size, write, value)
 }
 
 // setupDevices performs step 7 of Attach: eventfd + irqfd plumbing by
@@ -146,10 +156,21 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 	if err != nil {
 		return err
 	}
-	for _, reg := range []struct {
+	irqRegs := []struct {
 		fd  uint64
 		gsi uint32
-	}{{evBlk, vmshBlkGSI}, {evCons, vmshConsGSI}} {
+	}{{evBlk, vmshBlkGSI}, {evCons, vmshConsGSI}}
+	var evNet uint64
+	if opts.Net != nil {
+		if evNet, err = tr.InjectSyscall(tid, hostsim.SysEventfd2, 0, 0); err != nil {
+			return err
+		}
+		irqRegs = append(irqRegs, struct {
+			fd  uint64
+			gsi uint32
+		}{evNet, vmshNetGSI})
+	}
+	for _, reg := range irqRegs {
 		irqfd := make([]byte, 16)
 		putU32(irqfd[0:], uint32(reg.fd))
 		putU32(irqfd[4:], reg.gsi)
@@ -175,7 +196,13 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 	if _, err := tr.InjectSyscall(tid, hostsim.SysConnect, sock, scratch+128, uint64(len(sockPath))); err != nil {
 		return err
 	}
-	if _, err := tr.InjectSyscall(tid, hostsim.SysSendmsg, sock, 0, 0, evBlk, evCons); err != nil {
+	sendArgs := []uint64{sock, 0, 0, evBlk, evCons}
+	wantFDs := 2
+	if opts.Net != nil {
+		sendArgs = append(sendArgs, evNet)
+		wantFDs = 3
+	}
+	if _, err := tr.InjectSyscall(tid, hostsim.SysSendmsg, sendArgs...); err != nil {
 		return err
 	}
 	conn, ok := listener.Accept()
@@ -183,11 +210,14 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 		return fmt.Errorf("vmsh: fd-passing connection missing")
 	}
 	_, rights, ok := conn.Recv()
-	if !ok || len(rights) != 2 {
-		return fmt.Errorf("vmsh: expected 2 passed fds, got %d", len(rights))
+	if !ok || len(rights) != wantFDs {
+		return fmt.Errorf("vmsh: expected %d passed fds, got %d", wantFDs, len(rights))
 	}
 	s.blkEvFD = s.v.Proc.InstallFD(rights[0])
 	s.consEvFD = s.v.Proc.InstallFD(rights[1])
+	if opts.Net != nil {
+		s.netEvFD = s.v.Proc.InstallFD(rights[2])
+	}
 
 	// A one-page buffer in our own address space for eventfd writes.
 	sigHVA, err := s.v.Proc.Syscall(hostsim.SysMmap, 0, 4096, 3,
@@ -214,7 +244,24 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 	s.cons.SignalIRQ = func() {
 		_, _ = s.v.Proc.Syscall(hostsim.SysWrite, uint64(s.consEvFD), s.sigHVA, 8)
 	}
+	if opts.Net != nil {
+		// Cable this VM into the switch: the port's deterministic MAC
+		// becomes the device's config-space address, guest frames go
+		// out through Port.Send and inbound frames arrive through
+		// Deliver — all against the process_vm view of guest memory.
+		port := opts.Net.NewPort(fmt.Sprintf("vmsh-pid%d", pid), opts.NetLink)
+		s.netPort = port
+		s.net = virtio.NewNetDevice(vmshNetBase, [6]byte(port.MAC()), s.pm)
+		s.net.SendFrame = func(f []byte) { opts.Net.Send(port, f) }
+		port.Deliver = s.net.DeliverToGuest
+		s.net.SignalIRQ = func() {
+			_, _ = s.v.Proc.Syscall(hostsim.SysWrite, uint64(s.netEvFD), s.sigHVA, 8)
+		}
+	}
 	mux := &mmioMux{blk: s.blk, cons: s.cons}
+	if s.net != nil {
+		mux.net = s.net
+	}
 
 	mode := s.trap
 	if mode == TrapAuto {
@@ -246,7 +293,7 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 		}
 		s.wrapVM = vmFD.VM
 		tr.SetSyscallTax(true)
-		s.wrapVM.SetWrapTrap(vmshBlkBase, uint64(vmshConsBase-vmshBlkBase)+virtio.MMIOSize, mux)
+		s.wrapVM.SetWrapTrap(vmshBlkBase, vmshMMIOWindow, mux)
 	}
 	s.trap = mode
 	return nil
@@ -273,7 +320,7 @@ func (s *Session) setupIoregion(tid *hostsim.Thread, scratch, sock uint64,
 
 	ioregion := make([]byte, 40)
 	putU64(ioregion[0:], uint64(vmshBlkBase))
-	putU64(ioregion[8:], uint64(vmshConsBase-vmshBlkBase)+virtio.MMIOSize)
+	putU64(ioregion[8:], vmshMMIOWindow)
 	putU32(ioregion[24:], uint32(rfd))
 	if err := h.ProcessVMWrite(s.v.Proc, pid, mem.HVA(scratch), ioregion); err != nil {
 		return err

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"vmsh/internal/fsimage"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+	"vmsh/internal/netsim"
+)
+
+// attachNetPair launches two QEMU guests on one host, attaches VMSH to
+// both with a shared switch, and returns everything a network test
+// needs. Each session's vmsh-net device lives on the VMSH side of the
+// process boundary: it only ever sees guest memory through procmem.
+func attachNetPair(t *testing.T, linkA, linkB netsim.LinkParams) (*hostsim.Host, *netsim.Switch, [2]*hypervisor.Instance, [2]*Session) {
+	t.Helper()
+	h := hostsim.NewHost()
+	sw := netsim.New(h.Clock, h.Costs)
+
+	var insts [2]*hypervisor.Instance
+	var sessions [2]*Session
+	links := [2]netsim.LinkParams{linkA, linkB}
+	for i := 0; i < 2; i++ {
+		inst, err := hypervisor.Launch(h, hypervisor.Config{
+			Kind:          hypervisor.QEMU,
+			Name:          fmt.Sprintf("qemu-%c", 'a'+i),
+			KernelVersion: "5.10",
+			RootFS:        fsimage.GuestRoot(fmt.Sprintf("guest-%c", 'a'+i)),
+			Seed:          int64(1234 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts[i] = inst
+		img := buildToolImage(t, h, fmt.Sprintf("tools-%c.img", 'a'+i))
+		sessions[i] = attach(t, h, inst, Options{Image: img, Net: sw, NetLink: links[i]})
+	}
+	return h, sw, insts, sessions
+}
+
+// guestIP asks the guest shell for its interface address.
+func guestIP(t *testing.T, sess *Session) string {
+	t.Helper()
+	out, err := sess.Exec("ifconfig")
+	if err != nil {
+		t.Fatalf("ifconfig: %v (out %q)", err, out)
+	}
+	for _, f := range strings.Fields(out) {
+		if strings.HasPrefix(f, "10.0.0.") {
+			return f
+		}
+	}
+	t.Fatalf("no 10.0.0.x address in ifconfig output %q", out)
+	return ""
+}
+
+func TestAttachWithNetRegistersIface(t *testing.T) {
+	_, _, insts, sessions := attachNetPair(t, netsim.LinkParams{}, netsim.LinkParams{})
+
+	for i, inst := range insts {
+		joined := strings.Join(inst.Kernel.Log, "\n")
+		if !strings.Contains(joined, "virtio-net device vmsh0") {
+			t.Fatalf("guest %d log missing net device:\n%s", i, joined)
+		}
+		if _, ok := inst.Kernel.IfaceByName("vmsh0"); !ok {
+			t.Fatalf("guest %d has no vmsh0 iface", i)
+		}
+		if sessions[i].NetPort() == nil {
+			t.Fatalf("session %d has no switch port", i)
+		}
+	}
+	// Deterministic port MACs give deterministic IPs.
+	if guestIP(t, sessions[0]) == guestIP(t, sessions[1]) {
+		t.Fatal("both guests share one IP")
+	}
+}
+
+func TestTwoVMPingOverCore(t *testing.T) {
+	h, sw, _, sessions := attachNetPair(t, netsim.LinkParams{}, netsim.LinkParams{})
+
+	peer := guestIP(t, sessions[1])
+	start := h.Clock.Now()
+	out, err := sessions[0].Exec("ping " + peer + " 3")
+	if err != nil {
+		t.Fatalf("ping: %v (out %q)", err, out)
+	}
+	if !strings.Contains(out, "3 packets transmitted, 3 received, 0% packet loss") {
+		t.Fatalf("ping output %q", out)
+	}
+	if h.Clock.Since(start) <= 0 {
+		t.Fatal("ping consumed no virtual time")
+	}
+	st := sw.Stats()
+	if st.Forwarded+st.Flooded < 6 {
+		t.Fatalf("switch saw too few frames: %+v", st)
+	}
+	// Frames really crossed each session's port.
+	for i, s := range sessions {
+		ps := s.NetPort().Stats()
+		if ps.TxFrames == 0 || ps.RxFrames == 0 {
+			t.Fatalf("port %d stats %+v", i, ps)
+		}
+	}
+}
+
+func TestTwoVMIperfOverCore(t *testing.T) {
+	_, _, _, sessions := attachNetPair(t, netsim.LinkParams{}, netsim.LinkParams{})
+
+	peer := guestIP(t, sessions[1])
+	out, err := sessions[0].Exec("iperf " + peer + " 1")
+	if err != nil {
+		t.Fatalf("iperf: %v (out %q)", err, out)
+	}
+	if !strings.Contains(out, "MB/s") {
+		t.Fatalf("iperf output %q", out)
+	}
+}
+
+func TestNetLinkParamsShapeTraffic(t *testing.T) {
+	// A slower link must cost more virtual time for the same ping.
+	rtt := func(link netsim.LinkParams) string {
+		h, _, _, sessions := attachNetPair(t, link, netsim.LinkParams{})
+		peer := guestIP(t, sessions[1])
+		start := h.Clock.Now()
+		if out, err := sessions[0].Exec("ping " + peer + " 1"); err != nil ||
+			!strings.Contains(out, "1 received") {
+			t.Fatalf("ping: %v %q", err, out)
+		}
+		return h.Clock.Since(start).String()
+	}
+	fast := rtt(netsim.LinkParams{})
+	slow := rtt(netsim.LinkParams{BandwidthBps: 1e6, Latency: 2e6})
+	if fast == slow {
+		t.Fatalf("link params had no effect: fast %s slow %s", fast, slow)
+	}
+}
+
+func TestAttachWithoutNetHasNoPort(t *testing.T) {
+	h, inst := launch(t, hypervisor.QEMU, "5.10")
+	sess := attach(t, h, inst, Options{})
+	if sess.NetPort() != nil {
+		t.Fatal("port exists without Options.Net")
+	}
+	if _, ok := inst.Kernel.IfaceByName("vmsh0"); ok {
+		t.Fatal("vmsh0 iface registered without Options.Net")
+	}
+	out, _ := sess.Exec("ifconfig")
+	if !strings.Contains(out, "no interfaces") {
+		t.Fatalf("ifconfig on netless guest: %q", out)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"vmsh/internal/hostsim"
 	"vmsh/internal/kvm"
 	"vmsh/internal/mem"
+	"vmsh/internal/netsim"
 	"vmsh/internal/virtio"
 )
 
@@ -32,9 +33,12 @@ type Session struct {
 
 	blk  *virtio.BlkDevice
 	cons *virtio.ConsoleDevice
+	net  *virtio.NetDevice // nil unless Options.Net supplied a switch
 
-	blkEvFD, consEvFD int
-	sigHVA            uint64
+	netPort *netsim.Port
+
+	blkEvFD, consEvFD, netEvFD int
+	sigHVA                     uint64
 	wrapVM            *kvm.VM
 	// serveSock is the ioregionfd serving end; closing it (clearing
 	// its handler) deregisters the MMIO routing kernel-side.
@@ -92,6 +96,10 @@ func (s *Session) Exec(cmd string) (string, error) {
 
 // BlkRequests reports how many requests the vmsh-blk device served.
 func (s *Session) BlkRequests() int64 { return s.blk.Requests }
+
+// NetPort returns the switch port this session's vmsh-net device is
+// cabled into, or nil when networking was not requested.
+func (s *Session) NetPort() *netsim.Port { return s.netPort }
 
 // teardownTraps removes the MMIO interception.
 func (s *Session) teardownTraps() {

@@ -1,0 +1,104 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"vmsh/internal/blockdev"
+	"vmsh/internal/core"
+	"vmsh/internal/fsimage"
+	"vmsh/internal/guestos"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+	"vmsh/internal/netsim"
+	"vmsh/internal/workloads"
+)
+
+// NetScenario is one sweep point of the E7 network experiment: the
+// same seeded traffic mix replayed under different link cost models.
+type NetScenario struct {
+	Name string
+	Link netsim.LinkParams
+}
+
+// StandardE7Scenarios sweeps the cost-model axes: the default link,
+// one axis scaled 10x at a time, and a lossy link.
+func StandardE7Scenarios() []NetScenario {
+	return []NetScenario{
+		{Name: "base link", Link: netsim.LinkParams{}},
+		{Name: "10x bandwidth", Link: netsim.LinkParams{BandwidthBps: 1.25e10}},
+		{Name: "10x latency", Link: netsim.LinkParams{Latency: 250 * time.Microsecond}},
+		{Name: "drop 1-in-16", Link: netsim.LinkParams{DropNth: 16}},
+	}
+}
+
+// netAttachPair launches two guests on one host, attaches VMSH to both
+// with a shared switch (both ports under the scenario's link model) and
+// returns the guest-side interfaces the traffic generator drives.
+func netAttachPair(h *hostsim.Host, sw *netsim.Switch, link netsim.LinkParams) ([2]*guestos.Iface, error) {
+	var ifaces [2]*guestos.Iface
+	for i := 0; i < 2; i++ {
+		inst, err := hypervisor.Launch(h, hypervisor.Config{
+			Kind:          hypervisor.QEMU,
+			Name:          fmt.Sprintf("e7-%c", 'a'+i),
+			KernelVersion: "5.10",
+			RootFS:        fsimage.GuestRoot(fmt.Sprintf("e7-%c", 'a'+i)),
+			Seed:          int64(100 + i),
+		})
+		if err != nil {
+			return ifaces, err
+		}
+		img := h.CreateFile(fmt.Sprintf("e7-%c.img", 'a'+i), 64<<20, false)
+		if err := fsimage.Build(blockdev.NewHostFileDevice(img), fsimage.Manifest{}); err != nil {
+			return ifaces, err
+		}
+		v := core.New(h)
+		if _, err := v.Attach(inst.Proc.PID, core.Options{
+			Image: img, Minimal: true, Net: sw, NetLink: link,
+		}); err != nil {
+			return ifaces, err
+		}
+		ifc, ok := inst.Kernel.IfaceByName("vmsh0")
+		if !ok {
+			return ifaces, fmt.Errorf("guest %d: vmsh0 not registered", i)
+		}
+		ifaces[i] = ifc
+	}
+	return ifaces, nil
+}
+
+// RunNetwork regenerates the E7 network sweep: the standard seeded
+// traffic mix between two VMSH-attached guests, replayed per scenario.
+// Every run is purely virtual-clock driven, so the same seed yields a
+// byte-identical table.
+func RunNetwork(seed int64) (*Table, []workloads.NetResult, error) {
+	tbl := &Table{ID: "E7 / network",
+		Title: "virtio-net throughput and RTT across the link cost model"}
+	var results []workloads.NetResult
+	for _, sc := range StandardE7Scenarios() {
+		h := hostsim.NewHost()
+		sw := netsim.New(h.Clock, h.Costs)
+		ifaces, err := netAttachPair(h, sw, sc.Link)
+		if err != nil {
+			return nil, nil, fmt.Errorf("e7 %s: %w", sc.Name, err)
+		}
+		spec := workloads.StandardNetSpec(seed)
+		spec.Name = sc.Name
+		r, err := workloads.NetTraffic(h.Clock, ifaces[0], ifaces[1], spec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("e7 %s: %w", sc.Name, err)
+		}
+		results = append(results, r)
+		us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+		loss := 0.0
+		if r.PingsSent > 0 {
+			loss = 100 * float64(r.PingsLost) / float64(r.PingsSent)
+		}
+		tbl.Rows = append(tbl.Rows,
+			Row{Name: sc.Name + " goodput", Measured: r.MBps, Unit: "MB/s"},
+			Row{Name: sc.Name + " rtt mean", Measured: us(r.RTTMean), Unit: "us"},
+			Row{Name: sc.Name + " echo loss", Measured: loss, Unit: "%"},
+		)
+	}
+	return tbl, results, nil
+}

@@ -150,6 +150,7 @@ func ToolImage() Manifest {
 		"echo", "cat", "ls", "ps", "mount", "touch", "rm", "mkdir",
 		"pwd", "cd", "id", "uname", "df", "sync", "hostname", "dmesg",
 		"sha256sum", "chpasswd", "apk-list",
+		"ifconfig", "ping", "iperf",
 	}
 	for _, t := range tools {
 		m["/bin/"+t] = Entry{Mode: 0o755, Data: binStub(t, 24*1024)}

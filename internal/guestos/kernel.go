@@ -124,6 +124,9 @@ type Kernel struct {
 	// TTYs by name.
 	ttys map[string]*TTY
 
+	// Network interfaces by name ("vmsh0"...).
+	ifaces map[string]*Iface
+
 	// kthreads created by the side-loaded library.
 	kthreads   map[uint64]*kthread
 	nextThread uint64
@@ -170,11 +173,12 @@ type kthread struct {
 
 type vmshDevice struct {
 	handle uint64
-	kind   string // "blk" or "console"
+	kind   string // "blk", "console" or "net"
 	base   mem.GPA
 	gsi    uint32
 	blk    BlockDev
 	tty    *TTY
+	iface  *Iface
 }
 
 // Boot constructs the guest: writes the kernel image (banner, symbol
@@ -203,6 +207,7 @@ func Boot(cfg Config) (*Kernel, error) {
 		irqHandlers: make(map[uint32]func()),
 		blockDevs:   make(map[string]BlockDev),
 		ttys:        make(map[string]*TTY),
+		ifaces:      make(map[string]*Iface),
 		kthreads:    make(map[uint64]*kthread),
 		nextThread:  1,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),

@@ -322,6 +322,19 @@ func (k *Kernel) registerVMSHDevice(desc DeviceDesc) (uint64, error) {
 		})
 		dev.kind, dev.tty = "console", tty
 		k.Printk("vmsh: virtio-console at %#x irq %d -> tty %s", desc.Base, desc.IRQ, tty.Name)
+	case virtio.DeviceIDNet:
+		drv, err := virtio.ProbeNet(env, desc.Base)
+		if err != nil {
+			return 0, fmt.Errorf("EIO: virtio-net probe at %#x: %w", desc.Base, err)
+		}
+		name := fmt.Sprintf("vmsh%d", countKind(k.vmshDevs, "net"))
+		ifc, err := k.RegisterIface(name, drv)
+		if err != nil {
+			return 0, fmt.Errorf("EIO: registering iface %s: %w", name, err)
+		}
+		k.RegisterIRQ(desc.IRQ, drv.HandleIRQ)
+		dev.kind, dev.iface = "net", ifc
+		k.Printk("vmsh: virtio-net device %s at %#x irq %d", name, desc.Base, desc.IRQ)
 	default:
 		return 0, fmt.Errorf("ENODEV: no virtio device at %#x (id %d)", desc.Base, id)
 	}
@@ -353,6 +366,10 @@ func (k *Kernel) unregisterVMSHDevice(handle uint64) error {
 			}
 			if d.tty != nil {
 				delete(k.ttys, d.tty.Name)
+			}
+			if d.iface != nil {
+				delete(k.ifaces, d.iface.Name)
+				_ = k.InitProc.Unlink("/dev/net/" + d.iface.Name)
 			}
 			return nil
 		}

@@ -1,0 +1,345 @@
+package guestos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"vmsh/internal/netsim"
+	"vmsh/internal/virtio"
+)
+
+// The guest network stack. It speaks a minimal L3 protocol directly
+// over Ethernet (EtherTypeVMSH): enough for address resolution, echo
+// (ping) and bulk streams (iperf), while keeping every packet
+// deterministic — no timers, no retransmission state machines.
+//
+// Packet layout after the 14-byte Ethernet header:
+//
+//	ver   u8  = 1
+//	proto u8  (echo request/reply, stream data, stat request/reply)
+//	src   [4]byte IPv4
+//	dst   [4]byte IPv4
+//	id    u16
+//	seq   u16
+//	plen  u16 payload length
+//	pad   u16
+//	payload...
+const (
+	netHdrVer  = 1
+	netHdrSize = 16
+
+	protoEchoReq   = 1
+	protoEchoReply = 2
+	protoStream    = 3
+	protoStatReq   = 4
+	protoStatReply = 5
+)
+
+// IP4 is an IPv4 address.
+type IP4 [4]byte
+
+// String implements fmt.Stringer.
+func (ip IP4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// ParseIP4 parses dotted-quad notation.
+func ParseIP4(s string) (IP4, error) {
+	var ip IP4
+	var a, b, c, d int
+	if n, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); n != 4 || err != nil {
+		return ip, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	for i, v := range []int{a, b, c, d} {
+		if v < 0 || v > 255 {
+			return ip, fmt.Errorf("bad IPv4 address %q", s)
+		}
+		ip[i] = byte(v)
+	}
+	return ip, nil
+}
+
+type netHdr struct {
+	Proto    byte
+	Src, Dst IP4
+	ID, Seq  uint16
+	Payload  []byte
+}
+
+func encodePacket(h netHdr) []byte {
+	b := make([]byte, netHdrSize+len(h.Payload))
+	b[0] = netHdrVer
+	b[1] = h.Proto
+	copy(b[2:6], h.Src[:])
+	copy(b[6:10], h.Dst[:])
+	binary.LittleEndian.PutUint16(b[10:], h.ID)
+	binary.LittleEndian.PutUint16(b[12:], h.Seq)
+	binary.LittleEndian.PutUint16(b[14:], uint16(len(h.Payload)))
+	copy(b[netHdrSize:], h.Payload)
+	return b
+}
+
+func decodePacket(b []byte) (netHdr, bool) {
+	if len(b) < netHdrSize || b[0] != netHdrVer {
+		return netHdr{}, false
+	}
+	h := netHdr{
+		Proto: b[1],
+		ID:    binary.LittleEndian.Uint16(b[10:]),
+		Seq:   binary.LittleEndian.Uint16(b[12:]),
+	}
+	copy(h.Src[:], b[2:6])
+	copy(h.Dst[:], b[6:10])
+	plen := int(binary.LittleEndian.Uint16(b[14:]))
+	if netHdrSize+plen > len(b) {
+		return netHdr{}, false
+	}
+	h.Payload = b[netHdrSize : netHdrSize+plen]
+	return h, true
+}
+
+// EchoResult is one received ping reply.
+type EchoResult struct {
+	Seq     uint16
+	Payload int // echoed payload bytes
+}
+
+// StreamStat is a receiver-side bulk stream accounting record.
+type StreamStat struct {
+	Frames int64
+	Bytes  int64
+}
+
+// Iface is one guest network interface: the netstack state sitting on
+// a virtio-net NIC, the guest analogue of a Linux netdev.
+type Iface struct {
+	k    *Kernel
+	Name string
+	NIC  *virtio.NetDriver
+	IP   IP4
+	MAC  [6]byte
+
+	// neighbors is the ARP-less resolution cache, learned from the
+	// source addresses of received packets.
+	neighbors map[IP4]netsim.MAC
+
+	// Because devices complete synchronously, an echo reply has
+	// already been handled when Ping's send returns; replies land
+	// here keyed by echo ID.
+	echoReplies map[uint16][]EchoResult
+
+	// Receiver-side stream accounting per source IP.
+	rxStreams map[IP4]*StreamStat
+	// statReplies holds answered stat requests keyed by request ID.
+	statReplies map[uint16]StreamStat
+
+	nextEchoID uint16
+	nextStatID uint16
+
+	TxPackets, RxPackets int64
+}
+
+// MaxPayload is the most stream payload one packet can carry inside a
+// default-MTU frame.
+const MaxPayload = netsim.DefaultMTU - netHdrSize
+
+// RegisterIface wires a probed virtio-net driver into the guest: the
+// netstack claims the NIC's receive path, the interface appears in
+// the kernel's table, and /dev/net/<name> is created — the guest-
+// visible plumbing a real kernel exposes through netdev registration.
+func (k *Kernel) RegisterIface(name string, nic *virtio.NetDriver) (*Iface, error) {
+	if _, exists := k.ifaces[name]; exists {
+		return nil, fmt.Errorf("EEXIST: iface %s already registered", name)
+	}
+	mac := nic.MAC()
+	ifc := &Iface{
+		k: k, Name: name, NIC: nic, MAC: mac,
+		// Deterministic addressing: the device MAC ends in the switch
+		// port number, which becomes the host part of 10.0.0.0/24.
+		IP:          IP4{10, 0, 0, mac[5]},
+		neighbors:   make(map[IP4]netsim.MAC),
+		echoReplies: make(map[uint16][]EchoResult),
+		rxStreams:   make(map[IP4]*StreamStat),
+		statReplies: make(map[uint16]StreamStat),
+	}
+	nic.OnReceive = ifc.handleFrame
+	k.ifaces[name] = ifc
+
+	if err := k.mkdirAll(k.rootNS, "/dev/net"); err != nil {
+		return nil, err
+	}
+	info := fmt.Sprintf("%s mac=%s ip=%s\n", name, netsim.MAC(mac), ifc.IP)
+	if err := k.InitProc.WriteFile("/dev/net/"+name, []byte(info), 0o600); err != nil {
+		return nil, err
+	}
+	k.Printk("vmsh-net: %s registered, HWaddr %s, inet %s", name, netsim.MAC(mac), ifc.IP)
+	return ifc, nil
+}
+
+// IfaceByName resolves a registered interface.
+func (k *Kernel) IfaceByName(name string) (*Iface, bool) {
+	i, ok := k.ifaces[name]
+	return i, ok
+}
+
+// Ifaces returns the interfaces in name order.
+func (k *Kernel) Ifaces() []*Iface {
+	names := make([]string, 0, len(k.ifaces))
+	for n := range k.ifaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Iface, len(names))
+	for i, n := range names {
+		out[i] = k.ifaces[n]
+	}
+	return out
+}
+
+// resolve maps a destination IP to a MAC, broadcasting when the
+// neighbor is unknown (the receiving stack filters on dst IP).
+func (i *Iface) resolve(ip IP4) netsim.MAC {
+	if mac, ok := i.neighbors[ip]; ok {
+		return mac
+	}
+	return netsim.Broadcast
+}
+
+// sendPacket charges the stack and transmits one packet through the NIC.
+func (i *Iface) sendPacket(h netHdr) error {
+	i.k.Clock().Advance(i.k.Costs().NetStackOp)
+	frame := netsim.BuildFrame(i.resolve(h.Dst), netsim.MAC(i.MAC), netsim.EtherTypeVMSH, encodePacket(h))
+	i.TxPackets++
+	return i.NIC.Send(frame)
+}
+
+// handleFrame is the NIC receive callback: the interrupt-context
+// half of the stack.
+func (i *Iface) handleFrame(frame []byte) {
+	dstMAC, srcMAC, etherType, payload, err := netsim.ParseFrame(frame)
+	if err != nil || etherType != netsim.EtherTypeVMSH {
+		return
+	}
+	if dstMAC != netsim.Broadcast && dstMAC != netsim.MAC(i.MAC) {
+		return // promiscuous switch flood for someone else
+	}
+	h, ok := decodePacket(payload)
+	if !ok || h.Dst != i.IP {
+		return
+	}
+	i.k.Clock().Advance(i.k.Costs().NetStackOp)
+	i.RxPackets++
+	i.neighbors[h.Src] = srcMAC
+
+	switch h.Proto {
+	case protoEchoReq:
+		_ = i.sendPacket(netHdr{
+			Proto: protoEchoReply, Src: i.IP, Dst: h.Src,
+			ID: h.ID, Seq: h.Seq, Payload: h.Payload,
+		})
+	case protoEchoReply:
+		i.echoReplies[h.ID] = append(i.echoReplies[h.ID],
+			EchoResult{Seq: h.Seq, Payload: len(h.Payload)})
+	case protoStream:
+		st := i.rxStreams[h.Src]
+		if st == nil {
+			st = &StreamStat{}
+			i.rxStreams[h.Src] = st
+		}
+		st.Frames++
+		st.Bytes += int64(len(h.Payload))
+	case protoStatReq:
+		var reply [16]byte
+		if st := i.rxStreams[h.Src]; st != nil {
+			binary.LittleEndian.PutUint64(reply[0:], uint64(st.Frames))
+			binary.LittleEndian.PutUint64(reply[8:], uint64(st.Bytes))
+		}
+		_ = i.sendPacket(netHdr{
+			Proto: protoStatReply, Src: i.IP, Dst: h.Src,
+			ID: h.ID, Payload: reply[:],
+		})
+	case protoStatReply:
+		if len(h.Payload) >= 16 {
+			i.statReplies[h.ID] = StreamStat{
+				Frames: int64(binary.LittleEndian.Uint64(h.Payload[0:])),
+				Bytes:  int64(binary.LittleEndian.Uint64(h.Payload[8:])),
+			}
+		}
+	}
+}
+
+// Ping sends one echo request with size payload bytes and reports the
+// reply, if any, plus the virtual-time round trip. Everything below
+// this call is synchronous, so the reply (or its loss) is settled by
+// the time the send returns.
+func (i *Iface) Ping(dst IP4, seq uint16, size int) (EchoResult, bool, error) {
+	if size > MaxPayload {
+		size = MaxPayload
+	}
+	id := i.nextEchoID
+	i.nextEchoID++
+	payload := make([]byte, size)
+	for j := range payload {
+		payload[j] = byte(seq + uint16(j))
+	}
+	err := i.sendPacket(netHdr{
+		Proto: protoEchoReq, Src: i.IP, Dst: dst,
+		ID: id, Seq: seq, Payload: payload,
+	})
+	if err != nil {
+		return EchoResult{}, false, err
+	}
+	replies := i.echoReplies[id]
+	delete(i.echoReplies, id)
+	if len(replies) == 0 {
+		return EchoResult{}, false, nil // lost on the simulated link
+	}
+	return replies[0], true, nil
+}
+
+// Stream pushes total bytes toward dst in MaxPayload-sized packets
+// and returns the number of packets sent.
+func (i *Iface) Stream(dst IP4, total int64) (int64, error) {
+	var sent int64
+	var seq uint16
+	for remaining := total; remaining > 0; {
+		n := int64(MaxPayload)
+		if n > remaining {
+			n = remaining
+		}
+		err := i.sendPacket(netHdr{
+			Proto: protoStream, Src: i.IP, Dst: dst,
+			Seq: seq, Payload: make([]byte, n),
+		})
+		if err != nil {
+			return sent, err
+		}
+		seq++
+		sent++
+		remaining -= n
+	}
+	return sent, nil
+}
+
+// QueryPeerStats asks dst how much stream data it has received from
+// us. Returns false if the request or reply was lost.
+func (i *Iface) QueryPeerStats(dst IP4) (StreamStat, bool, error) {
+	id := i.nextStatID
+	i.nextStatID++
+	err := i.sendPacket(netHdr{Proto: protoStatReq, Src: i.IP, Dst: dst, ID: id})
+	if err != nil {
+		return StreamStat{}, false, err
+	}
+	st, ok := i.statReplies[id]
+	delete(i.statReplies, id)
+	return st, ok, nil
+}
+
+// RxStream exposes receiver-side accounting for a peer (eval support).
+func (i *Iface) RxStream(src IP4) StreamStat {
+	if st := i.rxStreams[src]; st != nil {
+		return *st
+	}
+	return StreamStat{}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"vmsh/internal/netsim"
 )
 
 // Prompt is what the shell prints when ready for input; the host side
@@ -51,6 +53,9 @@ var shellBuiltins = map[string]func(*Shell, []string) string{
 	"sha256sum": (*Shell).cmdSha256,
 	"chpasswd":  (*Shell).cmdChpasswd,
 	"apk-list":  (*Shell).cmdApkList,
+	"ifconfig":  (*Shell).cmdIfconfig,
+	"ping":      (*Shell).cmdPing,
+	"iperf":     (*Shell).cmdIperf,
 }
 
 // Exec runs one command line and writes output plus the next prompt.
@@ -313,6 +318,114 @@ func (s *Shell) cmdChpasswd(args []string) string {
 		return "chpasswd: " + err.Error()
 	}
 	return fmt.Sprintf("chpasswd: password for %s updated", user)
+}
+
+// cmdIfconfig lists the registered network interfaces.
+func (s *Shell) cmdIfconfig(args []string) string {
+	ifaces := s.k.Ifaces()
+	if len(ifaces) == 0 {
+		return "ifconfig: no interfaces"
+	}
+	var rows []string
+	for _, i := range ifaces {
+		rows = append(rows, fmt.Sprintf("%s: HWaddr %s inet %s", i.Name, netsim.MAC(i.MAC), i.IP))
+		rows = append(rows, fmt.Sprintf("    TX packets %d  RX packets %d", i.TxPackets, i.RxPackets))
+	}
+	return strings.Join(rows, "\n")
+}
+
+// netIface picks the interface the network builtins operate on.
+func (s *Shell) netIface() (*Iface, string) {
+	ifaces := s.k.Ifaces()
+	if len(ifaces) == 0 {
+		return nil, "no network interface (is a VMSH net device attached?)"
+	}
+	return ifaces[0], ""
+}
+
+// cmdPing sends ICMP-style echo requests over the VMSH net device and
+// reports virtual-clock round trips.
+func (s *Shell) cmdPing(args []string) string {
+	if len(args) < 1 {
+		return "usage: ping <ip> [count]"
+	}
+	ifc, errmsg := s.netIface()
+	if errmsg != "" {
+		return "ping: " + errmsg
+	}
+	dst, err := ParseIP4(args[0])
+	if err != nil {
+		return "ping: " + err.Error()
+	}
+	count := 3
+	if len(args) > 1 {
+		if _, err := fmt.Sscanf(args[1], "%d", &count); err != nil || count < 1 {
+			return "ping: bad count " + args[1]
+		}
+	}
+	const size = 56
+	var rows []string
+	rows = append(rows, fmt.Sprintf("PING %s: %d data bytes", dst, size))
+	received := 0
+	for seq := 0; seq < count; seq++ {
+		start := s.k.Clock().Now()
+		res, ok, err := ifc.Ping(dst, uint16(seq), size)
+		if err != nil {
+			return "ping: " + err.Error()
+		}
+		rtt := s.k.Clock().Since(start)
+		if !ok {
+			rows = append(rows, fmt.Sprintf("seq=%d timeout", seq))
+			continue
+		}
+		received++
+		rows = append(rows, fmt.Sprintf("%d bytes from %s: seq=%d time=%v", res.Payload, dst, res.Seq, rtt))
+	}
+	rows = append(rows, fmt.Sprintf("%d packets transmitted, %d received, %d%% packet loss",
+		count, received, (count-received)*100/count))
+	return strings.Join(rows, "\n")
+}
+
+// cmdIperf streams bulk data to a peer and reports the throughput the
+// receiver acknowledged, all in virtual time.
+func (s *Shell) cmdIperf(args []string) string {
+	if len(args) < 1 {
+		return "usage: iperf <ip> [megabytes]"
+	}
+	ifc, errmsg := s.netIface()
+	if errmsg != "" {
+		return "iperf: " + errmsg
+	}
+	dst, err := ParseIP4(args[0])
+	if err != nil {
+		return "iperf: " + err.Error()
+	}
+	mb := 4
+	if len(args) > 1 {
+		if _, err := fmt.Sscanf(args[1], "%d", &mb); err != nil || mb < 1 {
+			return "iperf: bad size " + args[1]
+		}
+	}
+	total := int64(mb) << 20
+	start := s.k.Clock().Now()
+	sent, err := ifc.Stream(dst, total)
+	if err != nil {
+		return "iperf: " + err.Error()
+	}
+	elapsed := s.k.Clock().Since(start)
+	st, ok, err := ifc.QueryPeerStats(dst)
+	if err != nil {
+		return "iperf: " + err.Error()
+	}
+	if !ok {
+		return "iperf: peer did not answer stat request"
+	}
+	mbps := 0.0
+	if elapsed > 0 {
+		mbps = float64(st.Bytes) / elapsed.Seconds() / 1e6
+	}
+	return fmt.Sprintf("sent %d packets (%d bytes), received %d bytes in %v = %.1f MB/s",
+		sent, total, st.Bytes, elapsed, mbps)
 }
 
 // cmdApkList prints installed packages from <root>/lib/apk/db — the

@@ -102,6 +102,7 @@ type Host struct {
 func NewHost() *Host {
 	clock := vclock.New()
 	costs := vclock.Default()
+	costs.MustValidate()
 	return &Host{
 		Clock:     clock,
 		Costs:     costs,

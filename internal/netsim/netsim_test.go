@@ -1,0 +1,244 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"vmsh/internal/vclock"
+)
+
+func newSwitch() *Switch {
+	return New(vclock.New(), vclock.Default())
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	src := MAC{0x52, 0x56, 0x4d, 0, 0, 1}
+	dst := MAC{0x52, 0x56, 0x4d, 0, 0, 2}
+	payload := []byte("hello over the wire")
+	f := BuildFrame(dst, src, EtherTypeVMSH, payload)
+	if len(f) != HeaderSize+len(payload) {
+		t.Fatalf("frame length %d, want %d", len(f), HeaderSize+len(payload))
+	}
+	d, s, et, p, err := ParseFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != dst || s != src || et != EtherTypeVMSH || !bytes.Equal(p, payload) {
+		t.Fatalf("round trip mismatch: %v %v %04x %q", d, s, et, p)
+	}
+	if _, _, _, _, err := ParseFrame(f[:10]); err == nil {
+		t.Fatal("runt frame parsed without error")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x52, 0x56, 0x4d, 0x00, 0x00, 0x01}
+	if got := m.String(); got != "52:56:4d:00:00:01" {
+		t.Fatalf("MAC string %q", got)
+	}
+}
+
+// TestLearningAndFlooding checks the FDB behaviour: the first unicast
+// to an unknown MAC floods, replies teach the switch, and subsequent
+// traffic is unicast.
+func TestLearningAndFlooding(t *testing.T) {
+	sw := newSwitch()
+	var got [3][][]byte
+	ports := make([]*Port, 3)
+	for i := range ports {
+		i := i
+		ports[i] = sw.NewPort("vm", LinkParams{})
+		ports[i].Deliver = func(f []byte) { got[i] = append(got[i], append([]byte(nil), f...)) }
+	}
+
+	a, b := ports[0].MAC(), ports[1].MAC()
+
+	// a -> b while b is unknown: flood to ports 1 and 2.
+	sw.Send(ports[0], BuildFrame(b, a, EtherTypeVMSH, []byte("x")))
+	if len(got[1]) != 1 || len(got[2]) != 1 || len(got[0]) != 0 {
+		t.Fatalf("unknown unicast should flood: %d %d %d", len(got[0]), len(got[1]), len(got[2]))
+	}
+	if sw.Stats().Flooded != 1 {
+		t.Fatalf("flooded = %d, want 1", sw.Stats().Flooded)
+	}
+
+	// b -> a: a was learned from the first frame, unicast to port 0 only.
+	sw.Send(ports[1], BuildFrame(a, b, EtherTypeVMSH, []byte("y")))
+	if len(got[0]) != 1 || len(got[2]) != 1 {
+		t.Fatalf("reply should unicast to port 0 only: %d %d", len(got[0]), len(got[2]))
+	}
+	if sw.Stats().Forwarded != 1 {
+		t.Fatalf("forwarded = %d, want 1", sw.Stats().Forwarded)
+	}
+
+	// a -> b again: b is now learned too.
+	sw.Send(ports[0], BuildFrame(b, a, EtherTypeVMSH, []byte("z")))
+	if len(got[1]) != 2 || len(got[2]) != 1 {
+		t.Fatalf("learned unicast leaked: %d %d", len(got[1]), len(got[2]))
+	}
+
+	// Broadcast floods everyone but the sender.
+	sw.Send(ports[0], BuildFrame(Broadcast, a, EtherTypeVMSH, nil))
+	if len(got[0]) != 1 || len(got[1]) != 3 || len(got[2]) != 2 {
+		t.Fatalf("broadcast delivery: %d %d %d", len(got[0]), len(got[1]), len(got[2]))
+	}
+}
+
+// TestLinkCostCharging checks that the clock advances by the modelled
+// ingress + switch + egress time for a unicast frame.
+func TestLinkCostCharging(t *testing.T) {
+	clock := vclock.New()
+	costs := vclock.Default()
+	sw := New(clock, costs)
+	p0 := sw.NewPort("a", LinkParams{})
+	p1 := sw.NewPort("b", LinkParams{})
+	p1.Deliver = func([]byte) {}
+	// Teach the switch b's MAC so the frame unicasts.
+	p0.Deliver = func([]byte) {}
+	sw.Send(p1, BuildFrame(p0.MAC(), p1.MAC(), EtherTypeVMSH, nil))
+
+	start := clock.Now()
+	frame := BuildFrame(p1.MAC(), p0.MAC(), EtherTypeVMSH, make([]byte, 1000))
+	sw.Send(p0, frame)
+	elapsed := clock.Since(start)
+
+	wire := costs.NetLinkLat + vclock.Copy(len(frame), costs.NetLinkBW)
+	want := 2*wire + costs.NetSwitchHop // ingress + egress + lookup
+	if elapsed != want {
+		t.Fatalf("unicast charged %v, want %v", elapsed, want)
+	}
+}
+
+// TestLinkParamOverrides checks per-port bandwidth/latency overrides.
+func TestLinkParamOverrides(t *testing.T) {
+	clock := vclock.New()
+	costs := vclock.Default()
+	sw := New(clock, costs)
+	slow := LinkParams{BandwidthBps: 1e6, Latency: 3 * time.Millisecond}
+	p0 := sw.NewPort("slow", slow)
+	p1 := sw.NewPort("fast", LinkParams{})
+	p1.Deliver = func([]byte) {}
+
+	start := clock.Now()
+	frame := BuildFrame(Broadcast, p0.MAC(), EtherTypeVMSH, make([]byte, 100))
+	sw.Send(p0, frame)
+	elapsed := clock.Since(start)
+
+	ingress := slow.Latency + vclock.Copy(len(frame), slow.BandwidthBps)
+	egress := costs.NetLinkLat + vclock.Copy(len(frame), costs.NetLinkBW)
+	want := ingress + costs.NetSwitchHop + egress
+	if elapsed != want {
+		t.Fatalf("override charged %v, want %v", elapsed, want)
+	}
+}
+
+// TestDropNth checks the deterministic drop pattern: every Nth egress
+// frame on the link is lost, independent of payload.
+func TestDropNth(t *testing.T) {
+	sw := newSwitch()
+	p0 := sw.NewPort("tx", LinkParams{})
+	p1 := sw.NewPort("rx", LinkParams{DropNth: 3})
+	var delivered int
+	p1.Deliver = func([]byte) { delivered++ }
+
+	for i := 0; i < 9; i++ {
+		sw.Send(p0, BuildFrame(Broadcast, p0.MAC(), EtherTypeVMSH, nil))
+	}
+	if delivered != 6 {
+		t.Fatalf("delivered %d of 9 with DropNth=3, want 6", delivered)
+	}
+	if p1.Stats().DropsLink != 3 {
+		t.Fatalf("DropsLink = %d, want 3", p1.Stats().DropsLink)
+	}
+	if sw.Stats().Dropped != 3 {
+		t.Fatalf("switch Dropped = %d, want 3", sw.Stats().Dropped)
+	}
+}
+
+func TestOversizeAndNoSink(t *testing.T) {
+	sw := newSwitch()
+	p0 := sw.NewPort("tx", LinkParams{MTU: 64})
+	p1 := sw.NewPort("rx", LinkParams{}) // Deliver never set
+
+	sw.Send(p0, BuildFrame(Broadcast, p0.MAC(), EtherTypeVMSH, make([]byte, 65)))
+	if p0.Stats().DropsOversize != 1 {
+		t.Fatalf("DropsOversize = %d, want 1", p0.Stats().DropsOversize)
+	}
+	if p0.Stats().TxFrames != 0 {
+		t.Fatal("oversize frame still counted as transmitted")
+	}
+
+	sw.Send(p0, BuildFrame(Broadcast, p0.MAC(), EtherTypeVMSH, make([]byte, 64)))
+	if p1.Stats().DropsNoSink != 1 {
+		t.Fatalf("DropsNoSink = %d, want 1", p1.Stats().DropsNoSink)
+	}
+	if sw.Stats().Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", sw.Stats().Dropped)
+	}
+}
+
+// TestDeterminism runs the same traffic twice on fresh switches and
+// demands identical clocks and counters.
+func TestDeterminism(t *testing.T) {
+	run := func() (time.Duration, SwitchStats, []PortStats) {
+		clock := vclock.New()
+		sw := New(clock, vclock.Default())
+		ports := make([]*Port, 4)
+		for i := range ports {
+			lp := LinkParams{}
+			if i == 2 {
+				lp.DropNth = 5
+			}
+			ports[i] = sw.NewPort("vm", lp)
+			p := ports[i]
+			ports[i].Deliver = func(f []byte) {
+				// Reflect unicast traffic back at the sender, like a
+				// ping responder — exercises learning + nested Send.
+				dst, src, et, pl, _ := ParseFrame(f)
+				if dst != Broadcast && len(pl) > 0 && pl[0] == 'q' {
+					reply := append([]byte{'r'}, pl[1:]...)
+					sw.Send(p, BuildFrame(src, dst, et, reply))
+				}
+			}
+		}
+		for i := 0; i < 40; i++ {
+			from := ports[i%4]
+			to := ports[(i+1)%4]
+			sw.Send(from, BuildFrame(to.MAC(), from.MAC(), EtherTypeVMSH, []byte{'q', byte(i)}))
+		}
+		var ps []PortStats
+		for _, p := range ports {
+			ps = append(ps, p.Stats())
+		}
+		return clock.Now(), sw.Stats(), ps
+	}
+
+	t1, s1, p1 := run()
+	t2, s2, p2 := run()
+	if t1 != t2 {
+		t.Fatalf("clocks diverged: %v vs %v", t1, t2)
+	}
+	if s1 != s2 {
+		t.Fatalf("switch stats diverged: %+v vs %+v", s1, s2)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("port %d stats diverged: %+v vs %+v", i, p1[i], p2[i])
+		}
+	}
+	if t1 == 0 {
+		t.Fatal("no virtual time charged at all")
+	}
+}
+
+func TestInvalidCostModelRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a cost model with zero link bandwidth")
+		}
+	}()
+	bad := vclock.Default()
+	bad.NetLinkBW = 0
+	New(vclock.New(), bad)
+}

@@ -11,6 +11,7 @@ package vclock
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 	"time"
 )
@@ -108,12 +109,19 @@ type Costs struct {
 	NetRTT     time.Duration // loopback TCP round trip (ssh baseline)
 	SSHCrypto  time.Duration // per-keystroke encrypt/decrypt + MAC
 	SchedWake  time.Duration // wake a blocked host process (epoll etc.)
+
+	// Simulated inter-VM network (internal/netsim). Per-link values
+	// are defaults; a netsim.LinkParams can override them per port.
+	NetSwitchHop time.Duration // L2 switch lookup + forward, per frame
+	NetLinkLat   time.Duration // one-way link propagation latency
+	NetLinkBW    float64       // link serialisation bandwidth, bytes/sec
+	NetStackOp   time.Duration // guest network stack handling, per packet
 }
 
 // Default returns the calibrated cost model. Tests that need a
 // different trade-off copy and mutate the struct.
 func Default() *Costs {
-	return &Costs{
+	c := &Costs{
 		VMExit:        1200 * time.Nanosecond,
 		ContextSwitch: 1800 * time.Nanosecond,
 		Syscall:       500 * time.Nanosecond,
@@ -145,6 +153,51 @@ func Default() *Costs {
 		NetRTT:     90 * time.Microsecond,
 		SSHCrypto:  55 * time.Microsecond,
 		SchedWake:  260 * time.Microsecond,
+
+		NetSwitchHop: 2 * time.Microsecond,
+		NetLinkLat:   25 * time.Microsecond,
+		NetLinkBW:    1.25e9, // 10 GbE
+		NetStackOp:   4 * time.Microsecond,
+	}
+	if err := c.Validate(); err != nil {
+		panic("vclock: invalid default cost model: " + err.Error())
+	}
+	return c
+}
+
+// Validate checks every per-event cost and bandwidth for a zero or
+// negative value — a silent ratio-killer: a zero VMExit (say) makes
+// every benchmark comparison in EXPERIMENTS.md meaningless while all
+// tests still pass. Constructors of clock-charging subsystems
+// (hostsim.NewHost, netsim.New) call this and refuse broken models.
+func (c *Costs) Validate() error {
+	v := reflect.ValueOf(*c)
+	t := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := t.Field(i).Name
+		switch f.Kind() {
+		case reflect.Int64: // time.Duration
+			if f.Int() <= 0 {
+				return fmt.Errorf("vclock: cost %s = %v must be positive", name, f.Interface())
+			}
+		case reflect.Float64: // bandwidth
+			if f.Float() <= 0 {
+				return fmt.Errorf("vclock: bandwidth %s = %v must be positive", name, f.Float())
+			}
+		case reflect.Int: // counts (segment size, queue depth)
+			if f.Int() <= 0 {
+				return fmt.Errorf("vclock: parameter %s = %d must be positive", name, f.Int())
+			}
+		}
+	}
+	return nil
+}
+
+// MustValidate panics on an invalid cost model.
+func (c *Costs) MustValidate() {
+	if err := c.Validate(); err != nil {
+		panic(err.Error())
 	}
 }
 

@@ -1,6 +1,8 @@
 package vclock
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -114,4 +116,68 @@ func TestDefaultCostsSane(t *testing.T) {
 	if c.ProcessVMBW >= c.MemcpyBW {
 		t.Fatal("cross-address-space copy must be slower than memcpy")
 	}
+}
+
+func TestValidateAcceptsDefault(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsZeroDuration(t *testing.T) {
+	c := Default()
+	c.NetSwitchHop = 0
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("zero NetSwitchHop accepted")
+	}
+	if !strings.Contains(err.Error(), "NetSwitchHop") {
+		t.Fatalf("error does not name the field: %v", err)
+	}
+}
+
+func TestValidateRejectsNegativeBandwidth(t *testing.T) {
+	c := Default()
+	c.NetLinkBW = -1
+	if c.Validate() == nil {
+		t.Fatal("negative NetLinkBW accepted")
+	}
+}
+
+func TestValidateRejectsZeroCount(t *testing.T) {
+	c := Default()
+	c.NVMeQueueMax = 0
+	if c.Validate() == nil {
+		t.Fatal("zero NVMeQueueMax accepted")
+	}
+}
+
+func TestValidateCoversEveryNumericField(t *testing.T) {
+	// Zeroing any single numeric field must be caught — guards against
+	// new cost constants being added without validation coverage.
+	proto := reflect.ValueOf(*Default())
+	for i := 0; i < proto.NumField(); i++ {
+		f := proto.Type().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Int64, reflect.Float64, reflect.Int:
+		default:
+			continue
+		}
+		c := Default()
+		reflect.ValueOf(c).Elem().Field(i).SetZero()
+		if c.Validate() == nil {
+			t.Fatalf("zero %s accepted", f.Name)
+		}
+	}
+}
+
+func TestMustValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustValidate did not panic")
+		}
+	}()
+	c := Default()
+	c.VMExit = -time.Microsecond
+	c.MustValidate()
 }

@@ -39,6 +39,7 @@ const MagicValue = 0x74726976
 
 // Device IDs.
 const (
+	DeviceIDNet     = 1
 	DeviceIDBlock   = 2
 	DeviceIDConsole = 3
 )
@@ -58,6 +59,12 @@ const (
 	BlkFFlush  = 1 << 9
 	// BlkFFUA would be 1 << 13; deliberately not offered — see
 	// blockdev.Device.SupportsFUA.
+)
+
+// Net device feature bits (subset).
+const (
+	// NetFMac: the device exposes its MAC address in config space.
+	NetFMac = 1 << 5
 )
 
 // MMIOSize is the register window size per device.

@@ -1,0 +1,130 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vmsh/internal/guestos"
+	"vmsh/internal/vclock"
+)
+
+// NetSpec describes one seeded traffic-generation run between two
+// guest interfaces: a mix of echo round trips (latency probes) and
+// bulk stream chunks (throughput), interleaved by a seeded PRNG so the
+// same spec always produces the same packet sequence.
+type NetSpec struct {
+	Name        string
+	Seed        int64
+	Pings       int   // echo round trips to issue
+	StreamBytes int64 // bulk payload to push a -> b
+	MinPayload  int   // echo payload bounds
+	MaxPayload  int
+}
+
+// StandardNetSpec is the E7 traffic mix.
+func StandardNetSpec(seed int64) NetSpec {
+	return NetSpec{
+		Name: "e7-mix", Seed: seed,
+		Pings: 64, StreamBytes: 8 << 20,
+		MinPayload: 16, MaxPayload: 1024,
+	}
+}
+
+// NetResult is one run's outcome in virtual time.
+type NetResult struct {
+	Spec      NetSpec
+	PingsSent int
+	PingsLost int
+	RTTMin    time.Duration
+	RTTMean   time.Duration
+	RTTMax    time.Duration
+	// Stream accounting: what a pushed vs. what b's receiver absorbed
+	// (they differ on lossy links); MBps is goodput over the virtual
+	// time the stream phase consumed.
+	StreamSentFrames int64
+	StreamRecvFrames int64
+	StreamRecvBytes  int64
+	StreamElapsed    time.Duration
+	MBps             float64
+}
+
+func (r NetResult) String() string {
+	return fmt.Sprintf("%-12s %6.1f MB/s  rtt %v/%v/%v  loss %d/%d",
+		r.Spec.Name, r.MBps, r.RTTMin, r.RTTMean, r.RTTMax, r.PingsLost, r.PingsSent)
+}
+
+const netStreamChunk = 256 << 10
+
+// NetTraffic drives the spec's traffic between a and b and measures in
+// virtual time. Pings alternate direction pseudo-randomly; the stream
+// always flows a -> b so receiver accounting stays on one side.
+func NetTraffic(clock *vclock.Clock, a, b *guestos.Iface, spec NetSpec) (NetResult, error) {
+	rnd := rand.New(rand.NewSource(spec.Seed))
+	res := NetResult{Spec: spec, RTTMin: time.Duration(1<<63 - 1)}
+
+	var rttSum time.Duration
+	var streamed int64
+	pings := 0
+	seq := uint16(0)
+	for pings < spec.Pings || streamed < spec.StreamBytes {
+		doPing := pings < spec.Pings &&
+			(streamed >= spec.StreamBytes || rnd.Intn(2) == 0)
+		if doPing {
+			src, dst := a, b
+			if rnd.Intn(2) == 1 {
+				src, dst = b, a
+			}
+			size := spec.MinPayload
+			if spec.MaxPayload > spec.MinPayload {
+				size += rnd.Intn(spec.MaxPayload - spec.MinPayload + 1)
+			}
+			start := clock.Now()
+			_, ok, err := src.Ping(dst.IP, seq, size)
+			if err != nil {
+				return res, err
+			}
+			rtt := clock.Since(start)
+			res.PingsSent++
+			if !ok {
+				res.PingsLost++
+			} else {
+				rttSum += rtt
+				if rtt < res.RTTMin {
+					res.RTTMin = rtt
+				}
+				if rtt > res.RTTMax {
+					res.RTTMax = rtt
+				}
+			}
+			pings++
+			seq++
+			continue
+		}
+		chunk := int64(netStreamChunk)
+		if rest := spec.StreamBytes - streamed; rest < chunk {
+			chunk = rest
+		}
+		before := b.RxStream(a.IP)
+		start := clock.Now()
+		sent, err := a.Stream(b.IP, chunk)
+		if err != nil {
+			return res, err
+		}
+		after := b.RxStream(a.IP)
+		res.StreamElapsed += clock.Since(start)
+		res.StreamSentFrames += sent
+		res.StreamRecvFrames += after.Frames - before.Frames
+		res.StreamRecvBytes += after.Bytes - before.Bytes
+		streamed += chunk
+	}
+	if answered := res.PingsSent - res.PingsLost; answered > 0 {
+		res.RTTMean = rttSum / time.Duration(answered)
+	} else {
+		res.RTTMin = 0
+	}
+	if sec := res.StreamElapsed.Seconds(); sec > 0 {
+		res.MBps = float64(res.StreamRecvBytes) / 1e6 / sec
+	}
+	return res, nil
+}

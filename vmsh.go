@@ -30,6 +30,7 @@ import (
 	"vmsh/internal/guestos"
 	"vmsh/internal/hostsim"
 	"vmsh/internal/hypervisor"
+	"vmsh/internal/netsim"
 	"vmsh/internal/vclock"
 )
 
@@ -67,6 +68,11 @@ type (
 	// ContainerSpec describes a containerised guest workload (for
 	// container-context attach via AttachOptions.ContainerPID).
 	ContainerSpec = guestos.ContainerSpec
+	// Switch is a deterministic inter-VM L2 switch; sessions attached
+	// with AttachOptions.Net get a vmsh-net device cabled into it.
+	Switch = netsim.Switch
+	// LinkParams overrides one port's bandwidth/latency/loss model.
+	LinkParams = netsim.LinkParams
 )
 
 // ToolImage returns the standard debugging/administration image
@@ -91,6 +97,11 @@ func (l *Lab) Clock() *vclock.Clock { return l.Host.Clock }
 
 // Costs exposes the tunable cost model.
 func (l *Lab) Costs() *vclock.Costs { return l.Host.Costs }
+
+// NewSwitch creates an inter-VM packet switch charged to this lab's
+// clock and cost model. Pass it via AttachOptions.Net to give each
+// attached guest a vmsh-net interface on a shared segment.
+func (l *Lab) NewSwitch() *Switch { return netsim.New(l.Host.Clock, l.Host.Costs) }
 
 // Machine architectures.
 const (
@@ -175,6 +186,12 @@ type AttachOptions struct {
 	// PCITransport uses MSI-routed interrupts (the virtio-over-PCI
 	// extension) — required for Cloud Hypervisor.
 	PCITransport bool
+	// Net cables the session's vmsh-net device into a shared switch
+	// (Lab.NewSwitch); nil leaves the guest without networking.
+	Net *Switch
+	// NetLink overrides the switch port's link model (zero values
+	// fall back to the cost-model defaults).
+	NetLink LinkParams
 }
 
 func (o AttachOptions) toCore() core.Options {
@@ -184,6 +201,8 @@ func (o AttachOptions) toCore() core.Options {
 		ContainerPID: o.ContainerPID,
 		NoShell:      o.NoShell,
 		PCITransport: o.PCITransport,
+		Net:          o.Net,
+		NetLink:      o.NetLink,
 	}
 }
 
