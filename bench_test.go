@@ -120,6 +120,23 @@ func BenchmarkE5Fio(b *testing.B) {
 	}
 }
 
+// BenchmarkE5FastPath — the batched fast path vs the legacy per-chain
+// service on the Figure 6 jobs: crossing/interrupt reduction ratios
+// and virtual-time totals for both modes.
+func BenchmarkE5FastPath(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, modes, err := eval.RunFioFastPath()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fast, legacy := modes[0], modes[1]
+		b.ReportMetric(float64(legacy.ProcVMCalls)/float64(fast.ProcVMCalls), "procvm-reduction-x")
+		b.ReportMetric(float64(legacy.Interrupts)/float64(fast.Interrupts), "irq-reduction-x")
+		b.ReportMetric(fast.VirtualTime.Seconds()*1000, "fast-vtime-ms")
+		b.ReportMetric(legacy.VirtualTime.Seconds()*1000, "legacy-vtime-ms")
+	}
+}
+
 // BenchmarkE6Console — Figure 7: echo round-trip latency.
 func BenchmarkE6Console(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -9,9 +9,16 @@
 //	E6  console latency              (Figure 7)
 //	E7  image de-bloating            (Figure 8)
 //	E7n virtio-net sweep             (network)
+//
+// E4, E5 and E7n additionally print a fast-path-vs-legacy comparison:
+// the same workload with the batched virtqueue service on and off.
+//
+// With -json PATH the structured rows (plus the E5 syscall/interrupt
+// counters) are also written as a machine-readable document.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +28,17 @@ import (
 	"vmsh/internal/eval"
 )
 
+// benchDoc is the -json output: every table produced by the selected
+// experiments, plus the per-mode counters behind the E5 fast-path
+// comparison (process_vm calls, interrupts, bytes, virtual time).
+type benchDoc struct {
+	Tables   []*eval.Table       `json:"tables"`
+	FastPath []eval.FastPathMode `json:"fast_path,omitempty"`
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n); empty = all")
+	jsonPath := flag.String("json", "", "also write results as JSON to this path")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -37,13 +53,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	var doc benchDoc
+	emit := func(t *eval.Table) {
+		doc.Tables = append(doc.Tables, t)
+		fmt.Print(t.Format())
+		fmt.Println()
+	}
+
 	if sel("e1") {
 		res, err := eval.RunXfstests()
 		if err != nil {
 			fail("E1", err)
 		}
-		fmt.Print(eval.XfstestsTable(res).Format())
-		fmt.Println()
+		emit(eval.XfstestsTable(res))
 	}
 
 	if sel("e2") || sel("e3") {
@@ -54,14 +76,13 @@ func main() {
 		if sel("e3") {
 			kern = eval.RunKernelMatrix()
 		}
-		fmt.Print(eval.GeneralityTable(hv, kern).Format())
+		emit(eval.GeneralityTable(hv, kern))
 		if sel("e2") {
 			extTable := eval.GeneralityTable(eval.RunExtensionMatrix(), nil)
 			extTable.ID = "Extensions"
 			extTable.Title = "paper future work, implemented"
-			fmt.Print(extTable.Format())
+			emit(extTable)
 		}
-		fmt.Println()
 	}
 
 	if sel("e4") {
@@ -69,8 +90,12 @@ func main() {
 		if err != nil {
 			fail("E4", err)
 		}
-		fmt.Print(eval.PhoronixTable(rows).Format())
-		fmt.Println()
+		emit(eval.PhoronixTable(rows))
+		cmp, err := eval.RunPhoronixCompare()
+		if err != nil {
+			fail("E4", err)
+		}
+		emit(cmp)
 	}
 
 	if sel("e5") {
@@ -83,10 +108,14 @@ func main() {
 			fail("E5", err)
 		}
 		thr, iops := eval.FioTables(direct, file)
-		fmt.Print(thr.Format())
-		fmt.Println()
-		fmt.Print(iops.Format())
-		fmt.Println()
+		emit(thr)
+		emit(iops)
+		fp, modes, err := eval.RunFioFastPath()
+		if err != nil {
+			fail("E5", err)
+		}
+		emit(fp)
+		doc.FastPath = modes
 	}
 
 	if sel("e6") {
@@ -94,8 +123,7 @@ func main() {
 		if err != nil {
 			fail("E6", err)
 		}
-		fmt.Print(eval.ConsoleTable(lat).Format())
-		fmt.Println()
+		emit(eval.ConsoleTable(lat))
 	}
 
 	if sel("e7") {
@@ -113,6 +141,23 @@ func main() {
 		if err != nil {
 			fail("E7n", err)
 		}
-		fmt.Print(tbl.Format())
+		emit(tbl)
+		cmp, err := eval.RunNetworkCompare(42)
+		if err != nil {
+			fail("E7n", err)
+		}
+		emit(cmp)
+	}
+
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(&doc, "", "  ")
+		if err != nil {
+			fail("json", err)
+		}
+		b = append(b, '\n')
+		if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			fail("json", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }

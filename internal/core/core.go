@@ -122,6 +122,12 @@ type Options struct {
 	// NetLink sets the per-link parameters of this VM's switch port
 	// (zero values fall back to the host cost model).
 	NetLink netsim.LinkParams
+	// LegacyVirtio disables the batched guest-memory fast path for the
+	// hosted devices: per-field process_vm crossings, one interrupt
+	// per chain — reproducing the pre-fast-path timing exactly. The
+	// paper-reproduction experiments pin this on so Figures 5/6 keep
+	// their measured shape; everything else gets the fast path.
+	LegacyVirtio bool
 }
 
 // VMSH is one instance of the host-side tool.
@@ -207,7 +213,7 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("vmsh: eBPF probe saw no memslots")
 	}
-	pm := &procMem{host: h, self: v.Proc, pid: pid, slots: slots}
+	pm := newProcMem(h, v.Proc, pid, slots)
 
 	// --- 4. page-table root + kernel discovery ----------------------
 	// The target's architecture selects the sregs layout (CR3 vs

@@ -231,11 +231,14 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 	// Device instances, running in the VMSH process over the
 	// process_vm view of guest memory.
 	backend := &mmapBackend{f: image, host: h, resident: make(map[int64]bool), bounce: opts.BounceCopy}
+	batch := !opts.LegacyVirtio
 	s.blk = virtio.NewBlkDevice(vmshBlkBase, s.pm, backend, h.Clock, h.Costs)
+	s.blk.Batch = batch
 	s.blk.SignalIRQ = func() {
 		_, _ = s.v.Proc.Syscall(hostsim.SysWrite, uint64(s.blkEvFD), s.sigHVA, 8)
 	}
 	s.cons = virtio.NewConsoleDevice(vmshConsBase, s.pm)
+	s.cons.Batch = batch
 	s.cons.Output = func(b []byte) {
 		// Guest output wakes the blocked VMSH console reader.
 		h.Clock.Advance(h.Costs.SchedWake)
@@ -252,6 +255,7 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 		port := opts.Net.NewPort(fmt.Sprintf("vmsh-pid%d", pid), opts.NetLink)
 		s.netPort = port
 		s.net = virtio.NewNetDevice(vmshNetBase, [6]byte(port.MAC()), s.pm)
+		s.net.Batch = batch
 		s.net.SendFrame = func(f []byte) { opts.Net.Send(port, f) }
 		port.Deliver = s.net.DeliverToGuest
 		s.net.SignalIRQ = func() {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"vmsh/internal/hostsim"
 	"vmsh/internal/kvm"
@@ -11,44 +13,156 @@ import (
 // procMem is VMSH's view of guest physical memory: every access is a
 // process_vm_readv/writev into the hypervisor's mapping of the guest,
 // translated through the memslot table recovered by the eBPF probe.
-// No caching — the guest mutates these bytes concurrently (virtqueue
-// indices), so reads must always hit the live mapping.
+// No data caching — the guest mutates these bytes concurrently
+// (virtqueue indices), so reads must always hit the live mapping. The
+// translation table itself is stable between slot registrations, so
+// lookups use a sorted-slot binary search with a last-hit cache:
+// device traffic is heavily clustered (ring pages, then data pages in
+// the same slot), making the cache hit on almost every access.
 type procMem struct {
 	host  *hostsim.Host
 	self  *hostsim.Process
 	pid   int
-	slots []kvm.MemSlotInfo
+	slots []kvm.MemSlotInfo // sorted by GPA, non-overlapping
+
+	lastHit atomic.Int64 // index of the slot that served the last lookup
+
+	// Fast-path observability (read via snapshot in Session.Stats).
+	calls        atomic.Int64 // process_vm_* syscalls issued
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
 }
 
-func (pm *procMem) hvaFor(gpa mem.GPA, n int) (mem.HVA, error) {
-	for _, s := range pm.slots {
-		if gpa >= s.GPA && uint64(gpa-s.GPA)+uint64(n) <= s.Size {
-			return s.HVA + mem.HVA(gpa-s.GPA), nil
+func newProcMem(host *hostsim.Host, self *hostsim.Process, pid int, slots []kvm.MemSlotInfo) *procMem {
+	pm := &procMem{host: host, self: self, pid: pid}
+	for _, s := range slots {
+		pm.addSlot(s)
+	}
+	return pm
+}
+
+// addSlot extends the translator after VMSH installs its own memslot,
+// keeping the table sorted so lookups can bisect.
+func (pm *procMem) addSlot(s kvm.MemSlotInfo) {
+	i := sort.Search(len(pm.slots), func(i int) bool { return pm.slots[i].GPA > s.GPA })
+	pm.slots = append(pm.slots, kvm.MemSlotInfo{})
+	copy(pm.slots[i+1:], pm.slots[i:])
+	pm.slots[i] = s
+	pm.lastHit.Store(0)
+}
+
+// slotFor returns the index of the slot containing gpa, or -1.
+func (pm *procMem) slotFor(gpa mem.GPA) int {
+	if i := int(pm.lastHit.Load()); i < len(pm.slots) {
+		if s := pm.slots[i]; gpa >= s.GPA && uint64(gpa-s.GPA) < s.Size {
+			return i
 		}
 	}
-	return 0, fmt.Errorf("vmsh: gpa [%#x,+%d) not in any memslot", gpa, n)
+	// First slot starting beyond gpa; the candidate is its predecessor.
+	i := sort.Search(len(pm.slots), func(i int) bool { return pm.slots[i].GPA > gpa }) - 1
+	if i < 0 {
+		return -1
+	}
+	if s := pm.slots[i]; uint64(gpa-s.GPA) < s.Size {
+		pm.lastHit.Store(int64(i))
+		return i
+	}
+	return -1
 }
 
-// ReadPhys implements mem.PhysReader.
-func (pm *procMem) ReadPhys(gpa mem.GPA, buf []byte) error {
-	hva, err := pm.hvaFor(gpa, len(buf))
-	if err != nil {
-		return err
+// resolve translates [gpa, gpa+n) into host-virtual segments,
+// splitting the range wherever it crosses from one memslot into the
+// next. GPA-adjacent slots need not be HVA-adjacent (hypervisors mmap
+// each region independently), which is why a straddling access must
+// become multiple iovec segments rather than one long copy.
+func (pm *procMem) resolve(gpa mem.GPA, n int, out []hostsim.IoVec, buf []byte) ([]hostsim.IoVec, error) {
+	for n > 0 {
+		i := pm.slotFor(gpa)
+		if i < 0 {
+			return nil, fmt.Errorf("vmsh: gpa [%#x,+%d) not in any memslot", gpa, n)
+		}
+		s := pm.slots[i]
+		off := uint64(gpa - s.GPA)
+		chunk := int(s.Size - off)
+		if chunk > n {
+			chunk = n
+		}
+		out = append(out, hostsim.IoVec{HVA: s.HVA + mem.HVA(off), Buf: buf[:chunk]})
+		gpa += mem.GPA(chunk)
+		buf = buf[chunk:]
+		n -= chunk
 	}
-	return pm.host.ProcessVMRead(pm.self, pm.pid, hva, buf)
+	return out, nil
+}
+
+// hvaFor is the single-segment translation used by callers that need a
+// raw HVA (eventfd signal pages); it still rejects straddling ranges
+// because a single address cannot represent them.
+func (pm *procMem) hvaFor(gpa mem.GPA, n int) (mem.HVA, error) {
+	i := pm.slotFor(gpa)
+	if i < 0 {
+		return 0, fmt.Errorf("vmsh: gpa [%#x,+%d) not in any memslot", gpa, n)
+	}
+	s := pm.slots[i]
+	if uint64(gpa-s.GPA)+uint64(n) > s.Size {
+		return 0, fmt.Errorf("vmsh: gpa [%#x,+%d) straddles memslot boundary", gpa, n)
+	}
+	return s.HVA + mem.HVA(gpa-s.GPA), nil
+}
+
+// ReadPhys implements mem.PhysReader. A range inside one slot issues
+// exactly one scalar process_vm_readv (the pre-fast-path behaviour);
+// a range straddling slots becomes one vectored call.
+func (pm *procMem) ReadPhys(gpa mem.GPA, buf []byte) error {
+	return pm.ReadPhysVec([]mem.Vec{{GPA: gpa, Buf: buf}})
 }
 
 // WritePhys implements mem.PhysWriter.
 func (pm *procMem) WritePhys(gpa mem.GPA, buf []byte) error {
-	hva, err := pm.hvaFor(gpa, len(buf))
+	return pm.WritePhysVec([]mem.Vec{{GPA: gpa, Buf: buf}})
+}
+
+// ReadPhysVec implements mem.PhysVecReader: all segments of all vecs
+// are fetched by a single simulated process_vm_readv, paying one
+// syscall + one base cost + bandwidth over the total byte count.
+func (pm *procMem) ReadPhysVec(vecs []mem.Vec) error {
+	iovs, err := pm.resolveVecs(vecs)
 	if err != nil {
 		return err
 	}
-	return pm.host.ProcessVMWrite(pm.self, pm.pid, hva, buf)
+	if err := pm.host.ProcessVMReadv(pm.self, pm.pid, iovs); err != nil {
+		return err
+	}
+	pm.calls.Add(1)
+	pm.bytesRead.Add(int64(mem.VecTotal(vecs)))
+	return nil
 }
 
-// addSlot extends the translator after VMSH installs its own memslot.
-func (pm *procMem) addSlot(s kvm.MemSlotInfo) { pm.slots = append(pm.slots, s) }
+// WritePhysVec implements mem.PhysVecWriter.
+func (pm *procMem) WritePhysVec(vecs []mem.Vec) error {
+	iovs, err := pm.resolveVecs(vecs)
+	if err != nil {
+		return err
+	}
+	if err := pm.host.ProcessVMWritev(pm.self, pm.pid, iovs); err != nil {
+		return err
+	}
+	pm.calls.Add(1)
+	pm.bytesWritten.Add(int64(mem.VecTotal(vecs)))
+	return nil
+}
+
+func (pm *procMem) resolveVecs(vecs []mem.Vec) ([]hostsim.IoVec, error) {
+	iovs := make([]hostsim.IoVec, 0, len(vecs))
+	var err error
+	for _, v := range vecs {
+		iovs, err = pm.resolve(v.GPA, len(v.Buf), iovs, v.Buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return iovs, nil
+}
 
 // maxGPAEnd returns the highest in-use guest physical address; VMSH
 // allocates its slot above it (§4.2: hypervisors allocate low to

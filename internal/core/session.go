@@ -39,7 +39,7 @@ type Session struct {
 
 	blkEvFD, consEvFD, netEvFD int
 	sigHVA                     uint64
-	wrapVM            *kvm.VM
+	wrapVM                     *kvm.VM
 	// serveSock is the ioregionfd serving end; closing it (clearing
 	// its handler) deregisters the MMIO routing kernel-side.
 	serveSock *hostsim.SockPairFD
@@ -96,6 +96,37 @@ func (s *Session) Exec(cmd string) (string, error) {
 
 // BlkRequests reports how many requests the vmsh-blk device served.
 func (s *Session) BlkRequests() int64 { return s.blk.Requests }
+
+// Stats is a snapshot of the session's guest-memory traffic counters:
+// how many simulated process_vm_readv/writev calls VMSH issued, how
+// many bytes they moved, and how many interrupts the hosted devices
+// raised. The fast path shrinks ProcVMCalls and Interrupts for the
+// same byte volume; legacy mode reproduces the historical counts.
+type Stats struct {
+	ProcVMCalls  int64
+	BytesRead    int64
+	BytesWritten int64
+	Interrupts   int64
+}
+
+// Stats returns the session's counters so far.
+func (s *Session) Stats() Stats {
+	st := Stats{
+		ProcVMCalls:  s.pm.calls.Load(),
+		BytesRead:    s.pm.bytesRead.Load(),
+		BytesWritten: s.pm.bytesWritten.Load(),
+	}
+	if s.blk != nil {
+		st.Interrupts += s.blk.Dev.InterruptCount()
+	}
+	if s.cons != nil {
+		st.Interrupts += s.cons.Dev.InterruptCount()
+	}
+	if s.net != nil {
+		st.Interrupts += s.net.Dev.InterruptCount()
+	}
+	return st
+}
 
 // NetPort returns the switch port this session's vmsh-net device is
 // cabled into, or nil when networking was not requested.

@@ -27,8 +27,11 @@ type PhoronixRow struct {
 // RunPhoronix regenerates Figure 5 (E4): the Phoronix disk suite on a
 // filesystem served by qemu-blk versus the same filesystem served by
 // vmsh-blk, inside the same guest.
+// The legacy device path is pinned so the figure keeps the paper's
+// measured shape; RunPhoronixOpts selects the fast path for the
+// comparison column.
 func RunPhoronix() ([]PhoronixRow, error) {
-	return RunPhoronixOpts(core.Options{})
+	return RunPhoronixOpts(core.Options{LegacyVirtio: true})
 }
 
 // RunPhoronixOpts allows ablation variants (e.g. BounceCopy).
@@ -101,6 +104,32 @@ func RunPhoronixOpts(extra core.Options) ([]PhoronixRow, error) {
 		})
 	}
 	return rows, nil
+}
+
+// RunPhoronixCompare reruns the vmsh-blk side of E4 with the batched
+// fast path on and off and prints per-benchmark virtual-time columns.
+// Figure 5 proper stays pinned to the legacy path (RunPhoronix); this
+// table shows what the fast path buys on the same suite.
+func RunPhoronixCompare() (*Table, error) {
+	legacy, err := RunPhoronixOpts(core.Options{LegacyVirtio: true})
+	if err != nil {
+		return nil, err
+	}
+	fast, err := RunPhoronixOpts(core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "E4 / fast path",
+		Title: "Phoronix vmsh-blk virtual time, batched fast path vs legacy"}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for i, lr := range legacy {
+		fr := fast[i]
+		t.Rows = append(t.Rows,
+			Row{Name: "fast " + fr.Name, Measured: ms(fr.VmshBlk), Unit: "ms"},
+			Row{Name: "legacy " + lr.Name, Measured: ms(lr.VmshBlk), Unit: "ms"},
+		)
+	}
+	return t, nil
 }
 
 // PhoronixStats summarises Figure 5: mean, standard deviation, and

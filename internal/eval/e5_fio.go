@@ -36,14 +36,24 @@ func fioVM(h *hostsim.Host) (*hypervisor.Instance, error) {
 }
 
 // attachScratch attaches VMSH with a scratch image using the given
-// trap mode.
+// trap mode. The legacy device path is pinned: Figure 6 rows keep the
+// paper's measured shape; the fast path gets its own sweep in
+// RunFioFastPath.
 func attachScratch(h *hostsim.Host, inst *hypervisor.Instance, trap core.TrapMode) (*core.Session, error) {
-	img := h.CreateFile(fmt.Sprintf("fio-vmsh-%s.img", trap), fioDiskSize, false)
+	return attachScratchOpts(h, inst, core.Options{Trap: trap, LegacyVirtio: true})
+}
+
+// attachScratchOpts is attachScratch with caller-controlled options
+// (the image and Minimal are always set here).
+func attachScratchOpts(h *hostsim.Host, inst *hypervisor.Instance, opts core.Options) (*core.Session, error) {
+	img := h.CreateFile(fmt.Sprintf("fio-vmsh-%s-legacy%v.img", opts.Trap, opts.LegacyVirtio), fioDiskSize, false)
 	if err := fsimage.Build(blockdev.NewHostFileDevice(img), fsimage.Manifest{}); err != nil {
 		return nil, err
 	}
+	opts.Image = img
+	opts.Minimal = true
 	v := core.New(h)
-	return v.Attach(inst.Proc.PID, core.Options{Image: img, Minimal: true, Trap: trap})
+	return v.Attach(inst.Proc.PID, opts)
 }
 
 // runDeviceSpecs runs the Figure 6 jobs against a raw block target.

@@ -36,6 +36,12 @@ func StandardE7Scenarios() []NetScenario {
 // with a shared switch (both ports under the scenario's link model) and
 // returns the guest-side interfaces the traffic generator drives.
 func netAttachPair(h *hostsim.Host, sw *netsim.Switch, link netsim.LinkParams) ([2]*guestos.Iface, error) {
+	return netAttachPairMode(h, sw, link, false)
+}
+
+// netAttachPairMode additionally selects the device path: legacy=true
+// pins the per-chain service loop for the fast-vs-legacy columns.
+func netAttachPairMode(h *hostsim.Host, sw *netsim.Switch, link netsim.LinkParams, legacy bool) ([2]*guestos.Iface, error) {
 	var ifaces [2]*guestos.Iface
 	for i := 0; i < 2; i++ {
 		inst, err := hypervisor.Launch(h, hypervisor.Config{
@@ -55,6 +61,7 @@ func netAttachPair(h *hostsim.Host, sw *netsim.Switch, link netsim.LinkParams) (
 		v := core.New(h)
 		if _, err := v.Attach(inst.Proc.PID, core.Options{
 			Image: img, Minimal: true, Net: sw, NetLink: link,
+			LegacyVirtio: legacy,
 		}); err != nil {
 			return ifaces, err
 		}
@@ -101,4 +108,36 @@ func RunNetwork(seed int64) (*Table, []workloads.NetResult, error) {
 		)
 	}
 	return tbl, results, nil
+}
+
+// RunNetworkCompare replays the base-link traffic mix with the device
+// fast path on and off — the E7n fast-vs-legacy virtual-time columns.
+// Both runs share the seed, so the delta is purely the crossing and
+// interrupt batching.
+func RunNetworkCompare(seed int64) (*Table, error) {
+	tbl := &Table{ID: "E7n / fast path",
+		Title: "virtio-net batched fast path vs legacy per-chain service (base link)"}
+	for _, m := range []struct {
+		name   string
+		legacy bool
+	}{{"fast", false}, {"legacy", true}} {
+		h := hostsim.NewHost()
+		sw := netsim.New(h.Clock, h.Costs)
+		ifaces, err := netAttachPairMode(h, sw, netsim.LinkParams{}, m.legacy)
+		if err != nil {
+			return nil, fmt.Errorf("e7n %s: %w", m.name, err)
+		}
+		spec := workloads.StandardNetSpec(seed)
+		spec.Name = m.name
+		r, err := workloads.NetTraffic(h.Clock, ifaces[0], ifaces[1], spec)
+		if err != nil {
+			return nil, fmt.Errorf("e7n %s: %w", m.name, err)
+		}
+		us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+		tbl.Rows = append(tbl.Rows,
+			Row{Name: m.name + " goodput", Measured: r.MBps, Unit: "MB/s"},
+			Row{Name: m.name + " rtt mean", Measured: us(r.RTTMean), Unit: "us"},
+		)
+	}
+	return tbl, nil
 }

@@ -151,31 +151,80 @@ func mayAccess(caller, target *Process) bool {
 	return caller.Creds.UID == target.Creds.UID
 }
 
-// ProcessVMRead is process_vm_readv: copy target memory into buf,
-// charging the cross-address-space copy cost.
-func (h *Host) ProcessVMRead(caller *Process, targetPID int, hva mem.HVA, buf []byte) error {
-	target, ok := h.Process(targetPID)
-	if !ok {
-		return ErrNoEnt
-	}
-	if !mayAccess(caller, target) {
-		return ErrPerm
-	}
-	caller.chargeSyscall()
-	h.Clock.Advance(h.Costs.ProcessVMBase + vclock.Copy(len(buf), h.Costs.ProcessVMBW))
-	return target.AS.read(hva, buf)
+// IoVec is one segment of a vectored process_vm transfer: a window of
+// the target's address space and the local buffer it is copied
+// from/to.
+type IoVec struct {
+	HVA mem.HVA
+	Buf []byte
 }
 
-// ProcessVMWrite is process_vm_writev.
-func (h *Host) ProcessVMWrite(caller *Process, targetPID int, hva mem.HVA, buf []byte) error {
+// IoVecTotal sums the segment lengths of a vector.
+func IoVecTotal(iovs []IoVec) int {
+	n := 0
+	for _, v := range iovs {
+		n += len(v.Buf)
+	}
+	return n
+}
+
+// processVMCommon resolves the target and enforces the ptrace-style
+// access check, then charges exactly one syscall plus the vectored
+// copy: one ProcessVMBase regardless of segment count, and bandwidth
+// over the total byte count. This is the whole point of
+// process_vm_readv over per-field reads — permission and entry costs
+// are paid once per call, not once per segment.
+func (h *Host) processVMCommon(caller *Process, targetPID, totalBytes int) (*Process, error) {
 	target, ok := h.Process(targetPID)
 	if !ok {
-		return ErrNoEnt
+		return nil, ErrNoEnt
 	}
 	if !mayAccess(caller, target) {
-		return ErrPerm
+		return nil, ErrPerm
 	}
 	caller.chargeSyscall()
-	h.Clock.Advance(h.Costs.ProcessVMBase + vclock.Copy(len(buf), h.Costs.ProcessVMBW))
-	return target.AS.write(hva, buf)
+	h.Clock.Advance(h.Costs.ProcessVMBase + vclock.Copy(totalBytes, h.Costs.ProcessVMBW))
+	return target, nil
+}
+
+// ProcessVMReadv is the vectored process_vm_readv: every segment is
+// copied out of the target under a single syscall charge. Segments are
+// processed in order; like the real syscall, a faulting segment aborts
+// the call after earlier segments already transferred.
+func (h *Host) ProcessVMReadv(caller *Process, targetPID int, iovs []IoVec) error {
+	target, err := h.processVMCommon(caller, targetPID, IoVecTotal(iovs))
+	if err != nil {
+		return err
+	}
+	for _, v := range iovs {
+		if err := target.AS.read(v.HVA, v.Buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProcessVMWritev is the vectored process_vm_writev.
+func (h *Host) ProcessVMWritev(caller *Process, targetPID int, iovs []IoVec) error {
+	target, err := h.processVMCommon(caller, targetPID, IoVecTotal(iovs))
+	if err != nil {
+		return err
+	}
+	for _, v := range iovs {
+		if err := target.AS.write(v.HVA, v.Buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProcessVMRead is the scalar process_vm_readv entry point: one
+// segment, same charges as a one-element vector.
+func (h *Host) ProcessVMRead(caller *Process, targetPID int, hva mem.HVA, buf []byte) error {
+	return h.ProcessVMReadv(caller, targetPID, []IoVec{{HVA: hva, Buf: buf}})
+}
+
+// ProcessVMWrite is the scalar process_vm_writev entry point.
+func (h *Host) ProcessVMWrite(caller *Process, targetPID int, hva mem.HVA, buf []byte) error {
+	return h.ProcessVMWritev(caller, targetPID, []IoVec{{HVA: hva, Buf: buf}})
 }

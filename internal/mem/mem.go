@@ -133,6 +133,89 @@ func (s SlabIO) WritePhys(gpa GPA, buf []byte) error {
 	return nil
 }
 
+// Vec is one segment of a scatter-gather guest-physical transfer.
+type Vec struct {
+	GPA GPA
+	Buf []byte
+}
+
+// VecTotal sums the segment lengths of a vector.
+func VecTotal(vecs []Vec) int {
+	n := 0
+	for _, v := range vecs {
+		n += len(v.Buf)
+	}
+	return n
+}
+
+// PhysVecReader is the scatter-gather read-side view: all segments are
+// transferred under a single crossing into the guest. Implementations
+// must be byte- and error-equivalent to looping ReadPhys over the
+// segments — only the cost accounting differs.
+type PhysVecReader interface {
+	ReadPhysVec(vecs []Vec) error
+}
+
+// PhysVecWriter is the write-side counterpart of PhysVecReader.
+type PhysVecWriter interface {
+	WritePhysVec(vecs []Vec) error
+}
+
+// PhysVecIO combines both vectored directions.
+type PhysVecIO interface {
+	PhysVecReader
+	PhysVecWriter
+}
+
+// ReadVec reads every segment through r, using the vectored fast path
+// when r implements PhysVecReader and falling back to per-segment
+// scalar reads otherwise. Callers can thus batch unconditionally.
+func ReadVec(r PhysReader, vecs []Vec) error {
+	if vr, ok := r.(PhysVecReader); ok {
+		return vr.ReadPhysVec(vecs)
+	}
+	for _, v := range vecs {
+		if err := r.ReadPhys(v.GPA, v.Buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteVec is the write-side counterpart of ReadVec.
+func WriteVec(w PhysWriter, vecs []Vec) error {
+	if vw, ok := w.(PhysVecWriter); ok {
+		return vw.WritePhysVec(vecs)
+	}
+	for _, v := range vecs {
+		if err := w.WritePhys(v.GPA, v.Buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPhysVec implements PhysVecReader; slab access has no per-call
+// crossing cost, so this is just the scalar loop.
+func (s SlabIO) ReadPhysVec(vecs []Vec) error {
+	for _, v := range vecs {
+		if err := s.ReadPhys(v.GPA, v.Buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePhysVec implements PhysVecWriter.
+func (s SlabIO) WritePhysVec(vecs []Vec) error {
+	for _, v := range vecs {
+		if err := s.WritePhys(v.GPA, v.Buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ReadU64 is a helper reading a little-endian uint64 through a PhysReader.
 func ReadU64(r PhysReader, gpa GPA) (uint64, error) {
 	var b [8]byte

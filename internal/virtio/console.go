@@ -23,6 +23,11 @@ type ConsoleDevice struct {
 	// SignalIRQ delivers interrupts to the guest.
 	SignalIRQ func()
 
+	// Batch enables the fast path on the tx (guest output) queue:
+	// vectored burst reads and one coalesced interrupt per service
+	// pass. The rx fill already coalesces its interrupt per burst.
+	Batch bool
+
 	mu      sync.Mutex
 	pending [][]byte // host->guest bytes waiting for rx buffers
 }
@@ -113,34 +118,53 @@ func (c *ConsoleDevice) flushPending() {
 	}
 }
 
-// drainTx consumes guest output.
+// drainTx consumes guest output through the shared service loop.
 func (c *ConsoleDevice) drainTx() {
-	if !c.Dev.queueLive(ConsoleTxQ) {
-		return
-	}
-	dq := c.Dev.DeviceQueue(ConsoleTxQ)
-	for {
-		chain, ok, err := dq.Pop()
-		if err != nil || !ok {
-			return
+	serviceQueue(c.Dev, ConsoleTxQ, c.Batch, c.serveTxChain, c.serveTxBatch, c.SignalIRQ)
+}
+
+// serveTxChain reads one output chain with per-segment crossings and
+// hands each segment to Output as it arrives (legacy ordering).
+func (c *ConsoleDevice) serveTxChain(dq *DeviceQueue, chain *Chain) (uint32, func(), bool) {
+	total := uint32(0)
+	for _, d := range chain.Elems {
+		buf := make([]byte, d.Len)
+		if err := dq.M.ReadPhys(d.Addr, buf); err != nil {
+			return 0, nil, false
 		}
-		total := uint32(0)
+		if c.Output != nil {
+			c.Output(buf)
+		}
+		total += d.Len
+	}
+	return total, nil, true
+}
+
+// serveTxBatch gathers every segment of the burst with one vectored
+// read, then delivers the bytes to Output in publication order.
+func (c *ConsoleDevice) serveTxBatch(dq *DeviceQueue, chains []*Chain) ([]uint32, func(), bool) {
+	used := make([]uint32, len(chains))
+	bufs := make([][][]byte, len(chains))
+	var gather []mem.Vec
+	for i, chain := range chains {
 		for _, d := range chain.Elems {
 			buf := make([]byte, d.Len)
-			if err := dq.M.ReadPhys(d.Addr, buf); err != nil {
-				return
-			}
+			bufs[i] = append(bufs[i], buf)
+			gather = append(gather, mem.Vec{GPA: d.Addr, Buf: buf})
+			used[i] += d.Len
+		}
+	}
+	if len(gather) > 0 {
+		if err := mem.ReadVec(dq.M, gather); err != nil {
+			return nil, nil, false
+		}
+	}
+	for i := range chains {
+		for _, buf := range bufs[i] {
 			if c.Output != nil {
 				c.Output(buf)
 			}
-			total += d.Len
-		}
-		if err := dq.PushUsed(chain.Head, total); err != nil {
-			return
-		}
-		c.Dev.RaiseInterrupt()
-		if c.SignalIRQ != nil {
-			c.SignalIRQ()
 		}
 	}
+	return used, nil, true
 }

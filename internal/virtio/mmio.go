@@ -105,6 +105,7 @@ type MMIODev struct {
 	featSel     uint32
 	driverFeats uint64
 	intrStatus  uint32
+	intrCount   int64
 }
 
 // NewMMIODev builds a device with the given queue size maxima.
@@ -154,7 +155,16 @@ func (d *MMIODev) queueLive(q int) bool {
 func (d *MMIODev) RaiseInterrupt() {
 	d.mu.Lock()
 	d.intrStatus |= 1
+	d.intrCount++
 	d.mu.Unlock()
+}
+
+// InterruptCount reports how many interrupts this device has raised —
+// the IRQ-coalescing observable surfaced through core.Session stats.
+func (d *MMIODev) InterruptCount() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.intrCount
 }
 
 // MMIO implements the register access protocol; it satisfies
