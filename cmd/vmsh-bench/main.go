@@ -14,7 +14,10 @@
 // the same workload with the batched virtqueue service on and off.
 //
 // With -json PATH the structured rows (plus the E5 syscall/interrupt
-// counters) are also written as a machine-readable document.
+// counters and per-run stats/metrics snapshots) are also written as a
+// machine-readable document. With -trace PATH a traced E5 fast-path
+// run additionally exports a Chrome trace-event JSON file (virtual
+// time), loadable in Perfetto or chrome://tracing.
 package main
 
 import (
@@ -30,15 +33,55 @@ import (
 
 // benchDoc is the -json output: every table produced by the selected
 // experiments, plus the per-mode counters behind the E5 fast-path
-// comparison (process_vm calls, interrupts, bytes, virtual time).
+// comparison (process_vm calls, interrupts, bytes, virtual time) with
+// each mode's full stats and metrics-registry snapshot embedded.
 type benchDoc struct {
 	Tables   []*eval.Table       `json:"tables"`
 	FastPath []eval.FastPathMode `json:"fast_path,omitempty"`
 }
 
+// writeTrace runs the traced E5 fast-path sweep, writes the Chrome
+// trace and validates the written bytes parse as trace-event JSON with
+// a non-empty traceEvents array — a malformed exporter fails here, not
+// in Perfetto.
+func writeTrace(path string) error {
+	run, err := eval.TraceFioFastPath()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := run.Trace.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("trace self-validation: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("trace self-validation: no events")
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d trace events over %v virtual time\n",
+		path, len(doc.TraceEvents), run.Trace.Charged())
+	return nil
+}
+
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n); empty = all")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path")
+	tracePath := flag.String("trace", "", "run a traced E5 fast-path sweep and write Chrome trace-event JSON (Perfetto) to this path")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -147,6 +190,12 @@ func main() {
 			fail("E7n", err)
 		}
 		emit(cmp)
+	}
+
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath); err != nil {
+			fail("trace", err)
+		}
 	}
 
 	if *jsonPath != "" {

@@ -27,6 +27,8 @@ func main() {
 		trap    = flag.String("trap", "auto", "MMIO trap: auto|ioregionfd|wrap_syscall")
 		command = flag.String("c", "", "run one command and exit")
 		stdin   = flag.Bool("stdin", false, "read commands from stdin")
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) of the session to this path")
+		metrics = flag.Bool("metrics", false, "print the session metrics registry on detach")
 	)
 	flag.Parse()
 
@@ -70,7 +72,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "image: %v\n", err)
 		os.Exit(1)
 	}
-	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img, Trap: trapMode})
+	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img, Trap: trapMode, Trace: *trace != ""})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "attach: %v\n", err)
 		os.Exit(1)
@@ -104,9 +106,26 @@ func main() {
 			run(cmd)
 		}
 	}
+	if *metrics {
+		fmt.Print(sess.MetricsText())
+	}
 	if err := sess.Detach(); err != nil {
 		fmt.Fprintf(os.Stderr, "detach: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println("[vmsh] detached")
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err == nil {
+			err = lab.Trace().WriteChrome(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[vmsh] trace written to %s (%v virtual time)\n", *trace, lab.Trace().Charged())
+	}
 }

@@ -37,6 +37,7 @@ import (
 	"vmsh/internal/kvm"
 	"vmsh/internal/mem"
 	"vmsh/internal/netsim"
+	"vmsh/internal/obs"
 	"vmsh/internal/overlay"
 	"vmsh/internal/pagetable"
 	"vmsh/internal/virtio"
@@ -128,6 +129,12 @@ type Options struct {
 	// paper-reproduction experiments pin this on so Figures 5/6 keep
 	// their measured shape; everything else gets the fast path.
 	LegacyVirtio bool
+	// Trace enables the host-wide virtual-time tracer for this attach:
+	// every clock-charging layer records spans/events, exportable as
+	// Chrome trace-event JSON via Host.Trace.WriteChrome. Tracing never
+	// advances the clock, so enabling it leaves all virtual-time
+	// results bit-identical.
+	Trace bool
 }
 
 // VMSH is one instance of the host-side tool.
@@ -154,8 +161,14 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 	if !ok {
 		return nil, fmt.Errorf("vmsh: no process %d", pid)
 	}
+	if opts.Trace {
+		h.Trace.Enable()
+	}
+	trAttach := h.Trace.Track("vmsh:attach")
+	spAttach := trAttach.Span("attach", "attach")
 
 	// --- 1. fd discovery via /proc --------------------------------
+	sp := trAttach.Span("attach", "fd_discovery")
 	fds, err := h.ProcFDInfo(v.Proc, pid)
 	if err != nil {
 		return nil, fmt.Errorf("vmsh: reading /proc/%d/fd: %w", pid, err)
@@ -173,8 +186,10 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 	if vmFD < 0 || len(vcpuFDs) == 0 {
 		return nil, fmt.Errorf("vmsh: pid %d does not look like a KVM hypervisor", pid)
 	}
+	sp.End1("fds", int64(len(fds)))
 
 	// --- 2. ptrace attach + interrupt ------------------------------
+	sp = trAttach.Span("attach", "ptrace_interrupt")
 	tr, err := v.Proc.Attach(target)
 	if err != nil {
 		return nil, fmt.Errorf("vmsh: ptrace: %w", err)
@@ -189,8 +204,10 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 		return nil, err
 	}
 	tid := target.MainThread()
+	sp.End()
 
 	// --- 3. memslots via the eBPF kvm_vm_ioctl probe ----------------
+	sp = trAttach.Span("attach", "memslot_probe")
 	var slots []kvm.MemSlotInfo
 	probe, err := h.AttachKProbe(v.Proc, "kvm_vm_ioctl", func(d any) {
 		if s, ok := d.([]kvm.MemSlotInfo); ok {
@@ -213,9 +230,12 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 	if len(slots) == 0 {
 		return nil, fmt.Errorf("vmsh: eBPF probe saw no memslots")
 	}
-	pm := newProcMem(h, v.Proc, pid, slots)
+	reg := obs.NewRegistry()
+	pm := newProcMem(h, v.Proc, pid, slots, reg)
+	sp.End1("slots", int64(len(slots)))
 
 	// --- 4. page-table root + kernel discovery ----------------------
+	sp = trAttach.Span("attach", "kernel_scan")
 	// The target's architecture selects the sregs layout (CR3 vs
 	// TTBR0_EL1), the page-table descriptor format and the KASLR
 	// window — the three axes of the arm64 port (§5).
@@ -264,8 +284,10 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vmsh: ksymtab scan: %w", err)
 	}
+	sp.End2("kernel_bytes", int64(len(img)), "symbols", int64(len(scan.Symbols)))
 
 	// --- 5. build + relocate the library ----------------------------
+	sp = trAttach.Span("attach", "build_blob")
 	params := blobParams{
 		version:  version,
 		blkBase:  vmshBlkBase,
@@ -302,8 +324,10 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 		}
 		patchU64(blob, hdr.RelocSlotOffset(i), uint64(gva))
 	}
+	sp.End1("blob_bytes", int64(len(blob)))
 
 	// --- 6. new memslot at the top of guest physical space ----------
+	sp = trAttach.Span("attach", "inject_library")
 	libGPA := mem.GPA(mem.PageAlign(uint64(pm.maxGPAEnd()) + 2<<20))
 	libHVA, err := tr.InjectSyscall(tid, hostsim.SysMmap, 0, vmshSlotSize, 3,
 		hostsim.MapAnonymous|hostsim.MapPrivate, ^uint64(0))
@@ -338,10 +362,12 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 		pagetable.FlagWrite|pagetable.FlagGlobal); err != nil {
 		return nil, fmt.Errorf("vmsh: mapping library: %w", err)
 	}
+	sp.End()
 
 	// --- 7. devices: irqfds, trap, external hosting -----------------
+	sp = trAttach.Span("attach", "setup_devices")
 	sess := &Session{
-		v: v, target: target, tracer: tr, pm: pm,
+		v: v, target: target, tracer: tr, pm: pm, reg: reg,
 		vmFD: vmFD, vcpuFDs: vcpuFDs,
 		libGPA: libGPA, libGVA: libGVA, hdr: hdr,
 		trap: opts.Trap, version: version, kernelBase: kernelRun.GVA,
@@ -349,8 +375,10 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 	if err := sess.setupDevices(tid, scratch, opts); err != nil {
 		return nil, err
 	}
+	sp.End()
 
 	// --- 8. hijack the instruction pointer and resume ----------------
+	sp = trAttach.Span("attach", "rip_flip")
 	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(vcpuFDs[0]), kvm.KVMGetRegs, scratch); err != nil {
 		return nil, fmt.Errorf("vmsh: KVM_GET_REGS: %w", err)
 	}
@@ -394,6 +422,8 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 		sess.teardownTraps()
 		return nil, fmt.Errorf("vmsh: library did not become ready (status %d)", status)
 	}
+	sp.End()
+	spAttach.End()
 
 	// In ioregionfd mode ptrace was only needed during setup. (The
 	// session's trap field carries the *resolved* mode: TrapAuto has

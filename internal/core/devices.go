@@ -9,6 +9,7 @@ import (
 	"vmsh/internal/hostsim"
 	"vmsh/internal/kvm"
 	"vmsh/internal/mem"
+	"vmsh/internal/obs"
 	"vmsh/internal/vclock"
 	"vmsh/internal/virtio"
 )
@@ -234,14 +235,22 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 	batch := !opts.LegacyVirtio
 	s.blk = virtio.NewBlkDevice(vmshBlkBase, s.pm, backend, h.Clock, h.Costs)
 	s.blk.Batch = batch
+	s.blk.Dev.Trace = h.Trace.Track("dev:blk")
+	s.blk.Dev.IRQs = s.reg.Counter("blk.irqs")
+	// Queue 0 request latency: avail-publish to used-publish, vclock.
+	s.blk.Dev.ReqLat = []*obs.Histogram{s.reg.Histogram("blk.req_vlat")}
 	s.blk.SignalIRQ = func() {
 		_, _ = s.v.Proc.Syscall(hostsim.SysWrite, uint64(s.blkEvFD), s.sigHVA, 8)
 	}
 	s.cons = virtio.NewConsoleDevice(vmshConsBase, s.pm)
 	s.cons.Batch = batch
+	s.cons.Dev.Trace = h.Trace.Track("dev:console")
+	s.cons.Dev.IRQs = s.reg.Counter("cons.irqs")
+	ctrConsOut := s.reg.Counter("cons.bytes_from_guest")
 	s.cons.Output = func(b []byte) {
 		// Guest output wakes the blocked VMSH console reader.
 		h.Clock.Advance(h.Costs.SchedWake)
+		ctrConsOut.Add(int64(len(b)))
 		s.out.Write(b)
 	}
 	s.cons.SignalIRQ = func() {
@@ -256,8 +265,27 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 		s.netPort = port
 		s.net = virtio.NewNetDevice(vmshNetBase, [6]byte(port.MAC()), s.pm)
 		s.net.Batch = batch
-		s.net.SendFrame = func(f []byte) { opts.Net.Send(port, f) }
-		port.Deliver = s.net.DeliverToGuest
+		s.net.Dev.Trace = h.Trace.Track("dev:net")
+		s.net.Dev.IRQs = s.reg.Counter("net.irqs")
+		// Tx queue latency (queue NetTxQ); the rx queue's fill spans
+		// carry no request semantics, so no histogram for queue 0.
+		lat := make([]*obs.Histogram, virtio.NetTxQ+1)
+		lat[virtio.NetTxQ] = s.reg.Histogram("net.tx_vlat")
+		s.net.Dev.ReqLat = lat
+		ctrTxF := s.reg.Counter("net.tx_frames")
+		ctrTxB := s.reg.Counter("net.tx_bytes")
+		ctrRxF := s.reg.Counter("net.rx_frames")
+		ctrRxB := s.reg.Counter("net.rx_bytes")
+		s.net.SendFrame = func(f []byte) {
+			ctrTxF.Inc()
+			ctrTxB.Add(int64(len(f)))
+			opts.Net.Send(port, f)
+		}
+		port.Deliver = func(f []byte) {
+			ctrRxF.Inc()
+			ctrRxB.Add(int64(len(f)))
+			s.net.DeliverToGuest(f)
+		}
 		s.net.SignalIRQ = func() {
 			_, _ = s.v.Proc.Syscall(hostsim.SysWrite, uint64(s.netEvFD), s.sigHVA, 8)
 		}

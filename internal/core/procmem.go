@@ -8,6 +8,7 @@ import (
 	"vmsh/internal/hostsim"
 	"vmsh/internal/kvm"
 	"vmsh/internal/mem"
+	"vmsh/internal/obs"
 )
 
 // procMem is VMSH's view of guest physical memory: every access is a
@@ -27,14 +28,19 @@ type procMem struct {
 
 	lastHit atomic.Int64 // index of the slot that served the last lookup
 
-	// Fast-path observability (read via snapshot in Session.Stats).
-	calls        atomic.Int64 // process_vm_* syscalls issued
-	bytesRead    atomic.Int64
-	bytesWritten atomic.Int64
+	// Fast-path observability: session-registry counters (read via
+	// snapshot in Session.Stats and Session.Metrics).
+	calls        *obs.Counter // process_vm_* syscalls issued
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
 }
 
-func newProcMem(host *hostsim.Host, self *hostsim.Process, pid int, slots []kvm.MemSlotInfo) *procMem {
-	pm := &procMem{host: host, self: self, pid: pid}
+func newProcMem(host *hostsim.Host, self *hostsim.Process, pid int, slots []kvm.MemSlotInfo, reg *obs.Registry) *procMem {
+	pm := &procMem{host: host, self: self, pid: pid,
+		calls:        reg.Counter("procvm.calls"),
+		bytesRead:    reg.Counter("procvm.bytes_read"),
+		bytesWritten: reg.Counter("procvm.bytes_written"),
+	}
 	for _, s := range slots {
 		pm.addSlot(s)
 	}

@@ -10,6 +10,7 @@ import (
 	"vmsh/internal/hostsim"
 	"vmsh/internal/kvm"
 	"vmsh/internal/mem"
+	"vmsh/internal/obs"
 )
 
 // testProcMem builds a procMem over a synthetic hypervisor process
@@ -42,7 +43,7 @@ func testProcMem(t *testing.T) (*procMem, *hostsim.Process) {
 		}
 		slots = append(slots, kvm.MemSlotInfo{Slot: uint32(i), GPA: r.gpa, HVA: r.hva, Size: r.size})
 	}
-	return newProcMem(h, self, hyp.PID, slots), hyp
+	return newProcMem(h, self, hyp.PID, slots, obs.NewRegistry()), hyp
 }
 
 // fillGuest writes a deterministic byte pattern over the mapped GPA
@@ -226,23 +227,23 @@ func TestProcMemVectoredCallCount(t *testing.T) {
 		// Every vec straddles the boundary: 16 iovec segments total.
 		vecs[i] = mem.Vec{GPA: 0x2000 - 8, Buf: make([]byte, 16)}
 	}
-	before := pm.calls.Load()
+	before := pm.calls.Value()
 	if err := pm.ReadPhysVec(vecs); err != nil {
 		t.Fatal(err)
 	}
-	if got := pm.calls.Load() - before; got != 1 {
+	if got := pm.calls.Value() - before; got != 1 {
 		t.Fatalf("vectored read issued %d calls, want 1", got)
 	}
-	before = pm.calls.Load()
+	before = pm.calls.Value()
 	for _, v := range vecs {
 		if err := pm.ReadPhys(v.GPA, v.Buf); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if got := pm.calls.Load() - before; got != int64(len(vecs)) {
+	if got := pm.calls.Value() - before; got != int64(len(vecs)) {
 		t.Fatalf("scalar loop issued %d calls, want %d", got, len(vecs))
 	}
-	if r := pm.bytesRead.Load(); r != int64(2*8*16) {
+	if r := pm.bytesRead.Value(); r != int64(2*8*16) {
 		t.Fatalf("bytesRead %d, want %d", r, 2*8*16)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"vmsh/internal/kvm"
 	"vmsh/internal/mem"
 	"vmsh/internal/netsim"
+	"vmsh/internal/obs"
 	"vmsh/internal/virtio"
 )
 
@@ -20,6 +21,7 @@ type Session struct {
 	target *hostsim.Process
 	tracer *hostsim.Tracer // non-nil only in wrap_syscall mode
 	pm     *procMem
+	reg    *obs.Registry // session-scoped metrics (procvm, devices, net)
 
 	vmFD    int
 	vcpuFDs []int
@@ -73,6 +75,7 @@ func (s *Session) writeSync(word int, val uint64) error {
 
 // SendConsole delivers raw bytes to the guest console (keystrokes).
 func (s *Session) SendConsole(data []byte) {
+	s.reg.Counter("cons.bytes_to_guest").Add(int64(len(data)))
 	s.cons.SendToGuest(data)
 }
 
@@ -86,7 +89,7 @@ func (s *Session) Exec(cmd string) (string, error) {
 		return "", fmt.Errorf("vmsh: session detached")
 	}
 	mark := s.out.Len()
-	s.cons.SendToGuest([]byte(cmd + "\n"))
+	s.SendConsole([]byte(cmd + "\n"))
 	outSlice := s.out.String()[mark:]
 	if !strings.HasSuffix(outSlice, guestos.Prompt) {
 		return outSlice, fmt.Errorf("vmsh: shell did not return a prompt (got %q)", outSlice)
@@ -102,31 +105,67 @@ func (s *Session) BlkRequests() int64 { return s.blk.Requests }
 // many bytes they moved, and how many interrupts the hosted devices
 // raised. The fast path shrinks ProcVMCalls and Interrupts for the
 // same byte volume; legacy mode reproduces the historical counts.
+//
+// The per-device fields break the totals down: interrupts per device,
+// console traffic in both directions, and the frames/bytes the net
+// device exchanged with the switch. All of them are read from the
+// session's metrics registry — Metrics() exposes the same numbers
+// (and more) by name.
 type Stats struct {
 	ProcVMCalls  int64
 	BytesRead    int64
 	BytesWritten int64
 	Interrupts   int64
+
+	BlkInterrupts  int64
+	ConsInterrupts int64
+	NetInterrupts  int64
+
+	ConsBytesToGuest   int64 // host -> guest console bytes
+	ConsBytesFromGuest int64 // guest -> host console bytes
+	NetTxFrames        int64 // guest -> switch
+	NetTxBytes         int64
+	NetRxFrames        int64 // switch -> guest
+	NetRxBytes         int64
 }
 
 // Stats returns the session's counters so far.
 func (s *Session) Stats() Stats {
 	st := Stats{
-		ProcVMCalls:  s.pm.calls.Load(),
-		BytesRead:    s.pm.bytesRead.Load(),
-		BytesWritten: s.pm.bytesWritten.Load(),
+		ProcVMCalls:        s.pm.calls.Value(),
+		BytesRead:          s.pm.bytesRead.Value(),
+		BytesWritten:       s.pm.bytesWritten.Value(),
+		ConsBytesToGuest:   s.reg.Counter("cons.bytes_to_guest").Value(),
+		ConsBytesFromGuest: s.reg.Counter("cons.bytes_from_guest").Value(),
+		NetTxFrames:        s.reg.Counter("net.tx_frames").Value(),
+		NetTxBytes:         s.reg.Counter("net.tx_bytes").Value(),
+		NetRxFrames:        s.reg.Counter("net.rx_frames").Value(),
+		NetRxBytes:         s.reg.Counter("net.rx_bytes").Value(),
 	}
 	if s.blk != nil {
-		st.Interrupts += s.blk.Dev.InterruptCount()
+		st.BlkInterrupts = s.blk.Dev.InterruptCount()
 	}
 	if s.cons != nil {
-		st.Interrupts += s.cons.Dev.InterruptCount()
+		st.ConsInterrupts = s.cons.Dev.InterruptCount()
 	}
 	if s.net != nil {
-		st.Interrupts += s.net.Dev.InterruptCount()
+		st.NetInterrupts = s.net.Dev.InterruptCount()
 	}
+	st.Interrupts = st.BlkInterrupts + st.ConsInterrupts + st.NetInterrupts
 	return st
 }
+
+// Metrics snapshots the session's metrics registry: every named
+// counter plus .count/.sum_ns/.max_ns per histogram. Keys are stable,
+// so two same-seed runs produce identical maps.
+func (s *Session) Metrics() map[string]int64 { return s.reg.Snapshot() }
+
+// MetricsText renders the registry in the plain-text dump format.
+func (s *Session) MetricsText() string { return s.reg.Text() }
+
+// Registry exposes the session-scoped metrics registry (counters and
+// virtual-time histograms such as blk.req_vlat).
+func (s *Session) Registry() *obs.Registry { return s.reg }
 
 // NetPort returns the switch port this session's vmsh-net device is
 // cabled into, or nil when networking was not requested.

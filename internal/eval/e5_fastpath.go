@@ -19,6 +19,11 @@ type FastPathMode struct {
 	ProcVMCalls int64         // simulated process_vm_* syscalls issued
 	Interrupts  int64         // device interrupts raised
 	BytesMoved  int64         // bytes through process_vm (both ways)
+
+	// Stats is the full post-run session counter snapshot and Metrics
+	// the session registry dump — both ride into vmsh-bench -json.
+	Stats   core.Stats
+	Metrics map[string]int64
 }
 
 // fastPathModes runs the sweep and returns both modes, fast first.
@@ -61,6 +66,8 @@ func fastPathModes() ([]FastPathMode, error) {
 		mode.ProcVMCalls = after.ProcVMCalls - before.ProcVMCalls
 		mode.Interrupts = after.Interrupts - before.Interrupts
 		mode.BytesMoved = after.BytesRead - before.BytesRead + after.BytesWritten - before.BytesWritten
+		mode.Stats = after
+		mode.Metrics = sess.Metrics()
 		modes = append(modes, mode)
 	}
 	return modes, nil

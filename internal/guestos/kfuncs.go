@@ -293,7 +293,11 @@ func (k *Kernel) bindKernelFuncs() {
 // registerVMSHDevice probes a virtio-mmio device the library pointed
 // at and wires it into the guest (block device name or console TTY).
 func (k *Kernel) registerVMSHDevice(desc DeviceDesc) (uint64, error) {
-	env := &virtio.Env{Bus: k.VM, Mem: k.mem, Alloc: k, Clock: k.Clock(), Costs: k.Costs()}
+	env := &virtio.Env{Bus: k.VM, Mem: k.mem, Alloc: k, Clock: k.Clock(), Costs: k.Costs(),
+		// Driver-side track: request spans begin here at avail-publish
+		// and end when the device (a different track) publishes the
+		// completion into the used ring.
+		Trace: k.Host.Trace.Track("drv:" + k.VM.Name)}
 	id := uint32(k.VM.MMIORead(desc.Base+virtio.RegDeviceID, 4))
 	dev := &vmshDevice{handle: uint64(len(k.vmshDevs) + 1), base: desc.Base, gsi: desc.IRQ}
 	switch id {

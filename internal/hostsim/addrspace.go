@@ -173,8 +173,9 @@ func IoVecTotal(iovs []IoVec) int {
 // copy: one ProcessVMBase regardless of segment count, and bandwidth
 // over the total byte count. This is the whole point of
 // process_vm_readv over per-field reads — permission and entry costs
-// are paid once per call, not once per segment.
-func (h *Host) processVMCommon(caller *Process, targetPID, totalBytes int) (*Process, error) {
+// are paid once per call, not once per segment. op names the variant
+// ("readv"/"writev") on the host:procvm trace track.
+func (h *Host) processVMCommon(caller *Process, op string, targetPID, totalBytes int) (*Process, error) {
 	target, ok := h.Process(targetPID)
 	if !ok {
 		return nil, ErrNoEnt
@@ -182,8 +183,12 @@ func (h *Host) processVMCommon(caller *Process, targetPID, totalBytes int) (*Pro
 	if !mayAccess(caller, target) {
 		return nil, ErrPerm
 	}
+	sp := h.trProcVM.Span("procvm", op)
 	caller.chargeSyscall()
 	h.Clock.Advance(h.Costs.ProcessVMBase + vclock.Copy(totalBytes, h.Costs.ProcessVMBW))
+	sp.End1("bytes", int64(totalBytes))
+	h.ctrProcVMCalls.Inc()
+	h.ctrProcVMBytes.Add(int64(totalBytes))
 	return target, nil
 }
 
@@ -192,7 +197,7 @@ func (h *Host) processVMCommon(caller *Process, targetPID, totalBytes int) (*Pro
 // processed in order; like the real syscall, a faulting segment aborts
 // the call after earlier segments already transferred.
 func (h *Host) ProcessVMReadv(caller *Process, targetPID int, iovs []IoVec) error {
-	target, err := h.processVMCommon(caller, targetPID, IoVecTotal(iovs))
+	target, err := h.processVMCommon(caller, "readv", targetPID, IoVecTotal(iovs))
 	if err != nil {
 		return err
 	}
@@ -206,7 +211,7 @@ func (h *Host) ProcessVMReadv(caller *Process, targetPID int, iovs []IoVec) erro
 
 // ProcessVMWritev is the vectored process_vm_writev.
 func (h *Host) ProcessVMWritev(caller *Process, targetPID int, iovs []IoVec) error {
-	target, err := h.processVMCommon(caller, targetPID, IoVecTotal(iovs))
+	target, err := h.processVMCommon(caller, "writev", targetPID, IoVecTotal(iovs))
 	if err != nil {
 		return err
 	}

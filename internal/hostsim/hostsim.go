@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"vmsh/internal/arch"
+	"vmsh/internal/obs"
 	"vmsh/internal/vclock"
 )
 
@@ -85,6 +86,13 @@ type Host struct {
 	Costs *vclock.Costs
 	Disk  *Disk
 
+	// Trace is the host-wide tracer. Always non-nil (NewHost creates
+	// it disabled), so Track handles captured at construction stay
+	// valid if tracing is enabled later. Metrics is the host-level
+	// counter registry behind it.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
+
 	// NoIoregionfd models a host kernel without the (at paper time,
 	// under-review) ioregionfd patch: the KVM_SET_IOREGION ioctl is
 	// unknown and VMSH must fall back to the ptrace trap.
@@ -96,6 +104,14 @@ type Host struct {
 	kprobes   map[string][]*KProbe
 	listeners map[string]*UnixListener
 	files     map[string]*HostFile
+
+	trPtrace obs.Track // "host:ptrace" — stops, injected syscalls
+	trProcVM obs.Track // "host:procvm" — cross-address-space copies
+
+	ctrSyscalls    *obs.Counter
+	ctrPtraceStops *obs.Counter
+	ctrProcVMCalls *obs.Counter
+	ctrProcVMBytes *obs.Counter
 }
 
 // NewHost creates a host with the default cost model.
@@ -103,16 +119,25 @@ func NewHost() *Host {
 	clock := vclock.New()
 	costs := vclock.Default()
 	costs.MustValidate()
-	return &Host{
+	h := &Host{
 		Clock:     clock,
 		Costs:     costs,
 		Disk:      NewDisk(clock, costs),
+		Trace:     obs.New(clock),
+		Metrics:   obs.NewRegistry(),
 		procs:     make(map[int]*Process),
 		nextPID:   100,
 		kprobes:   make(map[string][]*KProbe),
 		listeners: make(map[string]*UnixListener),
 		files:     make(map[string]*HostFile),
 	}
+	h.trPtrace = h.Trace.Track("host:ptrace")
+	h.trProcVM = h.Trace.Track("host:procvm")
+	h.ctrSyscalls = h.Metrics.Counter("host.syscalls")
+	h.ctrPtraceStops = h.Metrics.Counter("host.ptrace.stops")
+	h.ctrProcVMCalls = h.Metrics.Counter("host.procvm.calls")
+	h.ctrProcVMBytes = h.Metrics.Counter("host.procvm.bytes")
+	return h
 }
 
 // NewProcess registers a new process.
@@ -296,8 +321,10 @@ func (p *Process) checkSeccomp(nr uint64) error {
 func (p *Process) chargeSyscall() {
 	c := p.host.Costs
 	p.host.Clock.Advance(c.Syscall)
+	p.host.ctrSyscalls.Inc()
 	if tr := p.tracerRef(); tr != nil && tr.syscallTax {
 		p.host.Clock.Advance(2 * c.PtraceStop)
+		p.host.ctrPtraceStops.Add(2)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vmsh/internal/arch"
+	"vmsh/internal/obs"
 )
 
 // Tracer is a ptrace attachment from one process to another. It
@@ -53,12 +54,17 @@ func (tr *Tracer) InterruptAll() error {
 	if err := tr.check(); err != nil {
 		return err
 	}
+	sp := tr.host.trPtrace.Span("ptrace", "interrupt_all")
+	stops := int64(0)
 	for _, t := range tr.target.Threads() {
 		if !t.Stopped {
 			t.Stopped = true
 			tr.host.Clock.Advance(tr.host.Costs.PtraceStop)
+			stops++
 		}
 	}
+	tr.host.ctrPtraceStops.Add(stops)
+	sp.End1("stops", stops)
 	return nil
 }
 
@@ -68,6 +74,7 @@ func (tr *Tracer) ResumeAll() error {
 	if err := tr.check(); err != nil {
 		return err
 	}
+	sp := tr.host.trPtrace.Span("ptrace", "resume_all")
 	resumed := false
 	for _, t := range tr.target.Threads() {
 		if t.Stopped {
@@ -79,6 +86,7 @@ func (tr *Tracer) ResumeAll() error {
 	if resumed && tr.target.OnResume != nil {
 		tr.target.OnResume()
 	}
+	sp.End()
 	return nil
 }
 
@@ -151,8 +159,15 @@ func (tr *Tracer) InjectSyscall(t *Thread, nr uint64, args ...uint64) (uint64, e
 	}
 	t.Regs = r
 
+	var sp obs.Span
+	if tr.host.Trace.Enabled() {
+		sp = tr.host.trPtrace.Span("ptrace", "inject "+SyscallName(nr))
+	}
+
 	// Two ptrace stops (syscall entry + exit) plus the syscall itself.
 	tr.host.Clock.Advance(2*tr.host.Costs.PtraceStop + tr.host.Costs.Syscall)
+	tr.host.ctrPtraceStops.Add(2)
+	tr.host.ctrSyscalls.Inc()
 
 	var ret uint64
 	err := func() error {
@@ -165,6 +180,7 @@ func (tr *Tracer) InjectSyscall(t *Thread, nr uint64, args ...uint64) (uint64, e
 	}()
 
 	t.Regs = saved
+	sp.End()
 	if err != nil {
 		return 0, fmt.Errorf("injected %s: %w", SyscallName(nr), err)
 	}

@@ -15,6 +15,7 @@ import (
 	"vmsh/internal/arch"
 	"vmsh/internal/hostsim"
 	"vmsh/internal/mem"
+	"vmsh/internal/obs"
 )
 
 // ioctl command numbers. The values are stand-ins but the calling
@@ -123,6 +124,10 @@ type VM struct {
 	// Counters for the evaluation harness.
 	ExitsTotal      int64
 	ExitsToExternal int64
+
+	trVCPU     obs.Track // "vcpu:<name>" — exits and injected IRQs
+	ctrExits   *obs.Counter
+	ctrInjects *obs.Counter
 }
 
 // wrapTrap is installed by internal/trap when VMSH uses the ptrace
@@ -142,6 +147,9 @@ type ioregion struct {
 // CreateVM makes a VM owned by proc and installs its fd.
 func CreateVM(proc *hostsim.Process, name string) (*VM, int) {
 	vm := &VM{host: proc.Host(), owner: proc, Name: name}
+	vm.trVCPU = vm.host.Trace.Track("vcpu:" + name)
+	vm.ctrExits = vm.host.Metrics.Counter("kvm.exits")
+	vm.ctrInjects = vm.host.Metrics.Counter("kvm.irq_injects")
 	fd := proc.InstallFD(&VMFD{VM: vm})
 	return vm, fd
 }
@@ -265,6 +273,8 @@ func (g guestMem) WritePhys(gpa mem.GPA, buf []byte) error {
 // InjectIRQ delivers a guest interrupt on gsi (irqfd path).
 func (vm *VM) InjectIRQ(gsi uint32) {
 	vm.host.Clock.Advance(vm.host.Costs.IRQInject)
+	vm.ctrInjects.Inc()
+	vm.trVCPU.Event1("irq", "inject", "gsi", int64(gsi))
 	if vm.irqHandler != nil {
 		vm.irqHandler(gsi)
 	}
@@ -294,12 +304,14 @@ func (vm *VM) MMIOWrite(gpa mem.GPA, size int, value uint64) {
 //   - hypervisor-emulated regions pay the usual return to userspace.
 func (vm *VM) dispatchMMIO(gpa mem.GPA, size int, write bool, value uint64) uint64 {
 	c := vm.host.Costs
+	sp := vm.trVCPU.Span("kvm", "mmio_exit")
 	vm.host.Clock.Advance(c.VMExit)
 	vm.mu.Lock()
 	vm.ExitsTotal++
 	wrap := vm.wrap
 	taxed := vm.owner.SyscallTaxed()
 	vm.mu.Unlock()
+	vm.ctrExits.Inc()
 
 	if taxed {
 		// KVM_RUN returned to a ptraced hypervisor: entry+exit stop.
@@ -313,6 +325,7 @@ func (vm *VM) dispatchMMIO(gpa mem.GPA, size int, write bool, value uint64) uint
 			vm.host.Clock.Advance(c.ContextSwitch)
 			ret := wrap.h.MMIO(gpa, size, write, value)
 			vm.host.Clock.Advance(c.Syscall) // re-enter KVM_RUN
+			sp.End1("gpa", int64(gpa))
 			return ret
 		}
 	}
@@ -338,8 +351,11 @@ func (vm *VM) dispatchMMIO(gpa mem.GPA, size int, write bool, value uint64) uint
 		vm.host.Clock.Advance(c.IoregionfdMsg + c.ContextSwitch)
 		h, _ := ior.sock.Peer.Handler().(MMIOHandler)
 		if h != nil {
-			return h.MMIO(gpa, size, write, value)
+			ret := h.MMIO(gpa, size, write, value)
+			sp.End1("gpa", int64(gpa))
+			return ret
 		}
+		sp.End1("gpa", int64(gpa))
 		return ^uint64(0)
 	}
 
@@ -355,9 +371,12 @@ func (vm *VM) dispatchMMIO(gpa mem.GPA, size int, write bool, value uint64) uint
 	if reg != nil {
 		// Exit to the hypervisor's own userspace loop and back.
 		vm.host.Clock.Advance(c.Syscall)
-		return reg.h.MMIO(gpa, size, write, value)
+		ret := reg.h.MMIO(gpa, size, write, value)
+		sp.End1("gpa", int64(gpa))
+		return ret
 	}
 	// Unclaimed MMIO reads float high, writes are dropped.
+	sp.End1("gpa", int64(gpa))
 	return ^uint64(0)
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"vmsh/internal/obs"
 	"vmsh/internal/vclock"
 )
 
@@ -105,6 +106,7 @@ type Port struct {
 
 	egressSeq int64 // frames attempted out of this port (drop pattern)
 	stats     PortStats
+	track     obs.Track // "link:<name>" once Observe wires a tracer
 }
 
 // ID returns the port's switch-assigned index (0, 1, ...).
@@ -144,6 +146,11 @@ type Switch struct {
 	fdb   map[MAC]*Port // forwarding database: learned source MACs
 
 	stats SwitchStats
+
+	trace        *obs.Tracer
+	ctrForwarded *obs.Counter
+	ctrFlooded   *obs.Counter
+	ctrDropped   *obs.Counter
 }
 
 // New builds an empty switch charging the given clock. The cost model
@@ -163,9 +170,27 @@ func (s *Switch) Stats() SwitchStats { return s.stats }
 // Ports returns the attachment list in port-ID order.
 func (s *Switch) Ports() []*Port { return append([]*Port(nil), s.ports...) }
 
+// Observe wires the switch into a tracer and metrics registry: every
+// port gets a "link:<name>" track carrying per-frame transit spans,
+// and the switch-level counters mirror into the registry. Ports
+// attached after Observe are wired as they are created. Either
+// argument may be nil.
+func (s *Switch) Observe(t *obs.Tracer, reg *obs.Registry) {
+	s.trace = t
+	s.ctrForwarded = reg.Counter("net.switch.forwarded")
+	s.ctrFlooded = reg.Counter("net.switch.flooded")
+	s.ctrDropped = reg.Counter("net.switch.dropped")
+	for _, p := range s.ports {
+		p.track = t.Track("link:" + p.name)
+	}
+}
+
 // NewPort attaches a new device to the switch.
 func (s *Switch) NewPort(name string, link LinkParams) *Port {
 	p := &Port{sw: s, id: len(s.ports), link: link, name: name}
+	if s.trace != nil {
+		p.track = s.trace.Track("link:" + name)
+	}
 	s.ports = append(s.ports, p)
 	return p
 }
@@ -204,6 +229,7 @@ func (s *Switch) Send(p *Port, frame []byte) {
 	if len(payload) > p.mtu() {
 		p.stats.DropsOversize++
 		s.stats.Dropped++
+		s.ctrDropped.Inc()
 		return
 	}
 	p.stats.TxFrames++
@@ -211,11 +237,14 @@ func (s *Switch) Send(p *Port, frame []byte) {
 
 	// Ingress: the sender's link serialises the frame, then the
 	// switch does its lookup.
+	sp := p.track.Span("link", "ingress")
 	s.clock.Advance(s.linkTime(p, len(frame)) + s.costs.NetSwitchHop)
+	sp.End1("bytes", int64(len(frame)))
 	s.fdb[src] = p
 
 	if dst == Broadcast {
 		s.stats.Flooded++
+		s.ctrFlooded.Inc()
 		for _, out := range s.ports {
 			if out != p {
 				s.egress(out, frame)
@@ -225,11 +254,13 @@ func (s *Switch) Send(p *Port, frame []byte) {
 	}
 	if out, ok := s.fdb[dst]; ok && out != p {
 		s.stats.Forwarded++
+		s.ctrForwarded.Inc()
 		s.egress(out, frame)
 		return
 	}
 	// Unknown unicast: flood, like a real learning switch.
 	s.stats.Flooded++
+	s.ctrFlooded.Inc()
 	for _, out := range s.ports {
 		if out != p {
 			s.egress(out, frame)
@@ -244,12 +275,17 @@ func (s *Switch) egress(out *Port, frame []byte) {
 	if n := out.link.DropNth; n > 0 && out.egressSeq%int64(n) == 0 {
 		out.stats.DropsLink++
 		s.stats.Dropped++
+		s.ctrDropped.Inc()
+		out.track.Event1("link", "drop", "bytes", int64(len(frame)))
 		return
 	}
+	sp := out.track.Span("link", "transit")
 	s.clock.Advance(s.linkTime(out, len(frame)))
+	sp.End1("bytes", int64(len(frame)))
 	if out.Deliver == nil {
 		out.stats.DropsNoSink++
 		s.stats.Dropped++
+		s.ctrDropped.Inc()
 		return
 	}
 	out.stats.RxFrames++

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// micros formats a duration as decimal microseconds with three
+// fractional digits, using integer math only, so output is
+// byte-identical across platforms.
+func micros(d time.Duration) string {
+	ns := int64(d)
+	return strconv.FormatInt(ns/1000, 10) + "." + pad3(ns%1000)
+}
+
+func pad3(n int64) string {
+	if n < 0 {
+		n = -n
+	}
+	s := strconv.FormatInt(n, 10)
+	return "000"[:3-len(s)] + s
+}
+
+// jsonString escapes s as a JSON string literal. Track/category/span
+// names are plain ASCII identifiers, but escape defensively anyway.
+func jsonString(sb *strings.Builder, s string) {
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			sb.WriteByte('\\')
+			sb.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(sb, "\\u%04x", c)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+}
+
+// WriteChrome writes the event log as Chrome trace-event JSON (the
+// "JSON object format": {"traceEvents":[...]}) loadable in Perfetto or
+// chrome://tracing. The whole simulation is one process (pid 1); every
+// track becomes a named thread (tid = TrackID+1). Timestamps are
+// virtual microseconds. Output is hand-marshaled in event-log order
+// with tracks in registration order, so identical runs produce
+// byte-identical files.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		sb.WriteString(line)
+	}
+
+	var tracks []string
+	var events []Event
+	if t != nil {
+		tracks = t.Tracks()
+		events = t.Events()
+	}
+
+	var line strings.Builder
+	for i, name := range tracks {
+		line.Reset()
+		line.WriteString(`{"name":"thread_name","ph":"M","pid":1,"tid":`)
+		line.WriteString(strconv.Itoa(i + 1))
+		line.WriteString(`,"args":{"name":`)
+		jsonString(&line, name)
+		line.WriteString("}}")
+		emit(line.String())
+	}
+
+	for _, e := range events {
+		line.Reset()
+		line.WriteString(`{"name":`)
+		jsonString(&line, e.Name)
+		line.WriteString(`,"cat":`)
+		jsonString(&line, e.Cat)
+		line.WriteString(`,"ph":"`)
+		line.WriteByte(e.Phase)
+		line.WriteString(`","pid":1,"tid":`)
+		line.WriteString(strconv.Itoa(int(e.Track) + 1))
+		line.WriteString(`,"ts":`)
+		line.WriteString(micros(e.TS))
+		switch e.Phase {
+		case PhaseSpan:
+			line.WriteString(`,"dur":`)
+			line.WriteString(micros(e.Dur))
+		case PhaseInstant:
+			line.WriteString(`,"s":"t"`)
+		case PhaseAsyncBegin, PhaseAsyncEnd:
+			line.WriteString(`,"id":"`)
+			line.WriteString(strconv.FormatUint(e.ID, 16))
+			line.WriteString(`"`)
+		}
+		if e.NArgs > 0 {
+			line.WriteString(`,"args":{`)
+			jsonString(&line, e.K1)
+			line.WriteString(`:`)
+			line.WriteString(strconv.FormatInt(e.V1, 10))
+			if e.NArgs > 1 {
+				line.WriteString(`,`)
+				jsonString(&line, e.K2)
+				line.WriteString(`:`)
+				line.WriteString(strconv.FormatInt(e.V2, 10))
+			}
+			line.WriteString(`}`)
+		}
+		line.WriteString(`}`)
+		emit(line.String())
+	}
+
+	sb.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// SpanNode is one node of a reconstructed span tree: a complete span
+// plus the spans nested (by time containment) inside it on the same
+// track.
+type SpanNode struct {
+	Name     string
+	Cat      string
+	Start    time.Duration
+	Dur      time.Duration
+	Children []*SpanNode
+}
+
+// SpanTree reconstructs, for one track, the nesting of complete spans
+// by time containment: span B is a child of span A when A's interval
+// contains B's and A was emitted after B (spans close innermost
+// first). Instants and async events are ignored.
+func (t *Tracer) SpanTree(track string) []*SpanNode {
+	if t == nil {
+		return nil
+	}
+	var id TrackID = -1
+	for i, name := range t.Tracks() {
+		if name == track {
+			id = TrackID(i)
+			break
+		}
+	}
+	if id < 0 {
+		return nil
+	}
+	var roots []*SpanNode
+	var stack []*SpanNode
+	// Events are emitted at span End, so the log is ordered by end
+	// time: an enclosing span always appears after its children. Walk
+	// backwards so parents are seen first and children attach to the
+	// innermost open interval that contains them.
+	evs := t.Events()
+	for i := len(evs) - 1; i >= 0; i-- {
+		e := evs[i]
+		if e.Track != id || e.Phase != PhaseSpan {
+			continue
+		}
+		n := &SpanNode{Name: e.Name, Cat: e.Cat, Start: e.TS, Dur: e.Dur}
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			// Containment, except a zero-duration span sitting exactly on
+			// the candidate parent's start: it ended before that span
+			// opened (the log is end-ordered), so it is a sibling.
+			if n.Start >= top.Start && n.Start+n.Dur <= top.Start+top.Dur &&
+				!(n.Dur == 0 && n.Start == top.Start) {
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			roots = append(roots, n)
+		} else {
+			p := stack[len(stack)-1]
+			p.Children = append(p.Children, n)
+		}
+		stack = append(stack, n)
+	}
+	reverseTree(roots)
+	return roots
+}
+
+// reverseTree restores chronological order (the backwards walk built
+// everything reversed).
+func reverseTree(ns []*SpanNode) {
+	for i, j := 0, len(ns)-1; i < j; i, j = i+1, j-1 {
+		ns[i], ns[j] = ns[j], ns[i]
+	}
+	for _, n := range ns {
+		reverseTree(n.Children)
+	}
+}
+
+// FormatSpanTree renders a span tree as indented names only — no
+// timestamps or args — with runs of identical siblings collapsed to
+// "name xN". That keeps golden files stable under cost-model tweaks
+// while still pinning the event taxonomy and nesting.
+func FormatSpanTree(roots []*SpanNode) string {
+	var sb strings.Builder
+	formatLevel(&sb, roots, 0)
+	return sb.String()
+}
+
+func formatLevel(sb *strings.Builder, ns []*SpanNode, depth int) {
+	for i := 0; i < len(ns); {
+		j := i
+		for j < len(ns) && sameShape(ns[j], ns[i]) {
+			j++
+		}
+		for k := 0; k < depth; k++ {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(ns[i].Cat)
+		sb.WriteByte(':')
+		sb.WriteString(ns[i].Name)
+		if j-i > 1 {
+			fmt.Fprintf(sb, " x%d", j-i)
+		}
+		sb.WriteByte('\n')
+		formatLevel(sb, ns[i].Children, depth+1)
+		i = j
+	}
+}
+
+// sameShape reports whether two nodes render identically (same label
+// and same child shape), making them collapsible as a xN run.
+func sameShape(a, b *SpanNode) bool {
+	if a.Cat != b.Cat || a.Name != b.Name || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !sameShape(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"vmsh/internal/vclock"
+)
+
+func testClock() *vclock.Clock { return vclock.New() }
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewRegistry().Histogram("h")
+
+	// Zero-duration samples (empty virtqueue drains) land in bucket 0.
+	h.Observe(0)
+	if got := h.Bucket(0); got != 1 {
+		t.Fatalf("zero-duration sample in bucket 0: got %d, want 1", got)
+	}
+	// Negative durations clamp to bucket 0 too.
+	h.Observe(-5)
+	if got := h.Bucket(0); got != 2 {
+		t.Fatalf("negative sample in bucket 0: got %d, want 2", got)
+	}
+
+	// Bucket i covers [2^(i-1), 2^i) ns.
+	for _, tc := range []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3},
+		{1023, 10}, {1024, 11},
+	} {
+		before := h.Bucket(tc.bucket)
+		h.Observe(tc.d)
+		if got := h.Bucket(tc.bucket); got != before+1 {
+			t.Errorf("Observe(%d): bucket %d count %d, want %d", tc.d, tc.bucket, got, before+1)
+		}
+	}
+
+	// Far beyond the last bucket boundary: clamps, never drops.
+	huge := time.Duration(1) << 62
+	h.Observe(huge)
+	if got := h.Bucket(HistBuckets - 1); got != 1 {
+		t.Fatalf("overflow sample: last bucket count %d, want 1", got)
+	}
+	if h.Max() != huge {
+		t.Fatalf("max %v, want %v", h.Max(), huge)
+	}
+
+	// Every sample is in exactly one bucket.
+	var total int64
+	for i := 0; i < HistBuckets; i++ {
+		total += h.Bucket(i)
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket total %d != count %d", total, h.Count())
+	}
+}
+
+func TestHistogramScalars(t *testing.T) {
+	h := NewRegistry().Histogram("h")
+	if h.Mean() != 0 {
+		t.Fatal("empty histogram mean must be 0")
+	}
+	h.Observe(10)
+	h.Observe(30)
+	if h.Count() != 2 || h.Sum() != 40 || h.Mean() != 20 || h.Max() != 30 {
+		t.Fatalf("count=%d sum=%v mean=%v max=%v", h.Count(), h.Sum(), h.Mean(), h.Max())
+	}
+}
+
+func TestNilReceivers(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 || c.Name() != "" {
+		t.Fatal("nil counter must read as zero")
+	}
+	var h *Histogram
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Mean() != 0 || h.Bucket(0) != 0 {
+		t.Fatal("nil histogram must read as zero")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Histogram("x") != nil || r.Snapshot() != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	var tr *Tracer
+	if tr.Enabled() || tr.Charged() != 0 || tr.Events() != nil || tr.Tracks() != nil {
+		t.Fatal("nil tracer must read as empty")
+	}
+	tr.Enable()
+	tr.Disable()
+	tr.Reset()
+	tk := tr.Track("x") // zero Track
+	tk.Event("a", "b")
+	tk.Span("a", "b").End()
+}
+
+// TestDisabledModeAllocatesNothing pins the zero-overhead contract: a
+// disabled tracer's span/event paths and nil instruments must not
+// allocate at all on the hot path.
+func TestDisabledModeAllocatesNothing(t *testing.T) {
+	tr := New(testClock())
+	tk := tr.Track("hot")
+	var nilCtr *Counter
+	var nilHist *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tk.Span("cat", "name")
+		sp.End()
+		sp.End1("k", 1)
+		sp.End2("k1", 1, "k2", 2)
+		tk.Event("cat", "name")
+		tk.Event1("cat", "name", "k", 1)
+		tk.Begin("cat", "name", 7)
+		tk.AsyncEnd(7)
+		nilCtr.Inc()
+		nilHist.Observe(42)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	clk := testClock()
+	tr := New(clk)
+	tk := tr.Track("t")
+	tr.Enable()
+
+	outer := tk.Span("cat", "outer")
+	clk.Advance(10)
+	inner := tk.Span("cat", "inner")
+	clk.Advance(5)
+	inner.End()
+	clk.Advance(3)
+	outer.End1("n", 42)
+	tr.Disable()
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// inner ends first, so it is logged first.
+	if evs[0].Name != "inner" || evs[0].TS != 10 || evs[0].Dur != 5 {
+		t.Fatalf("inner event %+v", evs[0])
+	}
+	if evs[1].Name != "outer" || evs[1].TS != 0 || evs[1].Dur != 18 {
+		t.Fatalf("outer event %+v", evs[1])
+	}
+	if evs[1].NArgs != 1 || evs[1].K1 != "n" || evs[1].V1 != 42 {
+		t.Fatalf("outer args %+v", evs[1])
+	}
+	if tr.Charged() != 18 {
+		t.Fatalf("charged %v, want 18ns", tr.Charged())
+	}
+
+	roots := tr.SpanTree("t")
+	if len(roots) != 1 || roots[0].Name != "outer" ||
+		len(roots[0].Children) != 1 || roots[0].Children[0].Name != "inner" {
+		t.Fatalf("span tree wrong: %s", FormatSpanTree(roots))
+	}
+}
+
+func TestFormatSpanTreeCollapse(t *testing.T) {
+	clk := testClock()
+	tr := New(clk)
+	tk := tr.Track("t")
+	tr.Enable()
+	for i := 0; i < 3; i++ {
+		sp := tk.Span("vq", "service")
+		clk.Advance(2)
+		sp.End()
+	}
+	sp := tk.Span("vq", "other")
+	clk.Advance(1)
+	sp.End()
+	got := FormatSpanTree(tr.SpanTree("t"))
+	want := "vq:service x3\nvq:other\n"
+	if got != want {
+		t.Fatalf("formatted tree %q, want %q", got, want)
+	}
+}
+
+func TestAsyncSpanCrossTrack(t *testing.T) {
+	clk := testClock()
+	tr := New(clk)
+	drv := tr.Track("drv")
+	dev := tr.Track("dev")
+	tr.Enable()
+
+	drv.Begin("req", "blk.req", 0x123)
+	clk.Advance(250)
+	d, ok := dev.AsyncEnd(0x123)
+	if !ok || d != 250 {
+		t.Fatalf("async end: d=%v ok=%v, want 250ns true", d, ok)
+	}
+	// Unknown ids (requests begun before tracing, rx fills) are benign.
+	if _, ok := dev.AsyncEnd(0x999); ok {
+		t.Fatal("unknown async id must return ok=false")
+	}
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Phase != PhaseAsyncBegin || evs[1].Phase != PhaseAsyncEnd {
+		t.Fatalf("events %+v", evs)
+	}
+	if evs[0].Track != 0 || evs[1].Track != 1 {
+		t.Fatal("async begin/end must keep their own tracks")
+	}
+}
+
+func TestWriteChromeValidAndDeterministic(t *testing.T) {
+	render := func() []byte {
+		clk := testClock()
+		tr := New(clk)
+		tk := tr.Track("vcpu:qemu")
+		tr.Enable()
+		sp := tk.Span("kvm", "mmio_exit")
+		clk.Advance(1234)
+		sp.End1("gpa", 0xd0000000)
+		tk.Event("irq", "raise")
+		tk.Begin("req", "blk.req", 7)
+		clk.Advance(999)
+		tk.AsyncEnd(7)
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical runs rendered different Chrome traces")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, a)
+	}
+	// thread_name metadata + 4 events.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d trace events, want 5", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["ph"] != "M" {
+		t.Fatal("first event must be thread_name metadata")
+	}
+	// Span timestamps are micros: 1234ns -> 1.234.
+	if !strings.Contains(string(a), `"ts":0.000,"dur":1.234`) {
+		t.Fatalf("span micros formatting missing:\n%s", a)
+	}
+}
+
+func TestTracerResetKeepsTracks(t *testing.T) {
+	clk := testClock()
+	tr := New(clk)
+	tk := tr.Track("t")
+	tr.Enable()
+	sp := tk.Span("c", "n")
+	clk.Advance(1)
+	sp.End()
+	tr.Reset()
+	if len(tr.Events()) != 0 || tr.Charged() != 0 {
+		t.Fatal("reset must drop events and charge")
+	}
+	// The old handle still points at a registered track.
+	sp = tk.Span("c", "n2")
+	clk.Advance(1)
+	sp.End()
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Name != "n2" {
+		t.Fatal("track handle must survive Reset")
+	}
+	if got := tr.Tracks(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("tracks after reset: %v", got)
+	}
+}
+
+func TestRegistrySnapshotAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.calls").Add(3)
+	r.Counter("b.calls").Add(1)
+	h := r.Histogram("lat")
+	h.Observe(100)
+	h.Observe(300)
+
+	snap := r.Snapshot()
+	for k, want := range map[string]int64{
+		"a.calls": 3, "b.calls": 1,
+		"lat.count": 2, "lat.sum_ns": 400, "lat.max_ns": 300,
+	} {
+		if snap[k] != want {
+			t.Errorf("snapshot[%q] = %d, want %d", k, snap[k], want)
+		}
+	}
+
+	text := r.Text()
+	if !strings.Contains(text, "a.calls") || !strings.Contains(text, "count=2") {
+		t.Fatalf("text dump missing entries:\n%s", text)
+	}
+	// Deterministic: same registry renders identically.
+	if text != r.Text() {
+		t.Fatal("registry text not deterministic")
+	}
+	// Counters sort before reordering could show: a.calls precedes b.calls.
+	if strings.Index(text, "a.calls") > strings.Index(text, "b.calls") {
+		t.Fatalf("counters not sorted:\n%s", text)
+	}
+}

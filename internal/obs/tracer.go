@@ -1,0 +1,310 @@
+// Package obs is the observability layer for the simulated stack: a
+// span/event tracer and a metrics registry, both keyed to the virtual
+// clock.
+//
+// Everything that charges vclock time (ptrace stops, process_vm
+// copies, virtqueue service passes, link transits, attach phases) can
+// emit spans onto a per-component Track; the result exports as Chrome
+// trace-event JSON loadable in Perfetto, with virtual microseconds as
+// timestamps. Because the simulation is deterministic, two runs with
+// the same seed produce byte-identical trace files — a property the
+// tier-1 tests assert.
+//
+// The tracer is built to cost nothing while disabled: Track and Span
+// are plain value types, every emit path checks one pointer and one
+// atomic bool before touching any state, and no interface{} boxing or
+// map lookup happens on the hot path (argument helpers take typed
+// int64 values). testing.AllocsPerRun over the disabled paths must
+// report zero.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vmsh/internal/vclock"
+)
+
+// Phase constants mirror the Chrome trace-event phases the tracer
+// emits: complete spans, instants, and async begin/end pairs.
+const (
+	PhaseSpan       = 'X'
+	PhaseInstant    = 'i'
+	PhaseAsyncBegin = 'b'
+	PhaseAsyncEnd   = 'e'
+)
+
+// Event is one recorded trace event. Args are a fixed-size inline pair
+// so recording never allocates beyond the event log itself.
+type Event struct {
+	Track TrackID
+	Phase byte
+	Cat   string
+	Name  string
+	TS    time.Duration // virtual time at start (spans) or occurrence
+	Dur   time.Duration // PhaseSpan only
+	ID    uint64        // async phases only
+	NArgs uint8
+	K1    string
+	V1    int64
+	K2    string
+	V2    int64
+}
+
+// TrackID identifies a registered track (one Perfetto "thread").
+type TrackID int32
+
+// asyncOpen is one outstanding async span awaiting its end.
+type asyncOpen struct {
+	track TrackID
+	cat   string
+	name  string
+	start time.Duration
+}
+
+// Tracer records virtual-time spans and events. A nil *Tracer is a
+// valid disabled tracer; a non-nil tracer is also disabled until
+// Enable. All methods are safe for concurrent use.
+type Tracer struct {
+	clock   *vclock.Clock
+	enabled atomic.Bool
+	charged atomic.Int64 // total ns the clock advanced while enabled
+
+	mu     sync.Mutex
+	tracks []string
+	byName map[string]TrackID
+	events []Event
+	async  map[uint64]asyncOpen
+}
+
+// New returns a disabled tracer bound to the given clock. Tracks may
+// be registered immediately; nothing is recorded until Enable.
+func New(clock *vclock.Clock) *Tracer {
+	return &Tracer{
+		clock:  clock,
+		byName: make(map[string]TrackID),
+		async:  make(map[uint64]asyncOpen),
+	}
+}
+
+// Enable starts recording. It also hooks the clock so the tracer
+// accumulates the total charged virtual time (Charged), letting
+// consumers reconcile span sums against the clock.
+func (t *Tracer) Enable() {
+	if t == nil {
+		return
+	}
+	t.enabled.Store(true)
+	if t.clock != nil {
+		t.clock.SetOnAdvance(func(d time.Duration) {
+			t.charged.Add(int64(d))
+		})
+	}
+}
+
+// Disable stops recording (events already logged are kept).
+func (t *Tracer) Disable() {
+	if t == nil {
+		return
+	}
+	t.enabled.Store(false)
+	if t.clock != nil {
+		t.clock.SetOnAdvance(nil)
+	}
+}
+
+// Enabled reports whether the tracer is currently recording. Safe on a
+// nil receiver, which reports false.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Charged returns the total virtual time the clock advanced while the
+// tracer was enabled.
+func (t *Tracer) Charged() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.charged.Load())
+}
+
+// Reset drops all recorded events and outstanding async spans; track
+// registrations survive, so cached Track handles stay valid.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = nil
+	t.async = make(map[uint64]asyncOpen)
+	t.mu.Unlock()
+	t.charged.Store(0)
+}
+
+// Track registers (or finds) a named track and returns a handle. The
+// zero Track is valid and permanently disabled. Registration is cheap
+// but takes a lock — call it at construction time, not per event.
+func (t *Tracer) Track(name string) Track {
+	if t == nil {
+		return Track{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.byName[name]; ok {
+		return Track{t: t, id: id}
+	}
+	id := TrackID(len(t.tracks))
+	t.tracks = append(t.tracks, name)
+	t.byName[name] = id
+	return Track{t: t, id: id}
+}
+
+// Tracks returns the registered track names in registration order
+// (index == TrackID).
+func (t *Tracer) Tracks() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.tracks))
+	copy(out, t.tracks)
+	return out
+}
+
+// Events returns a snapshot of the event log in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// now reads the virtual clock.
+func (t *Tracer) now() time.Duration {
+	if t.clock == nil {
+		return 0
+	}
+	return t.clock.Now()
+}
+
+func (t *Tracer) append(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Track is a handle onto one named track; all emission goes through
+// it. The zero value is disabled, so components can carry a Track
+// unconditionally and wire a real one only when observability is on.
+type Track struct {
+	t  *Tracer
+	id TrackID
+}
+
+// Live reports whether events emitted on this track are recorded right
+// now.
+func (tk Track) Live() bool { return tk.t != nil && tk.t.enabled.Load() }
+
+// Span opens a complete-span measurement; call End (or a variant) to
+// record it. While the tracer is disabled this returns the zero Span
+// and records nothing, allocating nothing.
+func (tk Track) Span(cat, name string) Span {
+	if !tk.Live() {
+		return Span{}
+	}
+	return Span{t: tk.t, track: tk.id, cat: cat, name: name, start: tk.t.now()}
+}
+
+// Event records an instant event.
+func (tk Track) Event(cat, name string) {
+	if !tk.Live() {
+		return
+	}
+	tk.t.append(Event{Track: tk.id, Phase: PhaseInstant, Cat: cat, Name: name, TS: tk.t.now()})
+}
+
+// Event1 records an instant event with one typed argument.
+func (tk Track) Event1(cat, name, k string, v int64) {
+	if !tk.Live() {
+		return
+	}
+	tk.t.append(Event{Track: tk.id, Phase: PhaseInstant, Cat: cat, Name: name,
+		TS: tk.t.now(), NArgs: 1, K1: k, V1: v})
+}
+
+// Begin opens an async span identified by (cat, id); the matching
+// AsyncEnd may come from a different track — how a request published
+// by the guest driver is closed by the device that completes it.
+func (tk Track) Begin(cat, name string, id uint64) {
+	if !tk.Live() {
+		return
+	}
+	now := tk.t.now()
+	tk.t.mu.Lock()
+	tk.t.async[id] = asyncOpen{track: tk.id, cat: cat, name: name, start: now}
+	tk.t.events = append(tk.t.events, Event{Track: tk.id, Phase: PhaseAsyncBegin,
+		Cat: cat, Name: name, TS: now, ID: id})
+	tk.t.mu.Unlock()
+}
+
+// AsyncEnd closes the async span opened with id and returns its
+// virtual-time duration. Unknown ids (begun before tracing started, or
+// never begun) return ok=false and record nothing.
+func (tk Track) AsyncEnd(id uint64) (time.Duration, bool) {
+	if !tk.Live() {
+		return 0, false
+	}
+	now := tk.t.now()
+	tk.t.mu.Lock()
+	open, ok := tk.t.async[id]
+	if !ok {
+		tk.t.mu.Unlock()
+		return 0, false
+	}
+	delete(tk.t.async, id)
+	tk.t.events = append(tk.t.events, Event{Track: tk.id, Phase: PhaseAsyncEnd,
+		Cat: open.cat, Name: open.name, TS: now, ID: id})
+	tk.t.mu.Unlock()
+	return now - open.start, true
+}
+
+// Span is one in-flight complete-span measurement. The zero value is
+// disabled; every End variant on it is a no-op.
+type Span struct {
+	t     *Tracer
+	track TrackID
+	cat   string
+	name  string
+	start time.Duration
+}
+
+// End records the span.
+func (s Span) End() {
+	if s.t == nil || !s.t.enabled.Load() {
+		return
+	}
+	s.t.append(Event{Track: s.track, Phase: PhaseSpan, Cat: s.cat, Name: s.name,
+		TS: s.start, Dur: s.t.now() - s.start})
+}
+
+// End1 records the span with one typed argument.
+func (s Span) End1(k string, v int64) {
+	if s.t == nil || !s.t.enabled.Load() {
+		return
+	}
+	s.t.append(Event{Track: s.track, Phase: PhaseSpan, Cat: s.cat, Name: s.name,
+		TS: s.start, Dur: s.t.now() - s.start, NArgs: 1, K1: k, V1: v})
+}
+
+// End2 records the span with two typed arguments.
+func (s Span) End2(k1 string, v1 int64, k2 string, v2 int64) {
+	if s.t == nil || !s.t.enabled.Load() {
+		return
+	}
+	s.t.append(Event{Track: s.track, Phase: PhaseSpan, Cat: s.cat, Name: s.name,
+		TS: s.start, Dur: s.t.now() - s.start, NArgs: 2, K1: k1, V1: v1, K2: k2, V2: v2})
+}

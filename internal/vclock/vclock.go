@@ -20,8 +20,9 @@ import (
 // the simulation hands control between goroutines strictly (unbuffered
 // channels), so advancing order is deterministic.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Duration
+	mu        sync.Mutex
+	now       time.Duration
+	onAdvance func(time.Duration)
 }
 
 // New returns a clock starting at zero.
@@ -42,6 +43,20 @@ func (c *Clock) Advance(d time.Duration) {
 	}
 	c.mu.Lock()
 	c.now += d
+	f := c.onAdvance
+	c.mu.Unlock()
+	if f != nil && d > 0 {
+		f(d)
+	}
+}
+
+// SetOnAdvance installs an observer called (outside the clock lock,
+// with the advanced amount) after every positive Advance. One observer
+// at a time; nil removes it. The tracer uses this to accumulate the
+// total charged virtual time without the clock knowing about tracing.
+func (c *Clock) SetOnAdvance(f func(time.Duration)) {
+	c.mu.Lock()
+	c.onAdvance = f
 	c.mu.Unlock()
 }
 

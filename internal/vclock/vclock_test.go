@@ -181,3 +181,23 @@ func TestMustValidatePanics(t *testing.T) {
 	c.VMExit = -time.Microsecond
 	c.MustValidate()
 }
+
+func TestSetOnAdvance(t *testing.T) {
+	c := New()
+	var total time.Duration
+	c.SetOnAdvance(func(d time.Duration) { total += d })
+	c.Advance(10)
+	c.Advance(0) // zero advances must not fire the observer
+	c.Advance(5)
+	if total != 15 {
+		t.Fatalf("observer saw %v, want 15ns", total)
+	}
+	if c.Now() != 15 {
+		t.Fatalf("clock at %v, want 15ns", c.Now())
+	}
+	c.SetOnAdvance(nil)
+	c.Advance(7)
+	if total != 15 {
+		t.Fatalf("observer fired after removal: %v", total)
+	}
+}

@@ -30,25 +30,35 @@ type serveFn func(dq *DeviceQueue, c *Chain) (used uint32, after func(), ok bool
 type serveBatchFn func(dq *DeviceQueue, chains []*Chain) (used []uint32, after func(), ok bool)
 
 // serviceQueue drains queue q of dev. serve must be non-nil;
-// serveBatch is optional and only consulted in batched mode.
+// serveBatch is optional and only consulted in batched mode. Each
+// drain is one "vq:service" span on the device's track, tagged with
+// the queue index and the number of chains completed.
 func serviceQueue(dev *MMIODev, q int, batch bool, serve serveFn, serveBatch serveBatchFn, signal func()) {
 	if !dev.queueLive(q) {
 		return
 	}
+	sp := dev.Trace.Span("vq", "service")
+	served := serviceQueueInner(dev, q, batch, serve, serveBatch, signal)
+	sp.End2("queue", int64(q), "chains", served)
+}
+
+func serviceQueueInner(dev *MMIODev, q int, batch bool, serve serveFn, serveBatch serveBatchFn, signal func()) int64 {
 	dq := dev.DeviceQueue(q)
+	served := int64(0)
 	if !batch {
 		for {
 			chain, ok, err := dq.Pop()
 			if err != nil || !ok {
-				return
+				return served
 			}
 			used, after, sok := serve(dq, chain)
 			if !sok {
-				return
+				return served
 			}
 			if err := dq.PushUsed(chain.Head, used); err != nil {
-				return
+				return served
 			}
+			served++
 			if after != nil {
 				after()
 			}
@@ -103,6 +113,7 @@ func serviceQueue(dev *MMIODev, q int, batch bool, serve serveFn, serveBatch ser
 		if err := dq.PushUsedBatch(entries); err != nil {
 			break
 		}
+		served += int64(len(chains))
 		if after != nil {
 			after()
 		}
@@ -114,4 +125,5 @@ func serviceQueue(dev *MMIODev, q int, batch bool, serve serveFn, serveBatch ser
 			signal()
 		}
 	}
+	return served
 }

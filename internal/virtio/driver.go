@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vmsh/internal/mem"
+	"vmsh/internal/obs"
 	"vmsh/internal/vclock"
 )
 
@@ -29,6 +30,10 @@ type Env struct {
 	Alloc PhysPages
 	Clock *vclock.Clock
 	Costs *vclock.Costs
+	// Trace, when set, is the driver-side trace track: request queues
+	// open an async span per published request on it (blk.req, net.tx)
+	// that the serving device closes.
+	Trace obs.Track
 }
 
 func (e *Env) read32(gpa mem.GPA) uint32     { return uint32(e.Bus.MMIORead(gpa, 4)) }
@@ -133,6 +138,8 @@ func ProbeBlk(env *Env, base mem.GPA) (*BlkDriver, error) {
 	if err != nil {
 		return nil, err
 	}
+	q.Trace = env.Trace
+	q.ReqName = "blk.req"
 	d := &BlkDriver{
 		env: env, base: base, q: q,
 		segMax:    128 * 1024,

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"vmsh/internal/mem"
+	"vmsh/internal/obs"
 )
 
 // virtio-mmio register offsets (device version 2).
@@ -98,6 +99,15 @@ type MMIODev struct {
 	// ConfigSpace is the raw device config (e.g. capacity for blk).
 	ConfigSpace []byte
 
+	// Trace is the device's trace track; IRQs counts raised
+	// interrupts. ReqLat[q], when non-nil, receives the avail-publish
+	// to used-publish virtual-time latency of every chain queue q
+	// completes (the driver side must set a matching ReqName — see
+	// DriverQueue.Trace). All are optional.
+	Trace  obs.Track
+	IRQs   *obs.Counter
+	ReqLat []*obs.Histogram
+
 	mu          sync.Mutex
 	queues      []queueState
 	queueSel    int
@@ -138,6 +148,10 @@ func (d *MMIODev) DeviceQueue(q int) *DeviceQueue {
 			Desc:  mem.GPA(st.desc),
 			Avail: mem.GPA(st.driver),
 			Used:  mem.GPA(st.device),
+			Trace: d.Trace,
+		}
+		if q < len(d.ReqLat) {
+			st.dq.Lat = d.ReqLat[q]
 		}
 	}
 	return st.dq
@@ -157,6 +171,8 @@ func (d *MMIODev) RaiseInterrupt() {
 	d.intrStatus |= 1
 	d.intrCount++
 	d.mu.Unlock()
+	d.IRQs.Inc()
+	d.Trace.Event("irq", "raise")
 }
 
 // InterruptCount reports how many interrupts this device has raised —

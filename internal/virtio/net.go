@@ -153,6 +153,9 @@ func (n *NetDevice) flushPending() {
 // included), one vectored used-ring publish and a single coalesced
 // interrupt.
 func (n *NetDevice) flushPendingBatch(dq *DeviceQueue) {
+	sp := n.Dev.Trace.Span("vq", "rx_fill")
+	frames := int64(0)
+	defer func() { sp.End1("frames", frames) }()
 	delivered := false
 	for {
 		n.mu.Lock()
@@ -200,6 +203,7 @@ func (n *NetDevice) flushPendingBatch(dq *DeviceQueue) {
 		if err := dq.PushUsedBatch(entries); err != nil {
 			return
 		}
+		frames += int64(len(chains))
 		delivered = true
 	}
 	if delivered {
@@ -319,6 +323,8 @@ func ProbeNet(env *Env, base mem.GPA) (*NetDriver, error) {
 	if err != nil {
 		return nil, err
 	}
+	tx.Trace = env.Trace
+	tx.ReqName = "net.tx"
 	n := &NetDriver{env: env, base: base, rx: rx, tx: tx}
 	if feats&NetFMac != 0 {
 		lo := env.read32(base + RegConfig)

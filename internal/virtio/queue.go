@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"vmsh/internal/mem"
+	"vmsh/internal/obs"
 )
 
 // Descriptor flag bits.
@@ -68,8 +69,24 @@ type DriverQueue struct {
 	Size              int
 	Desc, Avail, Used mem.GPA
 
+	// Trace/ReqName, when set, open an async request span on every
+	// Publish; the device side closes it at used-publish time. The two
+	// sides never share Go state — the span id is derived from the
+	// Avail ring GPA (visible to both) plus a FIFO sequence number
+	// each side counts independently.
+	Trace   obs.Track
+	ReqName string
+	seq     uint64
+
 	availIdx uint16 // next avail index to publish
 	lastUsed uint16 // next used index to consume
+}
+
+// reqSpanID builds the deterministic async span id both queue sides
+// agree on: the Avail ring GPA (unique per queue, identical in both
+// views) tagged with a 20-bit publish/complete sequence.
+func reqSpanID(avail mem.GPA, seq uint64) uint64 {
+	return uint64(avail)<<20 | seq&0xfffff
 }
 
 // InitRings zeroes the ring indices.
@@ -137,7 +154,14 @@ func (q *DriverQueue) Publish(start int, elems []ChainElem) error {
 		return err
 	}
 	q.availIdx++
-	return q.putU16(q.Avail, 2, q.availIdx)
+	if err := q.putU16(q.Avail, 2, q.availIdx); err != nil {
+		return err
+	}
+	if q.ReqName != "" && q.Trace.Live() {
+		q.Trace.Begin("req", q.ReqName, reqSpanID(q.Avail, q.seq))
+	}
+	q.seq++
+	return nil
 }
 
 // UsedElem is one consumed used-ring entry.
@@ -173,8 +197,27 @@ type DeviceQueue struct {
 	Size              int
 	Desc, Avail, Used mem.GPA
 
+	// Trace/Lat close the async request spans the driver side opened
+	// (see DriverQueue.Trace); each closed span's virtual-time latency
+	// feeds Lat. Both sides count completions in FIFO service order,
+	// so the ids line up without shared state.
+	Trace obs.Track
+	Lat   *obs.Histogram
+	seq   uint64
+
 	lastAvail uint16
 	usedIdx   uint16
+}
+
+// endReqSpan closes the next request span in FIFO order and records
+// its latency.
+func (q *DeviceQueue) endReqSpan() {
+	if q.Trace.Live() {
+		if d, ok := q.Trace.AsyncEnd(reqSpanID(q.Avail, q.seq)); ok {
+			q.Lat.Observe(d)
+		}
+	}
+	q.seq++
 }
 
 // Chain is a popped descriptor chain.
@@ -324,7 +367,11 @@ func (q *DeviceQueue) PushUsed(head uint16, n uint32) error {
 	q.usedIdx++
 	var ib [2]byte
 	binary.LittleEndian.PutUint16(ib[:], q.usedIdx)
-	return q.M.WritePhys(q.Used+2, ib[:])
+	if err := q.M.WritePhys(q.Used+2, ib[:]); err != nil {
+		return err
+	}
+	q.endReqSpan()
+	return nil
 }
 
 // PushUsedBatch publishes a burst of completions: every used-ring
@@ -352,5 +399,8 @@ func (q *DeviceQueue) PushUsedBatch(entries []UsedElem) error {
 		return err
 	}
 	q.usedIdx = idx
+	for range entries {
+		q.endReqSpan()
+	}
 	return nil
 }

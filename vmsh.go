@@ -31,6 +31,7 @@ import (
 	"vmsh/internal/hostsim"
 	"vmsh/internal/hypervisor"
 	"vmsh/internal/netsim"
+	"vmsh/internal/obs"
 	"vmsh/internal/vclock"
 )
 
@@ -73,6 +74,12 @@ type (
 	Switch = netsim.Switch
 	// LinkParams overrides one port's bandwidth/latency/loss model.
 	LinkParams = netsim.LinkParams
+	// Tracer is the lab-wide virtual-time span/event tracer. Disabled
+	// (and free) until AttachOptions.Trace or Tracer.Enable turns it
+	// on; export with Tracer.WriteChrome for Perfetto.
+	Tracer = obs.Tracer
+	// Registry holds named counters and virtual-time histograms.
+	Registry = obs.Registry
 )
 
 // ToolImage returns the standard debugging/administration image
@@ -98,10 +105,25 @@ func (l *Lab) Clock() *vclock.Clock { return l.Host.Clock }
 // Costs exposes the tunable cost model.
 func (l *Lab) Costs() *vclock.Costs { return l.Host.Costs }
 
+// Trace returns the lab-wide tracer. It exists from lab creation but
+// records nothing until enabled (AttachOptions.Trace does this);
+// export a recorded run with Trace().WriteChrome.
+func (l *Lab) Trace() *Tracer { return l.Host.Trace }
+
+// Metrics returns the host-level metrics registry (syscall, ptrace,
+// process_vm and KVM counters). Per-session device metrics live on
+// Session.Metrics.
+func (l *Lab) Metrics() *Registry { return l.Host.Metrics }
+
 // NewSwitch creates an inter-VM packet switch charged to this lab's
 // clock and cost model. Pass it via AttachOptions.Net to give each
-// attached guest a vmsh-net interface on a shared segment.
-func (l *Lab) NewSwitch() *Switch { return netsim.New(l.Host.Clock, l.Host.Costs) }
+// attached guest a vmsh-net interface on a shared segment. The switch
+// is wired into the lab tracer: each port gets a "link:<name>" track.
+func (l *Lab) NewSwitch() *Switch {
+	sw := netsim.New(l.Host.Clock, l.Host.Costs)
+	sw.Observe(l.Host.Trace, l.Host.Metrics)
+	return sw
+}
 
 // Machine architectures.
 const (
@@ -192,6 +214,10 @@ type AttachOptions struct {
 	// NetLink overrides the switch port's link model (zero values
 	// fall back to the cost-model defaults).
 	NetLink LinkParams
+	// Trace enables the lab tracer before the attach begins, so the
+	// trace covers the attach phases themselves as well as all
+	// subsequent device traffic. Export with Lab.Trace().WriteChrome.
+	Trace bool
 }
 
 func (o AttachOptions) toCore() core.Options {
@@ -203,6 +229,7 @@ func (o AttachOptions) toCore() core.Options {
 		PCITransport: o.PCITransport,
 		Net:          o.Net,
 		NetLink:      o.NetLink,
+		Trace:        o.Trace,
 	}
 }
 
