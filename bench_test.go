@@ -178,7 +178,7 @@ func BenchmarkAttachLatency(b *testing.B) {
 			b.Fatal(err)
 		}
 		before := lab.Clock().Now()
-		sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+		sess, err := lab.Attach(vm, vmsh.WithImage(img))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -293,7 +293,7 @@ func BenchmarkAblationMemslotPlacement(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := lab.Attach(vm, vmsh.AttachOptions{Image: img}); err != nil {
+				if _, err := lab.Attach(vm, vmsh.WithImage(img)); err != nil {
 					collisions++
 				}
 			}
@@ -315,7 +315,7 @@ func BenchmarkVirtqueueRoundTrip(b *testing.B) {
 		b.Fatal(err)
 	}
 	lab2 := lab // same lab; attach minimal
-	sess, err := lab2.Attach(vm, vmsh.AttachOptions{Image: img, NoShell: true})
+	sess, err := lab2.Attach(vm, vmsh.WithImage(img), vmsh.WithoutShell())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -349,7 +349,7 @@ func BenchmarkConsoleExec(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+	sess, err := lab.Attach(vm, vmsh.WithImage(img))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -403,7 +403,7 @@ func BenchmarkSideloadScan(b *testing.B) {
 			b.Fatal(err)
 		}
 		before := lab.Clock().Now()
-		sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img, NoShell: true})
+		sess, err := lab.Attach(vm, vmsh.WithImage(img), vmsh.WithoutShell())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 //	E6  console latency              (Figure 7)
 //	E7  image de-bloating            (Figure 8)
 //	E7n virtio-net sweep             (network)
+//	E8  single-fault attach sweep    (robustness; also via -fault)
 //
 // E4, E5 and E7n additionally print a fast-path-vs-legacy comparison:
 // the same workload with the batched virtqueue service on and off.
@@ -79,9 +80,11 @@ func writeTrace(path string) error {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n); empty = all")
+	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n,e8); empty = all")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path")
 	tracePath := flag.String("trace", "", "run a traced E5 fast-path sweep and write Chrome trace-event JSON (Perfetto) to this path")
+	faultOnly := flag.Bool("fault", false, "run only the E8 single-fault attach sweep (alias for -only e8)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed for the E8 fault sweep")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -89,6 +92,9 @@ func main() {
 		for _, id := range strings.Split(*only, ",") {
 			want[strings.TrimSpace(strings.ToLower(id))] = true
 		}
+	}
+	if *faultOnly {
+		want = map[string]bool{"e8": true}
 	}
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 	fail := func(id string, err error) {
@@ -190,6 +196,16 @@ func main() {
 			fail("E7n", err)
 		}
 		emit(cmp)
+	}
+
+	if sel("e8") {
+		tbl, err := eval.RunFaultSweep(*faultSeed)
+		if tbl != nil {
+			emit(tbl)
+		}
+		if err != nil {
+			fail("E8", err)
+		}
 	}
 
 	if *tracePath != "" {

@@ -10,6 +10,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,9 @@ func main() {
 		stdin   = flag.Bool("stdin", false, "read commands from stdin")
 		trace   = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) of the session to this path")
 		metrics = flag.Bool("metrics", false, "print the session metrics registry on detach")
+		fault   = flag.String("fault", "", `fault plan: ';'-separated rules, e.g. "ptrace:nth=3" or "procvm:prob=0.01,transient"`)
+		seed    = flag.Uint64("fault-seed", 1, "seed for probabilistic fault rules")
+		retry   = flag.Int("retry", 0, "retry transient attach faults up to N times (virtual-time backoff)")
 	)
 	flag.Parse()
 
@@ -72,9 +76,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "image: %v\n", err)
 		os.Exit(1)
 	}
-	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img, Trap: trapMode, Trace: *trace != ""})
+	attachOpts := []vmsh.Option{vmsh.WithImage(img), vmsh.WithTrap(trapMode)}
+	if *trace != "" {
+		attachOpts = append(attachOpts, vmsh.WithTrace())
+	}
+	if *fault != "" {
+		rules, err := vmsh.ParseFaultRules(*fault)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fault: %v\n", err)
+			os.Exit(2)
+		}
+		attachOpts = append(attachOpts, vmsh.WithFaultPlan(vmsh.NewFaultPlan(*seed, rules...)))
+	}
+	if *retry > 0 {
+		attachOpts = append(attachOpts, vmsh.WithRetry(vmsh.RetryPolicy{Attempts: *retry}))
+	}
+	sess, err := lab.Attach(vm, attachOpts...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "attach: %v\n", err)
+		var ae *vmsh.Error
+		if errors.As(err, &ae) && ae.Stage != "" {
+			fmt.Fprintf(os.Stderr, "attach failed at stage %s (guest rolled back): %v\n", ae.Stage, ae.Err)
+		} else {
+			fmt.Fprintf(os.Stderr, "attach: %v\n", err)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("[vmsh] attached (%s), kernel detected %s, KASLR base %#x\n",

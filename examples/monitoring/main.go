@@ -45,7 +45,7 @@ func main() {
 	}
 	// Trace:true enables the lab tracer before the attach starts, so
 	// the trace covers the side-load itself, phase by phase.
-	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img, Trace: true})
+	sess, err := lab.Attach(vm, vmsh.WithImage(img), vmsh.WithTrace())
 	if err != nil {
 		log.Fatalf("attach: %v", err)
 	}

@@ -39,7 +39,7 @@ func main() {
 		log.Fatalf("image: %v", err)
 	}
 
-	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+	sess, err := lab.Attach(vm, vmsh.WithImage(img))
 	if err != nil {
 		log.Fatalf("attach: %v", err)
 	}

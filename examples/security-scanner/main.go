@@ -38,7 +38,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("image: %v", err)
 	}
-	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+	sess, err := lab.Attach(vm, vmsh.WithImage(img))
 	if err != nil {
 		log.Fatalf("attach: %v", err)
 	}

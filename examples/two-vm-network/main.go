@@ -30,7 +30,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("image %s: %v", name, err)
 		}
-		sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img, Net: sw})
+		sess, err := lab.Attach(vm, vmsh.WithImage(img), vmsh.WithNet(sw))
 		if err != nil {
 			log.Fatalf("attach %s: %v", name, err)
 		}

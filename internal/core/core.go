@@ -27,9 +27,11 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 
+	"vmsh/internal/faults"
 	"vmsh/internal/guestlib"
 	"vmsh/internal/guestos"
 	"vmsh/internal/hostsim"
@@ -135,6 +137,13 @@ type Options struct {
 	// advances the clock, so enabling it leaves all virtual-time
 	// results bit-identical.
 	Trace bool
+	// Fault, when non-nil, arms the host-wide deterministic fault
+	// plane with this plan for the attach and the session that follows
+	// it (device service passes keep checking the plan after attach).
+	Fault *faults.Plan
+	// Retry bounds per-stage retries of transient failures (EINTR/
+	// EAGAIN-class). The zero value disables retry.
+	Retry RetryPolicy
 }
 
 // VMSH is one instance of the host-side tool.
@@ -155,11 +164,23 @@ func New(h *hostsim.Host) *VMSH {
 
 // Attach side-loads into the hypervisor process identified by pid and
 // returns a live session.
+//
+// Attach runs as a staged transaction: every stage registers an undo
+// for each host- or guest-visible side effect it applies (injected
+// mmaps, the library memslot, page-table entry writes, created fds,
+// the saved vCPU register file). A failure at any stage rolls all of
+// them back — leaving the guest byte-identical to its pre-attach
+// state — and surfaces as a typed *AttachError naming the stage.
+// Transient failures (EINTR/EAGAIN-class) unwind only their own stage
+// and retry under opts.Retry with vclock-charged exponential backoff.
 func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 	h := v.Host
+	if opts.Fault != nil {
+		h.SetFaultPlan(opts.Fault)
+	}
 	target, ok := h.Process(pid)
 	if !ok {
-		return nil, fmt.Errorf("vmsh: no process %d", pid)
+		return nil, &AttachError{PID: pid, Err: ErrNoProcess}
 	}
 	if opts.Trace {
 		h.Trace.Enable()
@@ -167,273 +188,374 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 	trAttach := h.Trace.Track("vmsh:attach")
 	spAttach := trAttach.Span("attach", "attach")
 
-	// --- 1. fd discovery via /proc --------------------------------
-	sp := trAttach.Span("attach", "fd_discovery")
-	fds, err := h.ProcFDInfo(v.Proc, pid)
-	if err != nil {
-		return nil, fmt.Errorf("vmsh: reading /proc/%d/fd: %w", pid, err)
+	tx := newAttachTx(h, pid, opts.Retry)
+	fail := func(stage string, err error) (*Session, error) {
+		tx.rollback()
+		return nil, &AttachError{Stage: stage, PID: pid, Err: err}
 	}
+
+	// --- 1. fd discovery via /proc --------------------------------
 	vmFD := -1
 	var vcpuFDs []int
-	for _, fi := range fds {
-		if fi.Link == "anon_inode:kvm-vm" {
-			vmFD = fi.Num
+	if err := tx.run("fd_discovery", func() error {
+		sp := trAttach.Span("attach", "fd_discovery")
+		fds, err := h.ProcFDInfo(v.Proc, pid)
+		if err != nil {
+			return fmt.Errorf("reading /proc/%d/fd: %w", pid, err)
 		}
-		if strings.HasPrefix(fi.Link, "anon_inode:kvm-vcpu:") {
-			vcpuFDs = append(vcpuFDs, fi.Num)
+		vmFD, vcpuFDs = -1, nil
+		for _, fi := range fds {
+			if fi.Link == "anon_inode:kvm-vm" {
+				vmFD = fi.Num
+			}
+			if strings.HasPrefix(fi.Link, "anon_inode:kvm-vcpu:") {
+				vcpuFDs = append(vcpuFDs, fi.Num)
+			}
 		}
+		if vmFD < 0 || len(vcpuFDs) == 0 {
+			return ErrNotHypervisor
+		}
+		sp.End1("fds", int64(len(fds)))
+		return nil
+	}); err != nil {
+		return fail("fd_discovery", err)
 	}
-	if vmFD < 0 || len(vcpuFDs) == 0 {
-		return nil, fmt.Errorf("vmsh: pid %d does not look like a KVM hypervisor", pid)
-	}
-	sp.End1("fds", int64(len(fds)))
 
 	// --- 2. ptrace attach + interrupt ------------------------------
-	sp = trAttach.Span("attach", "ptrace_interrupt")
-	tr, err := v.Proc.Attach(target)
-	if err != nil {
-		return nil, fmt.Errorf("vmsh: ptrace: %w", err)
-	}
-	cleanupTracer := true
-	defer func() {
-		if cleanupTracer {
-			_ = tr.Detach()
+	if err := tx.run("ptrace_interrupt", func() error {
+		sp := trAttach.Span("attach", "ptrace_interrupt")
+		tr, err := v.Proc.Attach(target)
+		if err != nil {
+			return err
 		}
-	}()
-	if err := tr.InterruptAll(); err != nil {
-		return nil, err
+		tx.tracer, tx.tid = tr, target.MainThread()
+		tx.onUndo("ptrace_detach", func() error {
+			if tx.tracer == nil {
+				return nil
+			}
+			err := tx.tracer.Detach()
+			tx.tracer = nil
+			if errors.Is(err, hostsim.ErrNotTraced) {
+				return nil
+			}
+			return err
+		})
+		if err := tr.InterruptAll(); err != nil {
+			return err
+		}
+		sp.End()
+		return nil
+	}); err != nil {
+		return fail("ptrace_interrupt", err)
 	}
-	tid := target.MainThread()
-	sp.End()
 
 	// --- 3. memslots via the eBPF kvm_vm_ioctl probe ----------------
-	sp = trAttach.Span("attach", "memslot_probe")
-	var slots []kvm.MemSlotInfo
-	probe, err := h.AttachKProbe(v.Proc, "kvm_vm_ioctl", func(d any) {
-		if s, ok := d.([]kvm.MemSlotInfo); ok {
-			slots = s
+	var pm *procMem
+	var reg *obs.Registry
+	if err := tx.run("memslot_probe", func() error {
+		sp := trAttach.Span("attach", "memslot_probe")
+		var slots []kvm.MemSlotInfo
+		probe, err := h.AttachKProbe(v.Proc, "kvm_vm_ioctl", func(d any) {
+			if s, ok := d.([]kvm.MemSlotInfo); ok {
+				slots = s
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("attaching eBPF probe: %w", err)
 		}
-	})
-	if err != nil {
-		return nil, fmt.Errorf("vmsh: attaching eBPF probe: %w", err)
-	}
-	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(vmFD), kvm.KVMCheckExtension, 0); err != nil {
+		tx.onUndo("kprobe_close", func() error { probe.Close(); return nil })
+		if _, err := tx.inject(hostsim.SysIoctl, uint64(vmFD), kvm.KVMCheckExtension, 0); err != nil {
+			return fmt.Errorf("triggering kvm_vm_ioctl: %w", err)
+		}
 		probe.Close()
-		return nil, fmt.Errorf("vmsh: triggering kvm_vm_ioctl: %w", err)
+		if !opts.KeepPrivileges {
+			// Privilege drop (§4.5): everything after here runs with
+			// ptrace rights only.
+			v.Proc.DropCapability(hostsim.CapBPF)
+		}
+		if len(slots) == 0 {
+			return ErrNoMemslots
+		}
+		reg = obs.NewRegistry()
+		pm = newProcMem(h, v.Proc, pid, slots, reg)
+		sp.End1("slots", int64(len(slots)))
+		return nil
+	}); err != nil {
+		return fail("memslot_probe", err)
 	}
-	probe.Close()
-	if !opts.KeepPrivileges {
-		// Privilege drop (§4.5): everything after here runs with
-		// ptrace rights only.
-		v.Proc.DropCapability(hostsim.CapBPF)
-	}
-	if len(slots) == 0 {
-		return nil, fmt.Errorf("vmsh: eBPF probe saw no memslots")
-	}
-	reg := obs.NewRegistry()
-	pm := newProcMem(h, v.Proc, pid, slots, reg)
-	sp.End1("slots", int64(len(slots)))
 
 	// --- 4. page-table root + kernel discovery ----------------------
-	sp = trAttach.Span("attach", "kernel_scan")
 	// The target's architecture selects the sregs layout (CR3 vs
 	// TTBR0_EL1), the page-table descriptor format and the KASLR
 	// window — the three axes of the arm64 port (§5).
 	tArch := target.Arch
-	scratch, err := tr.InjectSyscall(tid, hostsim.SysMmap, 0, 4096, 3,
-		hostsim.MapAnonymous|hostsim.MapPrivate, ^uint64(0))
-	if err != nil {
-		return nil, fmt.Errorf("vmsh: injected mmap: %w", err)
-	}
-	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(vcpuFDs[0]), kvm.KVMGetSregs, scratch); err != nil {
-		return nil, fmt.Errorf("vmsh: KVM_GET_SREGS: %w", err)
-	}
-	sregsRaw := make([]byte, kvm.SregsStructSize)
-	if err := h.ProcessVMRead(v.Proc, pid, mem.HVA(scratch), sregsRaw); err != nil {
-		return nil, err
-	}
-	cr3 := mem.GPA(hostsim.DecodeU64(sregsRaw, kvm.PageTableRootOffset(tArch)/8))
-
-	walker := &pagetable.Walker{R: pm, Root: cr3, Fmt: guestos.PageFormat(tArch)}
-	kaslrBase, kaslrEnd := guestos.KASLRWindow(tArch)
+	var scratch uint64
+	var cr3 mem.GPA
 	var kernelRun *pagetable.Mapped
-	err = walker.VisitRange(kaslrBase, kaslrEnd, func(r pagetable.Mapped) bool {
-		if r.Size >= 1<<20 {
-			kernelRun = &r
-			return false
+	var version guestos.Version
+	var scan *ksym.ScanResult
+	if err := tx.run("kernel_scan", func() error {
+		sp := trAttach.Span("attach", "kernel_scan")
+		s, err := tx.inject(hostsim.SysMmap, 0, 4096, 3,
+			hostsim.MapAnonymous|hostsim.MapPrivate, ^uint64(0))
+		if err != nil {
+			return fmt.Errorf("injected mmap: %w", err)
 		}
-		return true
-	})
-	if err != nil {
-		return nil, fmt.Errorf("vmsh: page-table walk: %w", err)
-	}
-	if kernelRun == nil {
-		return nil, fmt.Errorf("vmsh: no kernel image found in KASLR range")
-	}
+		scratch = s
+		tx.onUndo("munmap_scratch", func() error {
+			_, err := tx.inject(hostsim.SysMunmap, s, 4096)
+			return err
+		})
+		if _, err := tx.inject(hostsim.SysIoctl, uint64(vcpuFDs[0]), kvm.KVMGetSregs, scratch); err != nil {
+			return fmt.Errorf("KVM_GET_SREGS: %w", err)
+		}
+		sregsRaw := make([]byte, kvm.SregsStructSize)
+		if err := h.ProcessVMRead(v.Proc, pid, mem.HVA(scratch), sregsRaw); err != nil {
+			return err
+		}
+		cr3 = mem.GPA(hostsim.DecodeU64(sregsRaw, kvm.PageTableRootOffset(tArch)/8))
 
-	img := make([]byte, kernelRun.Size)
-	if err := pm.ReadPhys(kernelRun.GPA, img); err != nil {
-		return nil, fmt.Errorf("vmsh: reading kernel image: %w", err)
-	}
+		walker := &pagetable.Walker{R: pm, Root: cr3, Fmt: guestos.PageFormat(tArch)}
+		kaslrBase, kaslrEnd := guestos.KASLRWindow(tArch)
+		kernelRun = nil
+		err = walker.VisitRange(kaslrBase, kaslrEnd, func(r pagetable.Mapped) bool {
+			if r.Size >= 1<<20 {
+				kernelRun = &r
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return fmt.Errorf("page-table walk: %w", err)
+		}
+		if kernelRun == nil {
+			return ErrKernelNotFound
+		}
 
-	version, err := detectVersion(img)
-	if err != nil {
-		return nil, err
+		img := make([]byte, kernelRun.Size)
+		if err := pm.ReadPhys(kernelRun.GPA, img); err != nil {
+			return fmt.Errorf("reading kernel image: %w", err)
+		}
+		if version, err = detectVersion(img); err != nil {
+			return err
+		}
+		if scan, err = ksym.Scan(img, kernelRun.GVA); err != nil {
+			return fmt.Errorf("%w: %v", ErrKsymNotFound, err)
+		}
+		sp.End2("kernel_bytes", int64(len(img)), "symbols", int64(len(scan.Symbols)))
+		return nil
+	}); err != nil {
+		return fail("kernel_scan", err)
 	}
-	scan, err := ksym.Scan(img, kernelRun.GVA)
-	if err != nil {
-		return nil, fmt.Errorf("vmsh: ksymtab scan: %w", err)
-	}
-	sp.End2("kernel_bytes", int64(len(img)), "symbols", int64(len(scan.Symbols)))
 
 	// --- 5. build + relocate the library ----------------------------
-	sp = trAttach.Span("attach", "build_blob")
-	params := blobParams{
-		version:  version,
-		blkBase:  vmshBlkBase,
-		blkGSI:   vmshBlkGSI,
-		consBase: vmshConsBase,
-		consGSI:  vmshConsGSI,
-		net:      opts.Net != nil,
-		netBase:  vmshNetBase,
-		netGSI:   vmshNetGSI,
-		minimal:  opts.Minimal,
-		overlay: overlay.Options{
-			Console:      "hvc-vmsh",
-			BlkDev:       "vmshblk0",
-			ContainerPID: opts.ContainerPID,
-			SpawnShell:   !opts.NoShell,
-		},
-	}
-	blob, err := buildBlob(params)
-	if err != nil {
-		return nil, err
-	}
-	hdr, err := guestlib.ParseHeader(blob)
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < int(hdr.RelocCnt); i++ {
-		name, err := hdr.RelocName(blob, i)
-		if err != nil {
-			return nil, err
+	var blob []byte
+	var hdr *guestlib.Header
+	if err := tx.run("build_blob", func() error {
+		sp := trAttach.Span("attach", "build_blob")
+		params := blobParams{
+			version:  version,
+			blkBase:  vmshBlkBase,
+			blkGSI:   vmshBlkGSI,
+			consBase: vmshConsBase,
+			consGSI:  vmshConsGSI,
+			net:      opts.Net != nil,
+			netBase:  vmshNetBase,
+			netGSI:   vmshNetGSI,
+			minimal:  opts.Minimal,
+			overlay: overlay.Options{
+				Console:      "hvc-vmsh",
+				BlkDev:       "vmshblk0",
+				ContainerPID: opts.ContainerPID,
+				SpawnShell:   !opts.NoShell,
+			},
 		}
-		gva, ok := scan.Symbols[name]
-		if !ok {
-			return nil, fmt.Errorf("vmsh: kernel %s does not export %q", version, name)
+		var err error
+		if blob, err = buildBlob(params); err != nil {
+			return err
 		}
-		patchU64(blob, hdr.RelocSlotOffset(i), uint64(gva))
+		if hdr, err = guestlib.ParseHeader(blob); err != nil {
+			return err
+		}
+		for i := 0; i < int(hdr.RelocCnt); i++ {
+			name, err := hdr.RelocName(blob, i)
+			if err != nil {
+				return err
+			}
+			gva, ok := scan.Symbols[name]
+			if !ok {
+				return fmt.Errorf("%w: kernel %s does not export %q", ErrKsymNotFound, version, name)
+			}
+			patchU64(blob, hdr.RelocSlotOffset(i), uint64(gva))
+		}
+		sp.End1("blob_bytes", int64(len(blob)))
+		return nil
+	}); err != nil {
+		return fail("build_blob", err)
 	}
-	sp.End1("blob_bytes", int64(len(blob)))
 
 	// --- 6. new memslot at the top of guest physical space ----------
-	sp = trAttach.Span("attach", "inject_library")
-	libGPA := mem.GPA(mem.PageAlign(uint64(pm.maxGPAEnd()) + 2<<20))
-	libHVA, err := tr.InjectSyscall(tid, hostsim.SysMmap, 0, vmshSlotSize, 3,
-		hostsim.MapAnonymous|hostsim.MapPrivate, ^uint64(0))
-	if err != nil {
-		return nil, fmt.Errorf("vmsh: injected mmap for memslot: %w", err)
-	}
-	region := make([]byte, 32)
-	putU32(region[0:], vmshSlotNum)
-	putU64(region[8:], uint64(libGPA))
-	putU64(region[16:], vmshSlotSize)
-	putU64(region[24:], libHVA)
-	if err := h.ProcessVMWrite(v.Proc, pid, mem.HVA(scratch), region); err != nil {
-		return nil, err
-	}
-	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(vmFD), kvm.KVMSetUserMemoryRegion, scratch); err != nil {
-		return nil, fmt.Errorf("vmsh: KVM_SET_USER_MEMORY_REGION: %w", err)
-	}
-	pm.addSlot(kvm.MemSlotInfo{Slot: vmshSlotNum, GPA: libGPA, Size: vmshSlotSize, HVA: mem.HVA(libHVA)})
+	var libGPA mem.GPA
+	var libGVA mem.GVA
+	if err := tx.run("inject_library", func() error {
+		sp := trAttach.Span("attach", "inject_library")
+		libGPA = mem.GPA(mem.PageAlign(uint64(pm.maxGPAEnd()) + 2<<20))
+		libHVA, err := tx.inject(hostsim.SysMmap, 0, vmshSlotSize, 3,
+			hostsim.MapAnonymous|hostsim.MapPrivate, ^uint64(0))
+		if err != nil {
+			return fmt.Errorf("injected mmap for memslot: %w", err)
+		}
+		tx.onUndo("munmap_library", func() error {
+			_, err := tx.inject(hostsim.SysMunmap, libHVA, vmshSlotSize)
+			return err
+		})
+		region := make([]byte, 32)
+		putU32(region[0:], vmshSlotNum)
+		putU64(region[8:], uint64(libGPA))
+		putU64(region[16:], vmshSlotSize)
+		putU64(region[24:], libHVA)
+		if err := h.ProcessVMWrite(v.Proc, pid, mem.HVA(scratch), region); err != nil {
+			return err
+		}
+		if _, err := tx.inject(hostsim.SysIoctl, uint64(vmFD), kvm.KVMSetUserMemoryRegion, scratch); err != nil {
+			return fmt.Errorf("KVM_SET_USER_MEMORY_REGION: %w", err)
+		}
+		tx.onUndo("delete_memslot", func() error {
+			// memory_size 0 deletes the numbered slot (real KVM
+			// semantics), taking the library back out of guest
+			// physical space.
+			del := make([]byte, 32)
+			putU32(del[0:], vmshSlotNum)
+			if err := h.ProcessVMWrite(v.Proc, pid, mem.HVA(scratch), del); err != nil {
+				return err
+			}
+			_, err := tx.inject(hostsim.SysIoctl, uint64(vmFD), kvm.KVMSetUserMemoryRegion, scratch)
+			return err
+		})
+		pm.addSlot(kvm.MemSlotInfo{Slot: vmshSlotNum, GPA: libGPA, Size: vmshSlotSize, HVA: mem.HVA(libHVA)})
+		tx.onUndo("forget_memslot", func() error { pm.removeSlot(vmshSlotNum); return nil })
 
-	if err := pm.WritePhys(libGPA, blob); err != nil {
-		return nil, fmt.Errorf("vmsh: uploading library: %w", err)
-	}
+		if err := pm.WritePhys(libGPA, blob); err != nil {
+			return fmt.Errorf("uploading library: %w", err)
+		}
 
-	// Map the library right after the kernel image (§4.2), using
-	// page-table pages from VMSH's own slot so no guest allocator is
-	// involved.
-	libGVA := kernelRun.GVA + mem.GVA(kernelRun.Size)
-	sideAlloc := mem.NewBumpAlloc(libGPA+mem.GPA(mem.PageAlign(uint64(len(blob)))), libGPA+mem.GPA(vmshSlotSize))
-	mapper := pagetable.AttachMapper(pm, sideAlloc, cr3)
-	mapper.Fmt = guestos.PageFormat(tArch)
-	if err := mapper.MapRange(libGVA, libGPA, mem.PageAlign(uint64(len(blob))),
-		pagetable.FlagWrite|pagetable.FlagGlobal); err != nil {
-		return nil, fmt.Errorf("vmsh: mapping library: %w", err)
+		// Map the library right after the kernel image (§4.2), using
+		// page-table pages from VMSH's own slot so no guest allocator
+		// is involved. Every entry write is journaled so rollback can
+		// restore the guest tables to their exact prior bytes.
+		libGVA = kernelRun.GVA + mem.GVA(kernelRun.Size)
+		sideAlloc := mem.NewBumpAlloc(libGPA+mem.GPA(mem.PageAlign(uint64(len(blob)))), libGPA+mem.GPA(vmshSlotSize))
+		mapper := pagetable.AttachMapper(pm, sideAlloc, cr3)
+		mapper.Fmt = guestos.PageFormat(tArch)
+		mapper.StartJournal()
+		tx.onUndo("undo_pagetable", mapper.UndoJournal)
+		if err := mapper.MapRange(libGVA, libGPA, mem.PageAlign(uint64(len(blob))),
+			pagetable.FlagWrite|pagetable.FlagGlobal); err != nil {
+			return fmt.Errorf("mapping library: %w", err)
+		}
+		sp.End()
+		return nil
+	}); err != nil {
+		return fail("inject_library", err)
 	}
-	sp.End()
 
 	// --- 7. devices: irqfds, trap, external hosting -----------------
-	sp = trAttach.Span("attach", "setup_devices")
 	sess := &Session{
-		v: v, target: target, tracer: tr, pm: pm, reg: reg,
+		v: v, target: target, tracer: tx.tracer, pm: pm, reg: reg, tx: tx,
 		vmFD: vmFD, vcpuFDs: vcpuFDs,
 		libGPA: libGPA, libGVA: libGVA, hdr: hdr,
 		trap: opts.Trap, version: version, kernelBase: kernelRun.GVA,
 	}
-	if err := sess.setupDevices(tid, scratch, opts); err != nil {
-		return nil, err
+	if err := tx.run("setup_devices", func() error {
+		sp := trAttach.Span("attach", "setup_devices")
+		sess.tracer = tx.tracer
+		if err := sess.setupDevices(tx, scratch, opts); err != nil {
+			return err
+		}
+		sp.End()
+		return nil
+	}); err != nil {
+		return fail("setup_devices", err)
 	}
-	sp.End()
 
 	// --- 8. hijack the instruction pointer and resume ----------------
-	sp = trAttach.Span("attach", "rip_flip")
-	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(vcpuFDs[0]), kvm.KVMGetRegs, scratch); err != nil {
-		return nil, fmt.Errorf("vmsh: KVM_GET_REGS: %w", err)
-	}
-	regsRaw := make([]byte, kvm.RegsStructSize(tArch))
-	if err := h.ProcessVMRead(v.Proc, pid, mem.HVA(scratch), regsRaw); err != nil {
-		return nil, err
-	}
-	ipIdx := kvm.InstrPtrIndex(tArch)
-	origRIP := hostsim.DecodeU64(regsRaw, ipIdx)
-	// Pre-store the resume instruction pointer in the trampoline save
-	// area (slot 16 by blob convention on both architectures).
-	var ripRaw [8]byte
-	putU64(ripRaw[:], origRIP)
-	if err := pm.WritePhys(libGPA+mem.GPA(hdr.SavedOff+16*8), ripRaw[:]); err != nil {
-		return nil, err
-	}
-	patchU64(regsRaw, uint64(ipIdx*8), uint64(libGVA))
-	if err := h.ProcessVMWrite(v.Proc, pid, mem.HVA(scratch), regsRaw); err != nil {
-		return nil, err
-	}
-	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(vcpuFDs[0]), kvm.KVMSetRegs, scratch); err != nil {
-		return nil, fmt.Errorf("vmsh: KVM_SET_REGS: %w", err)
-	}
+	if err := tx.run("rip_flip", func() error {
+		sp := trAttach.Span("attach", "rip_flip")
+		if _, err := tx.inject(hostsim.SysIoctl, uint64(vcpuFDs[0]), kvm.KVMGetRegs, scratch); err != nil {
+			return fmt.Errorf("KVM_GET_REGS: %w", err)
+		}
+		regsRaw := make([]byte, kvm.RegsStructSize(tArch))
+		if err := h.ProcessVMRead(v.Proc, pid, mem.HVA(scratch), regsRaw); err != nil {
+			return err
+		}
+		// Register the register-file restore before touching it. Once
+		// the guest resumed this undo is skipped: the library's
+		// trampoline owns the restore from then on, and re-writing the
+		// saved snapshot would rewind a running guest.
+		orig := append([]byte(nil), regsRaw...)
+		tx.onUndoSkipResumed("restore_vcpu_regs", func() error {
+			if err := h.ProcessVMWrite(v.Proc, pid, mem.HVA(scratch), orig); err != nil {
+				return err
+			}
+			_, err := tx.inject(hostsim.SysIoctl, uint64(vcpuFDs[0]), kvm.KVMSetRegs, scratch)
+			return err
+		})
+		ipIdx := kvm.InstrPtrIndex(tArch)
+		origRIP := hostsim.DecodeU64(regsRaw, ipIdx)
+		// Pre-store the resume instruction pointer in the trampoline
+		// save area (slot 16 by blob convention on both
+		// architectures).
+		var ripRaw [8]byte
+		putU64(ripRaw[:], origRIP)
+		if err := pm.WritePhys(libGPA+mem.GPA(hdr.SavedOff+16*8), ripRaw[:]); err != nil {
+			return err
+		}
+		patchU64(regsRaw, uint64(ipIdx*8), uint64(libGVA))
+		if err := h.ProcessVMWrite(v.Proc, pid, mem.HVA(scratch), regsRaw); err != nil {
+			return err
+		}
+		if _, err := tx.inject(hostsim.SysIoctl, uint64(vcpuFDs[0]), kvm.KVMSetRegs, scratch); err != nil {
+			return fmt.Errorf("KVM_SET_REGS: %w", err)
+		}
 
-	// Resume: the in-flight KVM_RUN re-enters the guest, which now
-	// executes the library.
-	if err := tr.ResumeAll(); err != nil {
-		return nil, err
-	}
+		// Resume: the in-flight KVM_RUN re-enters the guest, which now
+		// executes the library. From here the stage must not re-run —
+		// re-flipping an instruction pointer that already points into
+		// the library would corrupt the guest — so the status poll
+		// below retries at the operation level only.
+		if err := tx.tracer.ResumeAll(); err != nil {
+			return err
+		}
+		tx.resumed = true
 
-	// Poll the shared sync page for the library's verdict.
-	status, err := sess.readSync(guestlib.SyncStatus)
-	if err != nil {
-		return nil, err
+		// Poll the shared sync page for the library's verdict.
+		status, err := retryOp(tx, func() (uint64, error) {
+			return sess.readSync(guestlib.SyncStatus)
+		})
+		if err != nil {
+			return err
+		}
+		if status&guestlib.StatusErrorBase != 0 {
+			return fmt.Errorf("%w: library reported error %#x (see guest log)", ErrLibraryFailed, status)
+		}
+		if status != guestlib.StatusReady {
+			return fmt.Errorf("%w: library did not become ready (status %d)", ErrLibraryFailed, status)
+		}
+		sp.End()
+		return nil
+	}); err != nil {
+		return fail("rip_flip", err)
 	}
-	if status&guestlib.StatusErrorBase != 0 {
-		sess.teardownTraps()
-		return nil, fmt.Errorf("vmsh: library reported error %#x (see guest log)", status)
-	}
-	if status != guestlib.StatusReady {
-		sess.teardownTraps()
-		return nil, fmt.Errorf("vmsh: library did not become ready (status %d)", status)
-	}
-	sp.End()
 	spAttach.End()
 
-	// In ioregionfd mode ptrace was only needed during setup. (The
-	// session's trap field carries the *resolved* mode: TrapAuto has
-	// already collapsed to whichever mechanism worked.)
+	// In ioregionfd mode ptrace was only needed during setup; the
+	// detach-time cleanup re-attaches. (The session's trap field
+	// carries the *resolved* mode: TrapAuto has already collapsed to
+	// whichever mechanism worked.)
 	if sess.trap == TrapIoregionfd {
-		cleanupTracer = false
-		_ = tr.Detach()
+		_ = tx.tracer.Detach()
+		tx.tracer = nil
 		sess.tracer = nil
-	} else {
-		cleanupTracer = false
 	}
 	return sess, nil
 }

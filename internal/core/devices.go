@@ -124,16 +124,17 @@ func (m *mmioMux) MMIO(gpa mem.GPA, size int, write bool, value uint64) uint64 {
 
 // setupDevices performs step 7 of Attach: eventfd + irqfd plumbing by
 // injection, fd passing over an injected unix socket, trap
-// installation and device hosting.
-func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options) error {
+// installation and device hosting. Every side effect registers its
+// compensation on the transaction, so both a failed attach and a
+// clean detach unwind the same way.
+func (s *Session) setupDevices(tx *attachTx, scratch uint64, opts Options) error {
 	h := s.v.Host
-	tr := s.tracer
 	pid := s.target.PID
 
 	image := opts.Image
 	if image == nil {
 		if !opts.Minimal {
-			return fmt.Errorf("vmsh: an fs image is required unless Minimal")
+			return ErrNoImage
 		}
 		image = h.CreateFile(fmt.Sprintf("vmsh-minimal-%d.img", pid), 1<<20, false)
 	}
@@ -146,26 +147,36 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 	if err != nil {
 		return err
 	}
+	tx.onUndo("unbind_socket", func() error { h.UnbindUnix(sockPath); return nil })
 
 	// Create the two irq eventfds inside the hypervisor and register
 	// them as irqfds for our GSIs.
-	evBlk, err := tr.InjectSyscall(tid, hostsim.SysEventfd2, 0, 0)
+	closeFD := func(name string, fd uint64) {
+		tx.onUndo(name, func() error {
+			_, err := tx.inject(hostsim.SysClose, fd)
+			return err
+		})
+	}
+	evBlk, err := tx.inject(hostsim.SysEventfd2, 0, 0)
 	if err != nil {
 		return err
 	}
-	evCons, err := tr.InjectSyscall(tid, hostsim.SysEventfd2, 0, 0)
+	closeFD("close_ev_blk", evBlk)
+	evCons, err := tx.inject(hostsim.SysEventfd2, 0, 0)
 	if err != nil {
 		return err
 	}
+	closeFD("close_ev_cons", evCons)
 	irqRegs := []struct {
 		fd  uint64
 		gsi uint32
 	}{{evBlk, vmshBlkGSI}, {evCons, vmshConsGSI}}
 	var evNet uint64
 	if opts.Net != nil {
-		if evNet, err = tr.InjectSyscall(tid, hostsim.SysEventfd2, 0, 0); err != nil {
+		if evNet, err = tx.inject(hostsim.SysEventfd2, 0, 0); err != nil {
 			return err
 		}
+		closeFD("close_ev_net", evNet)
 		irqRegs = append(irqRegs, struct {
 			fd  uint64
 			gsi uint32
@@ -181,20 +192,21 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 		if err := h.ProcessVMWrite(s.v.Proc, pid, mem.HVA(scratch), irqfd); err != nil {
 			return err
 		}
-		if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(s.vmFD), kvm.KVMIrqfd, scratch); err != nil {
+		if _, err := tx.inject(hostsim.SysIoctl, uint64(s.vmFD), kvm.KVMIrqfd, scratch); err != nil {
 			return fmt.Errorf("vmsh: KVM_IRQFD (gsi %d): %w", reg.gsi, err)
 		}
 	}
 
 	// Pass the eventfds back over the unix socket.
-	sock, err := tr.InjectSyscall(tid, hostsim.SysSocket, 1, 1, 0)
+	sock, err := tx.inject(hostsim.SysSocket, 1, 1, 0)
 	if err != nil {
 		return err
 	}
+	closeFD("close_pass_sock", sock)
 	if err := h.ProcessVMWrite(s.v.Proc, pid, mem.HVA(scratch)+128, []byte(sockPath)); err != nil {
 		return err
 	}
-	if _, err := tr.InjectSyscall(tid, hostsim.SysConnect, sock, scratch+128, uint64(len(sockPath))); err != nil {
+	if _, err := tx.inject(hostsim.SysConnect, sock, scratch+128, uint64(len(sockPath))); err != nil {
 		return err
 	}
 	sendArgs := []uint64{sock, 0, 0, evBlk, evCons}
@@ -203,7 +215,7 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 		sendArgs = append(sendArgs, evNet)
 		wantFDs = 3
 	}
-	if _, err := tr.InjectSyscall(tid, hostsim.SysSendmsg, sendArgs...); err != nil {
+	if _, err := tx.inject(hostsim.SysSendmsg, sendArgs...); err != nil {
 		return err
 	}
 	conn, ok := listener.Accept()
@@ -216,9 +228,17 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 	}
 	s.blkEvFD = s.v.Proc.InstallFD(rights[0])
 	s.consEvFD = s.v.Proc.InstallFD(rights[1])
+	localFDs := []int{s.blkEvFD, s.consEvFD}
 	if opts.Net != nil {
 		s.netEvFD = s.v.Proc.InstallFD(rights[2])
+		localFDs = append(localFDs, s.netEvFD)
 	}
+	tx.onUndo("close_local_evfds", func() error {
+		for _, fd := range localFDs {
+			_ = s.v.Proc.CloseFD(fd)
+		}
+		return nil
+	})
 
 	// A one-page buffer in our own address space for eventfd writes.
 	sigHVA, err := s.v.Proc.Syscall(hostsim.SysMmap, 0, 4096, 3,
@@ -226,6 +246,10 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 	if err != nil {
 		return err
 	}
+	tx.onUndo("munmap_sig_page", func() error {
+		_, err := s.v.Proc.Syscall(hostsim.SysMunmap, sigHVA, 4096)
+		return err
+	})
 	s.sigHVA = sigHVA
 	_ = s.v.Proc.WriteMem(mem.HVA(sigHVA), hostsim.EncodeU64s(1))
 
@@ -234,6 +258,7 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 	backend := &mmapBackend{f: image, host: h, resident: make(map[int64]bool), bounce: opts.BounceCopy}
 	batch := !opts.LegacyVirtio
 	s.blk = virtio.NewBlkDevice(vmshBlkBase, s.pm, backend, h.Clock, h.Costs)
+	s.blk.Faults = h.Faults
 	s.blk.Batch = batch
 	s.blk.Dev.Trace = h.Trace.Track("dev:blk")
 	s.blk.Dev.IRQs = s.reg.Counter("blk.irqs")
@@ -263,7 +288,12 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 		// Deliver — all against the process_vm view of guest memory.
 		port := opts.Net.NewPort(fmt.Sprintf("vmsh-pid%d", pid), opts.NetLink)
 		s.netPort = port
+		// Ports cannot be removed from a switch (later port IDs would
+		// shift); unplugging the delivery sink is the rollback.
+		tx.onUndo("unplug_net_port", func() error { port.Deliver = nil; return nil })
+		opts.Net.SetFaults(h.Faults)
 		s.net = virtio.NewNetDevice(vmshNetBase, [6]byte(port.MAC()), s.pm)
+		s.net.Faults = h.Faults
 		s.net.Batch = batch
 		s.net.Dev.Trace = h.Trace.Track("dev:net")
 		s.net.Dev.IRQs = s.reg.Counter("net.irqs")
@@ -300,7 +330,7 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 		mode = TrapIoregionfd
 	}
 	if mode == TrapIoregionfd {
-		err := s.setupIoregion(tid, scratch, sock, listener, conn, mux)
+		err := s.setupIoregion(tx, scratch, sock, listener, conn, mux)
 		switch {
 		case err == nil:
 			// fast path active
@@ -324,31 +354,53 @@ func (s *Session) setupDevices(tid *hostsim.Thread, scratch uint64, opts Options
 			return fmt.Errorf("vmsh: fd %d is not a KVM VM", s.vmFD)
 		}
 		s.wrapVM = vmFD.VM
-		tr.SetSyscallTax(true)
+		tx.tracer.SetSyscallTax(true)
 		s.wrapVM.SetWrapTrap(vmshBlkBase, vmshMMIOWindow, mux)
 	}
+	tx.onUndo("teardown_traps", func() error { s.teardownTraps(); return nil })
 	s.trap = mode
 	return nil
+}
+
+// decodePairFD reads one little-endian fd number out of a socketpair
+// result buffer.
+func decodePairFD(raw []byte, off int) uint64 {
+	return uint64(raw[off]) | uint64(raw[off+1])<<8 | uint64(raw[off+2])<<16 | uint64(raw[off+3])<<24
 }
 
 // setupIoregion creates a socketpair inside the hypervisor, registers
 // one end as the ioregionfd for the VMSH MMIO window, receives the
 // other end over the unix socket and serves it.
-func (s *Session) setupIoregion(tid *hostsim.Thread, scratch, sock uint64,
+func (s *Session) setupIoregion(tx *attachTx, scratch, sock uint64,
 	listener *hostsim.UnixListener, conn *hostsim.SockPairFD, mux kvm.MMIOHandler) error {
 	h := s.v.Host
-	tr := s.tracer
 	pid := s.target.PID
 
-	if _, err := tr.InjectSyscall(tid, hostsim.SysSocketpair, 1, 1, 0, scratch+192); err != nil {
+	if _, err := tx.inject(hostsim.SysSocketpair, 1, 1, 0, scratch+192); err != nil {
 		return fmt.Errorf("vmsh: injected socketpair: %w", err)
 	}
+	// The undo is registered before the readback: if the read itself
+	// faults, the pair must still be closed. The undo re-reads the fd
+	// numbers from the scratch page (undo crossings run with the fault
+	// plane paused, so this cannot fault recursively).
+	tx.onUndo("close_ioregion_pair", func() error {
+		raw := make([]byte, 8)
+		if err := h.ProcessVMRead(s.v.Proc, pid, mem.HVA(scratch)+192, raw); err != nil {
+			return err
+		}
+		_, e1 := tx.inject(hostsim.SysClose, decodePairFD(raw, 0))
+		_, e2 := tx.inject(hostsim.SysClose, decodePairFD(raw, 4))
+		if e1 != nil {
+			return e1
+		}
+		return e2
+	})
 	pairRaw := make([]byte, 8)
 	if err := h.ProcessVMRead(s.v.Proc, pid, mem.HVA(scratch)+192, pairRaw); err != nil {
 		return err
 	}
-	rfd := uint64(pairRaw[0]) | uint64(pairRaw[1])<<8 | uint64(pairRaw[2])<<16 | uint64(pairRaw[3])<<24
-	sfd := uint64(pairRaw[4]) | uint64(pairRaw[5])<<8 | uint64(pairRaw[6])<<16 | uint64(pairRaw[7])<<24
+	rfd := decodePairFD(pairRaw, 0)
+	sfd := decodePairFD(pairRaw, 4)
 
 	ioregion := make([]byte, 40)
 	putU64(ioregion[0:], uint64(vmshBlkBase))
@@ -357,11 +409,11 @@ func (s *Session) setupIoregion(tid *hostsim.Thread, scratch, sock uint64,
 	if err := h.ProcessVMWrite(s.v.Proc, pid, mem.HVA(scratch), ioregion); err != nil {
 		return err
 	}
-	if _, err := tr.InjectSyscall(tid, hostsim.SysIoctl, uint64(s.vmFD), kvm.KVMSetIoregion, scratch); err != nil {
+	if _, err := tx.inject(hostsim.SysIoctl, uint64(s.vmFD), kvm.KVMSetIoregion, scratch); err != nil {
 		return fmt.Errorf("vmsh: KVM_SET_IOREGION: %w", err)
 	}
 	// Receive the serving end via the unix socket.
-	if _, err := tr.InjectSyscall(tid, hostsim.SysSendmsg, sock, 0, 0, sfd); err != nil {
+	if _, err := tx.inject(hostsim.SysSendmsg, sock, 0, 0, sfd); err != nil {
 		return err
 	}
 	conn2, ok := listener.Accept()
@@ -380,7 +432,8 @@ func (s *Session) setupIoregion(tid *hostsim.Thread, scratch, sock uint64,
 	if !okCast {
 		return fmt.Errorf("vmsh: passed fd is %T, want socket", rights2[0])
 	}
-	s.v.Proc.InstallFD(serveSock)
+	serveFD := s.v.Proc.InstallFD(serveSock)
+	tx.onUndo("close_serve_sock", func() error { return s.v.Proc.CloseFD(serveFD) })
 	serveSock.SetHandler(mux)
 	s.serveSock = serveSock
 	return nil

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed attach failures. Every error Attach returns wraps exactly one
+// of these sentinels inside an *AttachError carrying the transaction
+// stage it failed in, so callers can branch with errors.Is/errors.As
+// instead of matching message substrings.
+var (
+	// ErrNoProcess: the pid does not exist on the simulated host.
+	ErrNoProcess = errors.New("no such process")
+	// ErrNotHypervisor: the process has no KVM VM/vCPU fds.
+	ErrNotHypervisor = errors.New("does not look like a KVM hypervisor")
+	// ErrNoMemslots: the eBPF kvm_vm_ioctl probe fired but reported an
+	// empty memslot table.
+	ErrNoMemslots = errors.New("eBPF probe saw no memslots")
+	// ErrKernelNotFound: no kernel-sized mapping in the KASLR window.
+	ErrKernelNotFound = errors.New("no kernel image found in KASLR range")
+	// ErrKsymNotFound: the ksymtab scan (or a later relocation lookup)
+	// could not resolve a required exported symbol.
+	ErrKsymNotFound = errors.New("ksymtab symbol resolution failed")
+	// ErrLibraryFailed: the side-loaded library started but reported an
+	// error status (or never became ready) on the sync page.
+	ErrLibraryFailed = errors.New("guest library failed")
+	// ErrNoImage: no filesystem image supplied for a non-Minimal attach.
+	ErrNoImage = errors.New("an fs image is required unless Minimal")
+)
+
+// AttachError is the typed failure Attach returns: which transaction
+// stage failed, for which hypervisor pid, wrapping the underlying
+// cause. By the time the caller sees it, the attach transaction has
+// already rolled the guest back to its pre-attach state.
+type AttachError struct {
+	// Stage is the attach-transaction stage name (fd_discovery,
+	// ptrace_interrupt, memslot_probe, kernel_scan, build_blob,
+	// inject_library, setup_devices, rip_flip). Empty when the failure
+	// precedes the transaction (unknown pid).
+	Stage string
+	// PID is the hypervisor process the attach targeted.
+	PID int
+	// Err is the underlying cause; AttachError unwraps to it, so
+	// errors.Is sees the sentinels above and any fault sentinel
+	// (faults.EINTR, hostsim.ErrPerm, ...) in the chain.
+	Err error
+}
+
+// Error implements error.
+func (e *AttachError) Error() string {
+	if e.Stage == "" {
+		return fmt.Sprintf("vmsh: attach pid %d: %v", e.PID, e.Err)
+	}
+	return fmt.Sprintf("vmsh: attach pid %d failed at %s: %v", e.PID, e.Stage, e.Err)
+}
+
+// Unwrap implements the errors.Is/As chain.
+func (e *AttachError) Unwrap() error { return e.Err }

@@ -57,6 +57,18 @@ func (pm *procMem) addSlot(s kvm.MemSlotInfo) {
 	pm.lastHit.Store(0)
 }
 
+// removeSlot drops a slot from the translator (rollback of addSlot,
+// after the memslot itself was deleted from the VM).
+func (pm *procMem) removeSlot(slot uint32) {
+	for i, s := range pm.slots {
+		if s.Slot == slot {
+			pm.slots = append(pm.slots[:i], pm.slots[i+1:]...)
+			pm.lastHit.Store(0)
+			return
+		}
+	}
+}
+
 // slotFor returns the index of the slot containing gpa, or -1.
 func (pm *procMem) slotFor(gpa mem.GPA) int {
 	if i := int(pm.lastHit.Load()); i < len(pm.slots) {

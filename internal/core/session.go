@@ -46,6 +46,11 @@ type Session struct {
 	// its handler) deregisters the MMIO routing kernel-side.
 	serveSock *hostsim.SockPairFD
 
+	// tx is the attach transaction whose undo stack still holds every
+	// live compensation; Detach drains it so a detached guest is left
+	// byte-identical to one that was never attached to.
+	tx *attachTx
+
 	out      bytes.Buffer
 	detached bool
 }
@@ -189,7 +194,12 @@ func (s *Session) teardownTraps() {
 }
 
 // Detach asks the library to unwind (§4.4): control word + console
-// interrupt, wait for the ack, then remove traps and ptrace.
+// interrupt, wait for the ack — then drains the attach transaction's
+// undo stack, removing every host-side artefact of the attach (the
+// library memslot and its mapping, the page-table entries, every
+// injected mmap and created fd, traps, ptrace). Detach is idempotent:
+// a second call is a no-op, and a Detach after a failed attach finds
+// an already-empty undo stack.
 func (s *Session) Detach() error {
 	if s.detached {
 		return nil
@@ -208,10 +218,35 @@ func (s *Session) Detach() error {
 	if ack != 1 {
 		return fmt.Errorf("vmsh: guest did not acknowledge detach")
 	}
-	s.teardownTraps()
-	if s.tracer != nil {
-		_ = s.tracer.Detach()
+	if tx := s.tx; tx != nil {
+		// Cleanup runs with the fault plane paused: compensations must
+		// not fault, and must not shift the plan's sequence numbers.
+		f := s.v.Host.Faults
+		wasPaused := f.Paused()
+		f.SetPaused(true)
+		if tx.tracer == nil {
+			// ioregionfd mode dropped ptrace after setup; the injected
+			// cleanup syscalls need it back.
+			tr, err := s.v.Proc.Attach(s.target)
+			if err != nil {
+				f.SetPaused(wasPaused)
+				return err
+			}
+			tx.tracer = tr
+		}
+		// rollback re-interrupts the (running) target, runs the undo
+		// stack LIFO — the guest resumed long ago, so the saved-regs
+		// restore is skipped; the trampoline already did it guest-side
+		// — and ends by detaching ptrace.
+		tx.rollback()
+		f.SetPaused(wasPaused)
 		s.tracer = nil
+	} else {
+		s.teardownTraps()
+		if s.tracer != nil {
+			_ = s.tracer.Detach()
+			s.tracer = nil
+		}
 	}
 	s.detached = true
 	return nil

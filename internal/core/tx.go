@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"vmsh/internal/faults"
+	"vmsh/internal/hostsim"
+)
+
+// RetryPolicy bounds how the attach transaction retries a stage whose
+// failure is transient (faults.IsTransient: EINTR/EAGAIN-class). The
+// zero value disables retry — every failure rolls back immediately.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per stage (1 = no retry).
+	Attempts int
+	// Backoff is the virtual-time delay charged before the first
+	// retry. Zero with Attempts > 1 falls back to DefaultBackoff.
+	Backoff time.Duration
+	// Multiplier grows the backoff between retries (exponential
+	// backoff); values below 1 are treated as DefaultMultiplier.
+	Multiplier float64
+}
+
+// Retry defaults used when a policy enables retries without pinning
+// the knobs.
+const (
+	DefaultBackoff    = 50 * time.Microsecond
+	DefaultMultiplier = 2.0
+)
+
+// DefaultRetry is the policy the CLI arms with -retry: three attempts
+// with 50us/100us of virtual-time backoff between them.
+var DefaultRetry = RetryPolicy{Attempts: 3}
+
+// undoEntry is one registered compensation. Undos run in LIFO order on
+// rollback; entries tagged skipAfterResume are only valid while the
+// guest has never executed library code (the library restores its own
+// side of the state once running — re-restoring the saved vCPU
+// registers after resume would rewind the guest into the past).
+type undoEntry struct {
+	name            string
+	fn              func() error
+	skipAfterResume bool
+}
+
+// attachTx is the staged attach transaction: every stage of
+// core.Attach runs under tx.run, which publishes the stage name to the
+// fault plane, retries transient failures with vclock-charged
+// exponential backoff, and — via the undo stack — guarantees that a
+// failure at any point unwinds every host- and guest-visible side
+// effect already applied, leaving the target byte-identical to its
+// pre-attach state.
+type attachTx struct {
+	h     *hostsim.Host
+	pid   int
+	retry RetryPolicy
+
+	// tracer/tid are the live ptrace handles; undo closures read them
+	// through the tx so a Detach-time re-attach (ioregionfd mode drops
+	// ptrace after setup) retargets every pending compensation.
+	tracer *hostsim.Tracer
+	tid    *hostsim.Thread
+
+	undos []undoEntry
+	// resumed flips once ResumeAll let the guest execute library code;
+	// from then on stage retries are forbidden (re-running rip_flip
+	// would re-flip an instruction pointer that now points into the
+	// library) and skipAfterResume undos are dropped.
+	resumed bool
+}
+
+func newAttachTx(h *hostsim.Host, pid int, retry RetryPolicy) *attachTx {
+	return &attachTx{h: h, pid: pid, retry: retry}
+}
+
+// onUndo registers a compensation for a side effect that just
+// succeeded.
+func (tx *attachTx) onUndo(name string, fn func() error) {
+	tx.undos = append(tx.undos, undoEntry{name: name, fn: fn})
+}
+
+// onUndoSkipResumed registers a compensation valid only before the
+// guest resumed into the library.
+func (tx *attachTx) onUndoSkipResumed(name string, fn func() error) {
+	tx.undos = append(tx.undos, undoEntry{name: name, fn: fn, skipAfterResume: true})
+}
+
+// inject runs one syscall inside the stopped target through the
+// transaction's current tracer (undo closures use this so they follow
+// tracer re-attachment).
+func (tx *attachTx) inject(nr uint64, args ...uint64) (uint64, error) {
+	return tx.tracer.InjectSyscall(tx.tid, nr, args...)
+}
+
+// run executes one named stage. The stage name doubles as the fault
+// plane's stage context and as AttachError.Stage. On a transient
+// failure the stage's own side effects are unwound, exponential
+// backoff is charged to the virtual clock, and the stage re-runs from
+// a clean slate — up to the policy's attempt budget.
+func (tx *attachTx) run(name string, fn func() error) error {
+	f := tx.h.Faults
+	f.SetStage(name)
+	defer f.SetStage("")
+
+	attempts := tx.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := tx.retry.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	mult := tx.retry.Multiplier
+	if mult < 1 {
+		mult = DefaultMultiplier
+	}
+
+	for attempt := 1; ; attempt++ {
+		mark := len(tx.undos)
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if tx.resumed || attempt >= attempts || !faults.IsTransient(err) {
+			return err
+		}
+		// Transient: unwind just this stage's side effects and retry
+		// after vclock-charged backoff.
+		tx.unwind(mark)
+		tx.h.Clock.Advance(backoff)
+		backoff = time.Duration(float64(backoff) * mult)
+	}
+}
+
+// retryOp retries one idempotent read-style operation (no side effects
+// to unwind) under the same transient policy; the post-resume status
+// poll uses it because the stage-level retry is forbidden there.
+func retryOp[T any](tx *attachTx, fn func() (T, error)) (T, error) {
+	attempts := tx.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := tx.retry.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	mult := tx.retry.Multiplier
+	if mult < 1 {
+		mult = DefaultMultiplier
+	}
+	for attempt := 1; ; attempt++ {
+		v, err := fn()
+		if err == nil || attempt >= attempts || !faults.IsTransient(err) {
+			return v, err
+		}
+		tx.h.Clock.Advance(backoff)
+		backoff = time.Duration(float64(backoff) * mult)
+	}
+}
+
+// unwind pops and runs undos down to mark, with the fault plane
+// paused: compensations are host crossings too, but letting them fault
+// (or advance fault sequence numbers) would make cleanup recursive and
+// the schedule nondeterministic.
+func (tx *attachTx) unwind(mark int) {
+	f := tx.h.Faults
+	wasPaused := f.Paused()
+	f.SetPaused(true)
+	defer f.SetPaused(wasPaused)
+
+	for i := len(tx.undos) - 1; i >= mark; i-- {
+		u := tx.undos[i]
+		if u.skipAfterResume && tx.resumed {
+			continue
+		}
+		_ = u.fn()
+	}
+	tx.undos = tx.undos[:mark]
+}
+
+// rollback unwinds the whole transaction. After the guest resumed
+// (rip_flip completed or a post-resume failure) the target's threads
+// are running again, so they are re-interrupted first — the injected
+// cleanup calls need stopped threads like any other injection.
+func (tx *attachTx) rollback() {
+	if tx.resumed && tx.tracer != nil {
+		f := tx.h.Faults
+		wasPaused := f.Paused()
+		f.SetPaused(true)
+		err := tx.tracer.InterruptAll()
+		f.SetPaused(wasPaused)
+		if err != nil && !errors.Is(err, hostsim.ErrNotTraced) {
+			// Without ptrace there is nothing more we can undo.
+			tx.undos = nil
+			return
+		}
+	}
+	tx.unwind(0)
+}

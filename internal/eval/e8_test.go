@@ -1,0 +1,53 @@
+package eval
+
+import "testing"
+
+// TestE8FaultSweep runs the full single-fault sweep: every crossing
+// class of a clean attach gets faulted once, and every point must
+// either roll back byte-identically or absorb the fault. The sweep
+// itself errors on any violation, so the test body is a thin wrapper.
+func TestE8FaultSweep(t *testing.T) {
+	tbl, err := RunFaultSweep(42)
+	if err != nil {
+		if tbl != nil {
+			t.Log("\n" + tbl.Format())
+		}
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.Format())
+	rows := map[string]float64{}
+	for _, r := range tbl.Rows {
+		rows[r.Name] = r.Measured
+	}
+	if rows["crossing classes (op x stage)"] < 5 {
+		t.Fatalf("suspiciously few crossing classes: %v", rows["crossing classes (op x stage)"])
+	}
+	if rows["rollback/retry violations"] != 0 {
+		t.Fatalf("violations: %v", rows["rollback/retry violations"])
+	}
+	if rows["vtime delta, plan armed vs off"] != 0 {
+		t.Fatalf("armed plan perturbed virtual time by %vns", rows["vtime delta, plan armed vs off"])
+	}
+	if rows["net faults: frames dropped, link up"] == 0 {
+		t.Fatal("net degradation leg dropped nothing")
+	}
+}
+
+// TestE8Deterministic replays the sweep table with the same seed and
+// requires identical rows — the whole fault plane is seeded.
+func TestE8Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full sweeps")
+	}
+	a, err := RunFaultSweep(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFaultSweep(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Fatalf("same-seed sweeps diverged:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+}

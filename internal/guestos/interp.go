@@ -83,6 +83,12 @@ func (k *Kernel) runLibrary(v *kvm.VCPU, rip mem.GVA) {
 	if err := ctx.runProgram(0); err != nil {
 		k.Printk("vmsh-lib: aborted: %v", err)
 		ctx.writeSync(guestlib.SyncStatus, guestlib.StatusErrorBase|1)
+		// The library unwinds its own guest-side work before handing
+		// the vCPU back: overlay processes stop and every device this
+		// run registered is removed, so a failed attach leaves the
+		// guest re-attachable (the host rolls its side back too).
+		k.unwindVMSHState()
+		k.libRegion.base = 0
 	}
 
 	// Trampoline exit: restore registers; the guest resumes where it
@@ -244,6 +250,22 @@ func (k *Kernel) syncWordGVA(word int) (mem.GVA, bool) {
 	return k.libRegion.base + mem.GVA(hdr.SyncOff+uint64(word*8)), true
 }
 
+// unwindVMSHState removes everything a library run added to the
+// kernel: overlay processes exit and the VMSH devices unregister in
+// reverse order. Shared by the detach handshake and the library's own
+// abort path.
+func (k *Kernel) unwindVMSHState() {
+	for _, p := range k.Procs() {
+		if p.Container == "vmsh-overlay" {
+			p.Exit()
+		}
+	}
+	for i := len(k.vmshDevs) - 1; i >= 0; i-- {
+		_ = k.unregisterVMSHDevice(k.vmshDevs[i].handle)
+	}
+	k.vmshDevs = nil
+}
+
 // checkVMSHControl polls the host->guest control word; on a detach
 // request it unregisters the VMSH devices, stops the overlay processes
 // and acknowledges.
@@ -259,17 +281,7 @@ func (k *Kernel) checkVMSHControl() {
 	if binary.LittleEndian.Uint64(raw[:]) != guestlib.ControlDetach {
 		return
 	}
-	// Stop overlay processes.
-	for _, p := range k.Procs() {
-		if p.Container == "vmsh-overlay" {
-			p.Exit()
-		}
-	}
-	// Unregister devices in reverse order.
-	for i := len(k.vmshDevs) - 1; i >= 0; i-- {
-		_ = k.unregisterVMSHDevice(k.vmshDevs[i].handle)
-	}
-	k.vmshDevs = nil
+	k.unwindVMSHState()
 	// Acknowledge and mark status.
 	if ackGVA, ok := k.syncWordGVA(guestlib.SyncAck); ok {
 		binary.LittleEndian.PutUint64(raw[:], 1)

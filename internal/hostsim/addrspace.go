@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"vmsh/internal/faults"
 	"vmsh/internal/mem"
 	"vmsh/internal/vclock"
 )
@@ -182,6 +183,11 @@ func (h *Host) processVMCommon(caller *Process, op string, targetPID, totalBytes
 	}
 	if !mayAccess(caller, target) {
 		return nil, ErrPerm
+	}
+	if f := h.Faults; f != nil {
+		if err := f.Check(faults.Op("procvm:" + op)); err != nil {
+			return nil, err
+		}
 	}
 	sp := h.trProcVM.Span("procvm", op)
 	caller.chargeSyscall()

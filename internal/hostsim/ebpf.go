@@ -1,6 +1,10 @@
 package hostsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"vmsh/internal/faults"
+)
 
 // KProbe is an eBPF program attached to a kernel function. VMSH
 // attaches one to kvm_vm_ioctl to learn the guest memslot layout
@@ -18,6 +22,9 @@ type KProbe struct {
 func (h *Host) AttachKProbe(owner *Process, fnName string, fn func(data any)) (*KProbe, error) {
 	if !owner.Creds.Has(CapBPF) {
 		return nil, fmt.Errorf("bpf(PROG_LOAD) kprobe %s: %w", fnName, ErrPerm)
+	}
+	if err := h.Faults.Check(faults.OpKProbe); err != nil {
+		return nil, fmt.Errorf("bpf(PROG_LOAD) kprobe %s: %w", fnName, err)
 	}
 	owner.chargeSyscall()
 	p := &KProbe{Owner: owner, FnName: fnName, Fn: fn}

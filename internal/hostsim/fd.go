@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"vmsh/internal/faults"
 	"vmsh/internal/mem"
 )
 
@@ -96,6 +97,9 @@ func (h *Host) ProcFDInfo(caller *Process, targetPID int) ([]FDInfo, error) {
 	}
 	if !mayAccess(caller, target) {
 		return nil, ErrPerm
+	}
+	if err := h.Faults.Check(faults.OpProcFDInfo); err != nil {
+		return nil, err
 	}
 	caller.chargeSyscall()
 	var out []FDInfo
@@ -290,3 +294,12 @@ type MemFD struct {
 
 // ProcLink implements FD.
 func (m *MemFD) ProcLink() string { return m.Link }
+
+// UnbindUnix removes a listener previously registered with BindUnix.
+// The attach rollback path uses it so a re-attach after a fault can
+// bind the same abstract socket name again.
+func (h *Host) UnbindUnix(path string) {
+	h.mu.Lock()
+	delete(h.listeners, path)
+	h.mu.Unlock()
+}

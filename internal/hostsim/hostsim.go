@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"vmsh/internal/arch"
+	"vmsh/internal/faults"
 	"vmsh/internal/obs"
 	"vmsh/internal/vclock"
 )
@@ -98,6 +99,11 @@ type Host struct {
 	// unknown and VMSH must fall back to the ptrace trap.
 	NoIoregionfd bool
 
+	// Faults is the deterministic fault-injection plane; nil (the
+	// default) is fully inert. Every host crossing the sideloader and
+	// the hosted devices make consults it. Install with SetFaultPlan.
+	Faults *faults.Injector
+
 	mu        sync.Mutex
 	procs     map[int]*Process
 	nextPID   int
@@ -138,6 +144,13 @@ func NewHost() *Host {
 	h.ctrProcVMCalls = h.Metrics.Counter("host.procvm.calls")
 	h.ctrProcVMBytes = h.Metrics.Counter("host.procvm.bytes")
 	return h
+}
+
+// SetFaultPlan arms (or, with nil, disarms) a fault-injection plan
+// against this host's crossings. Injected faults charge the host clock
+// and are recorded as "host:faults" trace events.
+func (h *Host) SetFaultPlan(p *faults.Plan) {
+	h.Faults = faults.NewInjector(p, h.Clock, h.Trace.Track("host:faults"))
 }
 
 // NewProcess registers a new process.

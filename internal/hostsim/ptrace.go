@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vmsh/internal/arch"
+	"vmsh/internal/faults"
 	"vmsh/internal/obs"
 )
 
@@ -24,6 +25,9 @@ type Tracer struct {
 // Attach establishes a ptrace relationship (PTRACE_SEIZE). It follows
 // the kernel's rule: same uid or CAP_SYS_PTRACE.
 func (p *Process) Attach(target *Process) (*Tracer, error) {
+	if err := p.host.Faults.Check(faults.OpPtraceAttach); err != nil {
+		return nil, fmt.Errorf("ptrace attach pid %d: %w", target.PID, err)
+	}
 	if !mayAccess(p, target) {
 		return nil, fmt.Errorf("ptrace attach pid %d: %w", target.PID, ErrPerm)
 	}
@@ -54,6 +58,9 @@ func (tr *Tracer) InterruptAll() error {
 	if err := tr.check(); err != nil {
 		return err
 	}
+	if err := tr.host.Faults.Check(faults.OpPtraceInterrupt); err != nil {
+		return err
+	}
 	sp := tr.host.trPtrace.Span("ptrace", "interrupt_all")
 	stops := int64(0)
 	for _, t := range tr.target.Threads() {
@@ -72,6 +79,9 @@ func (tr *Tracer) InterruptAll() error {
 // system calls (KVM_RUN in a hypervisor) continue.
 func (tr *Tracer) ResumeAll() error {
 	if err := tr.check(); err != nil {
+		return err
+	}
+	if err := tr.host.Faults.Check(faults.OpPtraceResume); err != nil {
 		return err
 	}
 	sp := tr.host.trPtrace.Span("ptrace", "resume_all")
@@ -108,6 +118,9 @@ func (tr *Tracer) GetRegs(t *Thread) (Regs, error) {
 	if !t.Stopped {
 		return Regs{}, fmt.Errorf("tid %d: %w (not stopped)", t.TID, ErrNotTraced)
 	}
+	if err := tr.host.Faults.Check(faults.OpPtraceGetRegs); err != nil {
+		return Regs{}, err
+	}
 	tr.host.Clock.Advance(tr.host.Costs.Syscall)
 	return t.Regs, nil
 }
@@ -119,6 +132,9 @@ func (tr *Tracer) SetRegs(t *Thread, r Regs) error {
 	}
 	if !t.Stopped {
 		return fmt.Errorf("tid %d: %w (not stopped)", t.TID, ErrNotTraced)
+	}
+	if err := tr.host.Faults.Check(faults.OpPtraceSetRegs); err != nil {
+		return err
 	}
 	tr.host.Clock.Advance(tr.host.Costs.Syscall)
 	t.Regs = r
@@ -140,6 +156,13 @@ func (tr *Tracer) InjectSyscall(t *Thread, nr uint64, args ...uint64) (uint64, e
 	}
 	if !t.Stopped {
 		return 0, fmt.Errorf("inject into running tid %d: %w", t.TID, ErrNotTraced)
+	}
+	if f := tr.host.Faults; f != nil {
+		// The concrete syscall name is appended so fault plans can
+		// target e.g. only injected ioctls ("ptrace:inject:ioctl").
+		if err := f.Check(faults.OpPtraceInject + faults.Op(":"+SyscallName(nr))); err != nil {
+			return 0, fmt.Errorf("injected %s: %w", SyscallName(nr), err)
+		}
 	}
 	saved := t.Regs
 	r := saved

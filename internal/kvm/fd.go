@@ -41,6 +41,21 @@ func (f *VMFD) Ioctl(p *hostsim.Process, cmd uint64, arg uint64) (uint64, error)
 		size := binary.LittleEndian.Uint64(buf[16:])
 		hva := mem.HVA(binary.LittleEndian.Uint64(buf[24:]))
 
+		if size == 0 {
+			// Real KVM semantics: memory_size 0 deletes the numbered
+			// slot. VMSH's rollback path uses this to take its library
+			// slot back out of the guest physical space.
+			vm.mu.Lock()
+			defer vm.mu.Unlock()
+			for i, s := range vm.memslots {
+				if s.Slot == slot {
+					vm.memslots = append(vm.memslots[:i], vm.memslots[i+1:]...)
+					return 0, nil
+				}
+			}
+			return 0, fmt.Errorf("%w: no memslot %d to delete", hostsim.ErrInval, slot)
+		}
+
 		m, ok := p.AS.Find(hva)
 		if !ok {
 			return 0, fmt.Errorf("%w: userspace_addr %#x not mapped", hostsim.ErrFault, hva)

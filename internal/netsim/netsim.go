@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"vmsh/internal/faults"
 	"vmsh/internal/obs"
 	"vmsh/internal/vclock"
 )
@@ -147,6 +148,8 @@ type Switch struct {
 
 	stats SwitchStats
 
+	faults *faults.Injector
+
 	trace        *obs.Tracer
 	ctrForwarded *obs.Counter
 	ctrFlooded   *obs.Counter
@@ -184,6 +187,12 @@ func (s *Switch) Observe(t *obs.Tracer, reg *obs.Registry) {
 		p.track = t.Track("link:" + p.name)
 	}
 }
+
+// SetFaults wires the host's fault-injection plane into the switch:
+// each link delivery becomes a "net:link" crossing an injected fault
+// turns into a link drop (counted like a DropNth loss). A nil injector
+// (or never calling SetFaults) keeps the data path check-free.
+func (s *Switch) SetFaults(in *faults.Injector) { s.faults = in }
 
 // NewPort attaches a new device to the switch.
 func (s *Switch) NewPort(name string, link LinkParams) *Port {
@@ -273,6 +282,15 @@ func (s *Switch) Send(p *Port, frame []byte) {
 func (s *Switch) egress(out *Port, frame []byte) {
 	out.egressSeq++
 	if n := out.link.DropNth; n > 0 && out.egressSeq%int64(n) == 0 {
+		out.stats.DropsLink++
+		s.stats.Dropped++
+		s.ctrDropped.Inc()
+		out.track.Event1("link", "drop", "bytes", int64(len(frame)))
+		return
+	}
+	if err := s.faults.Check(faults.OpNetLink); err != nil {
+		// An injected link fault is indistinguishable from a lossy
+		// cable: the frame vanishes, the switch keeps forwarding.
 		out.stats.DropsLink++
 		s.stats.Dropped++
 		s.ctrDropped.Inc()

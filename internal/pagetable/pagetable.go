@@ -130,6 +130,58 @@ type Mapper struct {
 	Root  mem.GPA // top-level table physical base
 	// Fmt selects the descriptor encoding; nil means x86-64.
 	Fmt Format
+
+	// journal, when armed with StartJournal, records the previous
+	// value of every table entry the mapper overwrites — the
+	// sideloader extends a *live guest's* page tables, and a failed
+	// attach must be able to put every descriptor back byte-for-byte.
+	journaling bool
+	journal    []EntryWrite
+}
+
+// EntryWrite is one journalled table-entry store: where it went and
+// what the eight bytes held before.
+type EntryWrite struct {
+	GPA mem.GPA
+	Old uint64
+}
+
+// StartJournal begins recording entry overwrites (see UndoJournal).
+func (m *Mapper) StartJournal() {
+	m.journaling = true
+	m.journal = m.journal[:0]
+}
+
+// Journal returns the recorded entry writes in store order.
+func (m *Mapper) Journal() []EntryWrite {
+	out := make([]EntryWrite, len(m.journal))
+	copy(out, m.journal)
+	return out
+}
+
+// UndoJournal restores every journalled entry to its prior value, in
+// reverse store order, through the mapper's own PhysIO view. The
+// journal is consumed. Table pages the mapper *allocated* (from the
+// sideloader's private slot) are not touched — they become garbage the
+// moment the entries pointing at them are restored.
+func (m *Mapper) UndoJournal() error {
+	for i := len(m.journal) - 1; i >= 0; i-- {
+		e := m.journal[i]
+		if err := mem.WriteU64(m.IO, e.GPA, e.Old); err != nil {
+			return err
+		}
+	}
+	m.journal = m.journal[:0]
+	return nil
+}
+
+// writeEntry stores one table entry, journalling the previous value
+// first when recording is armed.
+func (m *Mapper) writeEntry(entryGPA mem.GPA, old, val uint64) error {
+	if m.journaling {
+		m.journal = append(m.journal, EntryWrite{GPA: entryGPA, Old: old})
+	}
+	return mem.WriteU64(m.IO, entryGPA, val)
 }
 
 func (m *Mapper) fmt() Format {
@@ -189,15 +241,20 @@ func (m *Mapper) Map(gva mem.GVA, gpa mem.GPA, flags uint64) error {
 			if err := zeroPage(m.IO, next); err != nil {
 				return err
 			}
+			old := ent
 			ent = f.MakeTable(next)
-			if err := mem.WriteU64(m.IO, entryGPA, ent); err != nil {
+			if err := m.writeEntry(entryGPA, old, ent); err != nil {
 				return err
 			}
 		}
 		table = f.Addr(ent)
 	}
 	entryGPA := table + mem.GPA(index(gva, 0)*8)
-	return mem.WriteU64(m.IO, entryGPA, f.MakeLeaf(gpa, flags))
+	old, err := mem.ReadU64(m.IO, entryGPA)
+	if err != nil {
+		return err
+	}
+	return m.writeEntry(entryGPA, old, f.MakeLeaf(gpa, flags))
 }
 
 // MapRange maps n contiguous bytes starting at (gva, gpa), page by page.

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"vmsh/internal/faults"
 	"vmsh/internal/mem"
 )
 
@@ -44,6 +45,12 @@ type NetDevice struct {
 	// queues with one coalesced interrupt per pass. Off reproduces the
 	// per-chain legacy timing exactly.
 	Batch bool
+
+	// Faults is the host's fault-injection plane (nil when disabled).
+	// An injected "vq:net" fault degrades gracefully: the transmitted
+	// frame is dropped — exactly what a lossy NIC does — but its chain
+	// still completes and the service pass keeps going.
+	Faults *faults.Injector
 
 	mu      sync.Mutex
 	pending [][]byte // inbound frames waiting for rx buffers
@@ -237,6 +244,11 @@ func (n *NetDevice) serveTxChain(dq *DeviceQueue, chain *Chain) (uint32, func(),
 		pkt = append(pkt, buf...)
 		total += d.Len
 	}
+	if err := n.Faults.Check(faults.OpVQNet); err != nil {
+		// Degrade, don't wedge: the frame is lost but the chain still
+		// completes, like a real NIC dropping on a saturated link.
+		return total, nil, true
+	}
 	return total, func() { n.sendPkt(pkt) }, true
 }
 
@@ -269,6 +281,11 @@ func (n *NetDevice) serveTxBatch(dq *DeviceQueue, chains []*Chain) ([]uint32, fu
 	if len(gather) > 0 {
 		if err := mem.ReadVec(dq.M, gather); err != nil {
 			return nil, nil, false
+		}
+	}
+	for i := range pkts {
+		if err := n.Faults.Check(faults.OpVQNet); err != nil {
+			pkts[i] = nil // drop this frame; its chain still completes
 		}
 	}
 	after := func() {

@@ -16,7 +16,7 @@
 //	lab := vmsh.NewLab()
 //	vm, _ := lab.LaunchVM(vmsh.VMConfig{Hypervisor: vmsh.QEMU})
 //	img, _ := lab.BuildImage("tools.img", vmsh.ToolImage())
-//	sess, _ := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+//	sess, _ := lab.Attach(vm, vmsh.WithImage(img))
 //	out, _ := sess.Exec("cat /var/lib/vmsh/etc/hostname")
 package vmsh
 
@@ -26,6 +26,7 @@ import (
 	"vmsh/internal/arch"
 	"vmsh/internal/blockdev"
 	"vmsh/internal/core"
+	"vmsh/internal/faults"
 	"vmsh/internal/fsimage"
 	"vmsh/internal/guestos"
 	"vmsh/internal/hostsim"
@@ -75,12 +76,71 @@ type (
 	// LinkParams overrides one port's bandwidth/latency/loss model.
 	LinkParams = netsim.LinkParams
 	// Tracer is the lab-wide virtual-time span/event tracer. Disabled
-	// (and free) until AttachOptions.Trace or Tracer.Enable turns it
-	// on; export with Tracer.WriteChrome for Perfetto.
+	// (and free) until WithTrace or Tracer.Enable turns it on; export
+	// with Tracer.WriteChrome for Perfetto.
 	Tracer = obs.Tracer
 	// Registry holds named counters and virtual-time histograms.
 	Registry = obs.Registry
+	// Error is the typed attach failure: which stage failed, against
+	// which hypervisor pid, wrapping the underlying cause. Use
+	// errors.As to recover it and errors.Is against the Err* sentinels
+	// below to classify the cause.
+	Error = core.AttachError
+	// FaultPlan is a seeded, deterministic fault-injection plan armed
+	// via WithFaultPlan; build one with NewFaultPlan or parse CLI specs
+	// with ParseFaultRules.
+	FaultPlan = faults.Plan
+	// FaultRule is one entry of a FaultPlan: which host crossing to
+	// fault, when, and how (transient vs persistent, latency).
+	FaultRule = faults.Rule
+	// RetryPolicy bounds per-stage retries of transient faults during
+	// attach (WithRetry). The zero value disables retry.
+	RetryPolicy = core.RetryPolicy
 )
+
+// Attach failure sentinels, matchable through an *Error chain with
+// errors.Is regardless of the stage that surfaced them.
+var (
+	// ErrNoProcess: the pid does not exist on the lab host.
+	ErrNoProcess = core.ErrNoProcess
+	// ErrNotHypervisor: the process has no /dev/kvm fds.
+	ErrNotHypervisor = core.ErrNotHypervisor
+	// ErrNoMemslots: the eBPF probe observed no KVM memslots.
+	ErrNoMemslots = core.ErrNoMemslots
+	// ErrKernelNotFound: no kernel image in the KASLR search range.
+	ErrKernelNotFound = core.ErrKernelNotFound
+	// ErrKsymNotFound: ksymtab symbol resolution failed.
+	ErrKsymNotFound = core.ErrKsymNotFound
+	// ErrLibraryFailed: the side-loaded guest library aborted.
+	ErrLibraryFailed = core.ErrLibraryFailed
+	// ErrNoImage: Attach needs a filesystem image (WithImage).
+	ErrNoImage = core.ErrNoImage
+)
+
+// DefaultRetry is a sensible transient-retry policy for attach: three
+// attempts with exponential virtual-time backoff.
+var DefaultRetry = core.DefaultRetry
+
+// NewFaultPlan builds a deterministic fault plan from rules; the seed
+// drives every probabilistic rule.
+func NewFaultPlan(seed uint64, rules ...FaultRule) *FaultPlan {
+	return faults.NewPlan(seed, rules...)
+}
+
+// ParseFaultRules parses a ';'-separated list of CLI fault specs, e.g.
+// "ptrace:nth=3" or "procvm:prob=0.01,transient". See faults.ParseRule
+// for the grammar.
+func ParseFaultRules(specs string) ([]FaultRule, error) {
+	return faults.ParseRules(specs)
+}
+
+// IsFault reports whether err is (or wraps) a fault injected by an
+// armed FaultPlan, as opposed to an organic attach failure.
+func IsFault(err error) bool { return faults.IsFault(err) }
+
+// IsTransientFault reports whether err is (or wraps) a transient
+// injected fault (EINTR/EAGAIN class) — the kind WithRetry recovers.
+func IsTransientFault(err error) bool { return faults.IsTransient(err) }
 
 // ToolImage returns the standard debugging/administration image
 // manifest served through vmsh-blk.
@@ -195,7 +255,12 @@ func (l *Lab) BuildImage(name string, m Manifest) (*Image, error) {
 	return img, nil
 }
 
-// AttachOptions parameterises Attach.
+// AttachOptions is the options bag behind the functional Option
+// setters.
+//
+// Deprecated: construct attaches with Option values (WithImage,
+// WithTrap, ...) instead of filling this struct; code still holding an
+// AttachOptions can pass it through the WithOptions shim.
 type AttachOptions struct {
 	// Image is the filesystem image to serve through vmsh-blk.
 	Image *Image
@@ -214,10 +279,18 @@ type AttachOptions struct {
 	// NetLink overrides the switch port's link model (zero values
 	// fall back to the cost-model defaults).
 	NetLink LinkParams
+	// LegacyVirtio disables the batched guest-memory fast path,
+	// reproducing the pre-fast-path device timing exactly.
+	LegacyVirtio bool
 	// Trace enables the lab tracer before the attach begins, so the
 	// trace covers the attach phases themselves as well as all
 	// subsequent device traffic. Export with Lab.Trace().WriteChrome.
 	Trace bool
+	// Fault arms the deterministic fault-injection plane with this
+	// plan for the attach and the session that follows it.
+	Fault *FaultPlan
+	// Retry bounds per-stage retries of transient faults.
+	Retry RetryPolicy
 }
 
 func (o AttachOptions) toCore() core.Options {
@@ -229,20 +302,92 @@ func (o AttachOptions) toCore() core.Options {
 		PCITransport: o.PCITransport,
 		Net:          o.Net,
 		NetLink:      o.NetLink,
+		LegacyVirtio: o.LegacyVirtio,
 		Trace:        o.Trace,
+		Fault:        o.Fault,
+		Retry:        o.Retry,
 	}
+}
+
+// Option configures one aspect of an attach. Options apply in order,
+// so a later option overrides an earlier one for the same setting.
+type Option func(*AttachOptions)
+
+// WithImage serves this filesystem image through vmsh-blk; it becomes
+// the overlay root. Required unless the attach is Minimal (internal).
+func WithImage(img *Image) Option { return func(o *AttachOptions) { o.Image = img } }
+
+// WithTrap selects the MMIO interception mechanism (TrapAuto probes
+// for ioregionfd and falls back to the ptrace trap).
+func WithTrap(mode TrapMode) Option { return func(o *AttachOptions) { o.Trap = mode } }
+
+// WithContainerPID adopts a guest container's namespaces/cgroup
+// context (§4.4) instead of the init context.
+func WithContainerPID(pid int) Option { return func(o *AttachOptions) { o.ContainerPID = pid } }
+
+// WithoutShell suppresses the interactive shell on the console; the
+// devices still serve (scanner/monitoring workloads drive them
+// directly).
+func WithoutShell() Option { return func(o *AttachOptions) { o.NoShell = true } }
+
+// WithPCITransport registers devices with MSI-routed irqfds (the
+// virtio-over-PCI interrupt path) — required for Cloud Hypervisor.
+func WithPCITransport() Option { return func(o *AttachOptions) { o.PCITransport = true } }
+
+// WithNet cables the session's vmsh-net device into sw (Lab.NewSwitch)
+// — the multi-VM overlay network.
+func WithNet(sw *Switch) Option { return func(o *AttachOptions) { o.Net = sw } }
+
+// WithNetLink overrides this VM's switch-port link model (bandwidth,
+// latency, deterministic loss). Only meaningful together with WithNet.
+func WithNetLink(link LinkParams) Option { return func(o *AttachOptions) { o.NetLink = link } }
+
+// WithLegacyVirtio disables the batched guest-memory fast path for the
+// hosted devices: per-field process_vm crossings, one interrupt per
+// chain — reproducing the pre-fast-path timing exactly (the paper-
+// reproduction experiments pin this on).
+func WithLegacyVirtio() Option { return func(o *AttachOptions) { o.LegacyVirtio = true } }
+
+// WithTrace enables the lab-wide virtual-time tracer before the attach
+// begins. Tracing never advances the clock, so results stay
+// bit-identical; export with Lab.Trace().WriteChrome.
+func WithTrace() Option { return func(o *AttachOptions) { o.Trace = true } }
+
+// WithFaultPlan arms the deterministic fault-injection plane with p
+// for the attach and the session that follows it. A faulted attach
+// stage rolls the guest back byte-identically; device-plane faults
+// degrade service without wedging it.
+func WithFaultPlan(p *FaultPlan) Option { return func(o *AttachOptions) { o.Fault = p } }
+
+// WithRetry lets attach stages retry transient injected faults
+// (EINTR/EAGAIN-class) up to policy.Attempts times, charging
+// exponential backoff to the virtual clock between tries.
+func WithRetry(policy RetryPolicy) Option { return func(o *AttachOptions) { o.Retry = policy } }
+
+// WithOptions applies a legacy AttachOptions bag wholesale.
+//
+// Deprecated: migration shim for code built against the struct API;
+// new code should pass individual Option values.
+func WithOptions(opts AttachOptions) Option { return func(o *AttachOptions) { *o = opts } }
+
+func buildOptions(opts []Option) AttachOptions {
+	var o AttachOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
 }
 
 // Attach side-loads VMSH into the VM and returns a session. Each call
 // runs a fresh vmsh process, mirroring the real per-invocation CLI —
 // the post-setup privilege drop (§4.5) makes a vmsh process
 // single-attach by design.
-func (l *Lab) Attach(vm *VM, opts AttachOptions) (*Session, error) {
-	return core.New(l.Host).Attach(vm.Proc.PID, opts.toCore())
+func (l *Lab) Attach(vm *VM, opts ...Option) (*Session, error) {
+	return core.New(l.Host).Attach(vm.Proc.PID, buildOptions(opts).toCore())
 }
 
 // AttachPID attaches by process id, the way the real CLI is pointed at
 // a hypervisor process.
-func (l *Lab) AttachPID(pid int, opts AttachOptions) (*Session, error) {
-	return core.New(l.Host).Attach(pid, opts.toCore())
+func (l *Lab) AttachPID(pid int, opts ...Option) (*Session, error) {
+	return core.New(l.Host).Attach(pid, buildOptions(opts).toCore())
 }

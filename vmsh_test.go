@@ -21,7 +21,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+	sess, err := lab.Attach(vm, vmsh.WithImage(img))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestPublicAPIUseCaseRescue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+	sess, err := lab.Attach(vm, vmsh.WithImage(img))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestPublicAPIUseCaseScanner(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img})
+	sess, err := lab.Attach(vm, vmsh.WithImage(img))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestPublicAPITrapModes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sess, err := lab.Attach(vm, vmsh.AttachOptions{Image: img, Trap: trap})
+		sess, err := lab.Attach(vm, vmsh.WithImage(img), vmsh.WithTrap(trap))
 		if err != nil {
 			t.Fatalf("%v: %v", trap, err)
 		}
@@ -135,10 +135,10 @@ func TestPublicAPIAttachPID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := lab.AttachPID(vm.Proc.PID, vmsh.AttachOptions{Image: img}); err != nil {
+	if _, err := lab.AttachPID(vm.Proc.PID, vmsh.WithImage(img)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := lab.AttachPID(99999, vmsh.AttachOptions{Image: img}); err == nil {
+	if _, err := lab.AttachPID(99999, vmsh.WithImage(img)); err == nil {
 		t.Fatal("attached to a nonexistent pid")
 	}
 }
