@@ -10,6 +10,7 @@
 //	E7  image de-bloating            (Figure 8)
 //	E7n virtio-net sweep             (network)
 //	E8  single-fault attach sweep    (robustness; also via -fault)
+//	E10 record/replay determinism    (bit-identical vtime, RAM, metrics)
 //
 // E4, E5 and E7n additionally print a fast-path-vs-legacy comparison:
 // the same workload with the batched virtqueue service on and off.
@@ -80,7 +81,7 @@ func writeTrace(path string) error {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n,e8); empty = all")
+	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n,e8,e10); empty = all")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path")
 	tracePath := flag.String("trace", "", "run a traced E5 fast-path sweep and write Chrome trace-event JSON (Perfetto) to this path")
 	faultOnly := flag.Bool("fault", false, "run only the E8 single-fault attach sweep (alias for -only e8)")
@@ -205,6 +206,16 @@ func main() {
 		}
 		if err != nil {
 			fail("E8", err)
+		}
+	}
+
+	if sel("e10") {
+		tbl, err := eval.RunRecordReplay(*faultSeed)
+		if tbl != nil {
+			emit(tbl)
+		}
+		if err != nil {
+			fail("E10", err)
 		}
 	}
 

@@ -14,11 +14,65 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"vmsh"
 	"vmsh/internal/hypervisor"
 )
+
+// replayLog re-executes a recorded session entirely from its log —
+// no VM, no attach — printing the end state the live run reached. A
+// corrupted or truncated log surfaces as a divergence report, not a
+// partial replay.
+func replayLog(path, tracePath string, metrics bool) error {
+	var opts []vmsh.ReplayRunOption
+	if tracePath != "" {
+		opts = append(opts, vmsh.ReplayWithTrace())
+	}
+	res, err := vmsh.Replay(path, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[vmsh] replayed %q (seed %d): %d crossings, %v virtual time\n",
+		res.Label, res.Seed, res.Crossings, res.VTime)
+	ops := make([]string, 0, len(res.PerOp))
+	for op := range res.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Printf("  %-24s %d\n", op, res.PerOp[op])
+	}
+	for i, h := range res.RAM {
+		fmt.Printf("  ram[%d] fnv64a %#016x\n", i, h)
+	}
+	if metrics {
+		keys := make([]string, 0, len(res.Metrics))
+		for k := range res.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  metric %-32s %d\n", k, res.Metrics[k])
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := res.Tracer.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("[vmsh] replay trace written to %s\n", tracePath)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -33,8 +87,20 @@ func main() {
 		fault   = flag.String("fault", "", `fault plan: ';'-separated rules, e.g. "ptrace:nth=3" or "procvm:prob=0.01,transient"`)
 		seed    = flag.Uint64("fault-seed", 1, "seed for probabilistic fault rules")
 		retry   = flag.Int("retry", 0, "retry transient attach faults up to N times (virtual-time backoff)")
+		record  = flag.String("record", "", "record every host crossing of the session to this replay log")
+		replay  = flag.String("replay", "", "re-run a recorded session from its log alone (no live guest) and exit")
+		verify  = flag.String("replay-verify", "", "re-run the live session and check every crossing against this recorded log")
 	)
 	flag.Parse()
+
+	// -replay needs no VM at all: the log carries the whole session.
+	if *replay != "" {
+		if err := replayLog(*replay, *trace, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	kinds := map[string]hypervisor.Kind{
 		"qemu": vmsh.QEMU, "kvmtool": vmsh.Kvmtool, "firecracker": vmsh.Firecracker,
@@ -91,6 +157,19 @@ func main() {
 	if *retry > 0 {
 		attachOpts = append(attachOpts, vmsh.WithRetry(vmsh.RetryPolicy{Attempts: *retry}))
 	}
+	if *record != "" {
+		attachOpts = append(attachOpts, vmsh.WithRecord(*record))
+	}
+	var verifier *vmsh.Verifier
+	if *verify != "" {
+		lg, err := vmsh.ReadRecording(*verify)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replay-verify: %v\n", err)
+			os.Exit(1)
+		}
+		verifier = lab.NewVerifier(lg)
+		attachOpts = append(attachOpts, vmsh.WithVerifier(verifier))
+	}
 	sess, err := lab.Attach(vm, attachOpts...)
 	if err != nil {
 		var ae *vmsh.Error
@@ -138,6 +217,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("[vmsh] detached")
+	if *record != "" {
+		fmt.Printf("[vmsh] recording written to %s\n", *record)
+	}
+	if verifier != nil {
+		if d := verifier.Result(); d != nil {
+			fmt.Fprintf(os.Stderr, "replay-verify: DIVERGED: %v\n", d)
+			os.Exit(1)
+		}
+		fmt.Printf("[vmsh] replay-verify: %d crossings matched the recording\n", verifier.Matched())
+	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err == nil {

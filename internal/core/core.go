@@ -29,6 +29,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 
 	"vmsh/internal/faults"
@@ -42,6 +43,7 @@ import (
 	"vmsh/internal/obs"
 	"vmsh/internal/overlay"
 	"vmsh/internal/pagetable"
+	"vmsh/internal/replay"
 	"vmsh/internal/virtio"
 )
 
@@ -144,6 +146,21 @@ type Options struct {
 	// Retry bounds per-stage retries of transient failures (EINTR/
 	// EAGAIN-class). The zero value disables retry.
 	Retry RetryPolicy
+	// Record, when non-nil, observes every host crossing of this
+	// attach and the session that follows it (the tap shares the
+	// fault plane's stage and pause context, so rollback/detach undo
+	// crossings are never recorded). The recording is finalized — end
+	// vtime, per-memslot RAM hashes, session metrics — and written to
+	// RecordSink when the session detaches; a failed attach finalizes
+	// and writes the partial log so the failure can be replayed.
+	Record *replay.Recorder
+	// RecordSink, when non-nil alongside Record, is opened lazily to
+	// persist the finalized log (e.g. a file-create closure).
+	RecordSink func() (io.WriteCloser, error)
+	// Verify, when non-nil, checks the live crossing stream of this
+	// attach/session against a prior recording, latching the first
+	// divergence (replay-verify mode). May be combined with Record.
+	Verify *replay.Verifier
 }
 
 // VMSH is one instance of the host-side tool.
@@ -178,6 +195,23 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 	if opts.Fault != nil {
 		h.SetFaultPlan(opts.Fault)
 	}
+	tapped := opts.Record != nil || opts.Verify != nil
+	if tapped {
+		if h.Faults == nil {
+			// The crossing tap rides on the injector's stage/pause
+			// context; an armed-but-empty plan is proven perturbation-
+			// free by the E8 invariant (zero vtime shift).
+			h.SetFaultPlan(faults.NewPlan(0))
+		}
+		switch {
+		case opts.Record != nil && opts.Verify != nil:
+			h.SetTap(faults.Tee(opts.Record, opts.Verify))
+		case opts.Record != nil:
+			h.SetTap(opts.Record)
+		default:
+			h.SetTap(opts.Verify)
+		}
+	}
 	target, ok := h.Process(pid)
 	if !ok {
 		return nil, &AttachError{PID: pid, Err: ErrNoProcess}
@@ -191,6 +225,15 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 	tx := newAttachTx(h, pid, opts.Retry)
 	fail := func(stage string, err error) (*Session, error) {
 		tx.rollback()
+		if tapped {
+			h.SetTap(nil)
+			if opts.Record != nil {
+				// Seal and persist the partial log: a failed attach is
+				// exactly the kind of run worth replaying.
+				opts.Record.Finalize(nil, nil)
+				_ = writeRecording(opts.Record, opts.RecordSink)
+			}
+		}
 		return nil, &AttachError{Stage: stage, PID: pid, Err: err}
 	}
 
@@ -465,6 +508,7 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 		vmFD: vmFD, vcpuFDs: vcpuFDs,
 		libGPA: libGPA, libGVA: libGVA, hdr: hdr,
 		trap: opts.Trap, version: version, kernelBase: kernelRun.GVA,
+		record: opts.Record, recordSink: opts.RecordSink, tapped: tapped,
 	}
 	if err := tx.run("setup_devices", func() error {
 		sp := trAttach.Span("attach", "setup_devices")
@@ -584,6 +628,27 @@ func detectVersion(img []byte) (guestos.Version, error) {
 		end++
 	}
 	return guestos.ParseVersion(string(rest[:end]))
+}
+
+// writeRecording persists a finalized recording through the lazy sink;
+// a nil sink means the caller only wanted the in-memory log.
+func writeRecording(rec *replay.Recorder, sink func() (io.WriteCloser, error)) error {
+	if rec == nil || sink == nil {
+		return nil
+	}
+	w, err := sink()
+	if err != nil {
+		return fmt.Errorf("vmsh: opening record sink: %w", err)
+	}
+	encErr := rec.Log().Encode(w)
+	closeErr := w.Close()
+	if encErr != nil {
+		return fmt.Errorf("vmsh: writing recording: %w", encErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("vmsh: closing record sink: %w", closeErr)
+	}
+	return nil
 }
 
 func patchU64(b []byte, off uint64, v uint64) {

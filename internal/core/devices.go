@@ -3,9 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 	"time"
 
+	"vmsh/internal/faults"
 	"vmsh/internal/hostsim"
 	"vmsh/internal/kvm"
 	"vmsh/internal/mem"
@@ -33,9 +33,6 @@ type mmapBackend struct {
 }
 
 const mmapPage = 4096
-
-// attachSeq disambiguates fd-passing socket names across attaches.
-var attachSeq atomic.Int64
 
 // touch accounts page-cache handling for [off, off+n), returning how
 // many bytes were not yet resident.
@@ -142,7 +139,7 @@ func (s *Session) setupDevices(tx *attachTx, scratch uint64, opts Options) error
 	// Unix socket for passing hypervisor-created fds back to us (§5).
 	// The name carries an attach sequence number so re-attaching
 	// after a detach never collides with a stale binding.
-	sockPath := fmt.Sprintf("@vmsh-%d-%d", pid, attachSeq.Add(1))
+	sockPath := fmt.Sprintf("@vmsh-%d-%d", pid, h.NextAttachSeq())
 	listener, err := h.BindUnix(s.v.Proc, sockPath)
 	if err != nil {
 		return err
@@ -261,6 +258,7 @@ func (s *Session) setupDevices(tx *attachTx, scratch uint64, opts Options) error
 	s.blk.Faults = h.Faults
 	s.blk.Batch = batch
 	s.blk.Dev.Trace = h.Trace.Track("dev:blk")
+	s.blk.Dev.Taps, s.blk.Dev.TapOp = h.Taps(), faults.OpVQBlk
 	s.blk.Dev.IRQs = s.reg.Counter("blk.irqs")
 	// Queue 0 request latency: avail-publish to used-publish, vclock.
 	s.blk.Dev.ReqLat = []*obs.Histogram{s.reg.Histogram("blk.req_vlat")}
@@ -270,6 +268,7 @@ func (s *Session) setupDevices(tx *attachTx, scratch uint64, opts Options) error
 	s.cons = virtio.NewConsoleDevice(vmshConsBase, s.pm)
 	s.cons.Batch = batch
 	s.cons.Dev.Trace = h.Trace.Track("dev:console")
+	s.cons.Dev.Taps, s.cons.Dev.TapOp = h.Taps(), faults.OpVQCons
 	s.cons.Dev.IRQs = s.reg.Counter("cons.irqs")
 	ctrConsOut := s.reg.Counter("cons.bytes_from_guest")
 	s.cons.Output = func(b []byte) {
@@ -292,10 +291,12 @@ func (s *Session) setupDevices(tx *attachTx, scratch uint64, opts Options) error
 		// shift); unplugging the delivery sink is the rollback.
 		tx.onUndo("unplug_net_port", func() error { port.Deliver = nil; return nil })
 		opts.Net.SetFaults(h.Faults)
+		opts.Net.SetTaps(h.Taps())
 		s.net = virtio.NewNetDevice(vmshNetBase, [6]byte(port.MAC()), s.pm)
 		s.net.Faults = h.Faults
 		s.net.Batch = batch
 		s.net.Dev.Trace = h.Trace.Track("dev:net")
+		s.net.Dev.Taps, s.net.Dev.TapOp = h.Taps(), faults.OpVQNet
 		s.net.Dev.IRQs = s.reg.Counter("net.irqs")
 		// Tx queue latency (queue NetTxQ); the rx queue's fill spans
 		// carry no request semantics, so no histogram for queue 0.

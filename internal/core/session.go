@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"strings"
 
 	"vmsh/internal/guestlib"
@@ -12,6 +14,7 @@ import (
 	"vmsh/internal/mem"
 	"vmsh/internal/netsim"
 	"vmsh/internal/obs"
+	"vmsh/internal/replay"
 	"vmsh/internal/virtio"
 )
 
@@ -50,6 +53,13 @@ type Session struct {
 	// live compensation; Detach drains it so a detached guest is left
 	// byte-identical to one that was never attached to.
 	tx *attachTx
+
+	// record/recordSink carry the crossing recording to finalize and
+	// persist at Detach; tapped remembers that this attach armed the
+	// host tap (record and/or verify) so Detach disarms it.
+	record     *replay.Recorder
+	recordSink func() (io.WriteCloser, error)
+	tapped     bool
 
 	out      bytes.Buffer
 	detached bool
@@ -249,5 +259,40 @@ func (s *Session) Detach() error {
 		}
 	}
 	s.detached = true
+	if s.tapped {
+		s.v.Host.SetTap(nil)
+		s.tapped = false
+	}
+	if s.record != nil {
+		// Seal the recording with the session's end state: final
+		// virtual time (the recorder reads the clock), FNV-64a hash of
+		// each guest memslot after the rollback restored pre-attach
+		// state, and the session metric snapshot. Replay re-derives
+		// and cross-checks exactly these.
+		s.record.Finalize(s.RAMHashes(), s.reg.Snapshot())
+		if err := writeRecording(s.record, s.recordSink); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// RAMHashes returns one FNV-64a hash per guest memslot (in GPA order),
+// computed kernel-side — no clock charge, no crossings — so recording
+// the end state cannot perturb the run being recorded.
+func (s *Session) RAMHashes() []uint64 {
+	out := make([]uint64, 0, len(s.pm.slots))
+	for _, sl := range s.pm.slots {
+		h := fnv.New64a()
+		if m, ok := s.target.AS.Find(sl.HVA); ok {
+			off := uint64(sl.HVA - m.HVA)
+			end := off + sl.Size
+			if end > uint64(len(m.Phys.Data)) {
+				end = uint64(len(m.Phys.Data))
+			}
+			h.Write(m.Phys.Data[off:end])
+		}
+		out = append(out, h.Sum64())
+	}
+	return out
 }

@@ -1,0 +1,14 @@
+package eval
+
+import "testing"
+
+func TestE10RecordReplay(t *testing.T) {
+	tbl, err := RunRecordReplay(42)
+	if err != nil {
+		if tbl != nil {
+			t.Log("\n" + tbl.Format())
+		}
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.Format())
+}

@@ -172,7 +172,9 @@ func sweepPoint(seed int64, cs faults.CrossingStat) sweepResult {
 	pre := snapshotVM(inst)
 	plan := faults.NewPlan(uint64(seed), faults.Rule{Op: cs.Op, Stage: cs.Stage, Nth: 1})
 	sess, err := core.New(h).Attach(inst.Proc.PID, core.Options{Image: img, NoShell: true, Fault: plan})
-	relaxed := strings.HasPrefix(cs.Op, "vq:")
+	// Post-resume classes (from the shared crossing taxonomy) get the
+	// relaxed invariant: the guest legitimately ran before the fault.
+	relaxed := faults.Op(cs.Op).PostResume()
 	if err == nil {
 		// The attach path absorbed this fault (degraded service or an
 		// ignored best-effort crossing); the session must still work.
@@ -330,7 +332,7 @@ func RunFaultSweep(seed int64) (*Table, error) {
 
 	retried := 0
 	for _, cs := range stats {
-		if strings.HasPrefix(cs.Op, "vq:") || strings.HasPrefix(cs.Op, "net:") {
+		if faults.Op(cs.Op).DevicePath() {
 			continue // device degradation is not a retryable error path
 		}
 		r := transientPoint(seed, cs)

@@ -359,9 +359,12 @@ var errNames = map[string]error{
 }
 
 // isParamSegment reports whether a ':'-segment of a spec is the
-// parameter list rather than part of the op name.
+// parameter list rather than part of the op name. Op segments never
+// contain '=' or ',', so either marks the parameter list — this is
+// what routes "ptrace:transient,transient" into the duplicate-flag
+// check instead of silently parsing it as an op name.
 func isParamSegment(s string) bool {
-	return strings.Contains(s, "=") || s == "transient" || s == "persistent"
+	return strings.ContainsAny(s, "=,") || s == "transient" || s == "persistent"
 }
 
 // ParseRule parses one CLI fault spec of the form
@@ -371,21 +374,54 @@ func isParamSegment(s string) bool {
 // e.g. "ptrace:nth=3", "procvm:readv:nth=5,transient",
 // "vq:blk:prob=0.01", "ptrace:inject:lat=2ms" (latency-only),
 // "ptrace:nth=2,persistent,err=eperm,stage=inject_library".
-// A spec without nth/prob defaults to nth=1.
+// A spec without nth/prob defaults to nth=1. A spec that is only a
+// parameter list ("prob=0.01") matches every crossing.
+//
+// The grammar is strict: empty op segments ("ptrace::nth=1"), empty
+// parameter segments ("nth=1,,transient" or a trailing comma),
+// duplicate keys or flags, flags carrying values ("transient=yes"),
+// and combining nth with prob are all rejected with a descriptive
+// error rather than silently ignored.
 func ParseRule(spec string) (Rule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Rule{}, fmt.Errorf("faults: empty spec")
+	}
 	parts := strings.Split(spec, ":")
 	opEnd := len(parts)
 	if opEnd > 0 && isParamSegment(parts[opEnd-1]) {
 		opEnd--
 	}
+	for _, seg := range parts[:opEnd] {
+		if seg == "" {
+			return Rule{}, fmt.Errorf("faults: empty op segment in spec %q", spec)
+		}
+	}
 	r := Rule{Op: strings.Join(parts[:opEnd], ":")}
 	if opEnd < len(parts) {
+		seen := make(map[string]bool)
 		for _, kv := range strings.Split(parts[opEnd], ",") {
 			kv = strings.TrimSpace(kv)
 			if kv == "" {
-				continue
+				return Rule{}, fmt.Errorf("faults: empty parameter segment in spec %q (trailing or doubled comma)", spec)
 			}
 			key, val, hasVal := strings.Cut(kv, "=")
+			if seen[key] {
+				return Rule{}, fmt.Errorf("faults: duplicate %q in spec %q", key, spec)
+			}
+			seen[key] = true
+			switch key {
+			case "transient", "persistent":
+				if hasVal {
+					return Rule{}, fmt.Errorf("faults: flag %q takes no value in spec %q", key, spec)
+				}
+			case "nth", "prob", "stage", "lat", "err":
+				if !hasVal || val == "" {
+					return Rule{}, fmt.Errorf("faults: key %q needs a value in spec %q", key, spec)
+				}
+			default:
+				return Rule{}, fmt.Errorf("faults: unknown key %q in spec %q", key, spec)
+			}
 			var err error
 			switch key {
 			case "transient":
@@ -394,25 +430,34 @@ func ParseRule(spec string) (Rule, error) {
 				r.Persistent = true
 			case "nth":
 				r.Nth, err = strconv.Atoi(val)
+				if err == nil && r.Nth < 1 {
+					return Rule{}, fmt.Errorf("faults: nth must be >= 1 in spec %q", spec)
+				}
 			case "prob":
 				r.Prob, err = strconv.ParseFloat(val, 64)
+				if err == nil && (r.Prob <= 0 || r.Prob > 1) {
+					return Rule{}, fmt.Errorf("faults: prob must be in (0,1] in spec %q", spec)
+				}
 			case "stage":
 				r.Stage = val
 			case "lat":
 				r.Latency, err = time.ParseDuration(val)
+				if err == nil && r.Latency < 0 {
+					return Rule{}, fmt.Errorf("faults: lat must be non-negative in spec %q", spec)
+				}
 			case "err":
 				sentinel, ok := errNames[strings.ToLower(val)]
 				if !ok {
 					return Rule{}, fmt.Errorf("faults: unknown err %q (want one of %s)", val, errNameList())
 				}
 				r.Err = sentinel
-			default:
-				return Rule{}, fmt.Errorf("faults: unknown key %q in spec %q", key, spec)
 			}
 			if err != nil {
 				return Rule{}, fmt.Errorf("faults: bad value for %s in spec %q: %v", key, spec, err)
 			}
-			_ = hasVal
+		}
+		if r.Nth > 0 && r.Prob > 0 {
+			return Rule{}, fmt.Errorf("faults: nth and prob are mutually exclusive in spec %q", spec)
 		}
 	}
 	if r.Nth == 0 && r.Prob == 0 {

@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// TestRuleGrammar is the table-driven spec of the strict CLI grammar:
+// every accepted form with its decoded meaning, and every rejected
+// form with the reason the error message must name.
+func TestRuleGrammar(t *testing.T) {
+	accept := []struct {
+		spec string
+		want Rule
+	}{
+		{"ptrace", Rule{Op: "ptrace", Nth: 1}},
+		{"ptrace:nth=3", Rule{Op: "ptrace", Nth: 3}},
+		{"ptrace:inject:ioctl:nth=2,transient", Rule{Op: "ptrace:inject:ioctl", Nth: 2, Transient: true}},
+		{"vq:blk:prob=0.25,err=eio,persistent", Rule{Op: "vq:blk", Prob: 0.25, Err: EIO, Persistent: true}},
+		{"procvm:readv:lat=2ms", Rule{Op: "procvm:readv", Nth: 1, Latency: 2 * time.Millisecond}},
+		{"net:link:nth=7,stage=setup_devices", Rule{Op: "net:link", Nth: 7, Stage: "setup_devices"}},
+		// A bare parameter list is a wildcard: it matches every crossing.
+		{"prob=0.5", Rule{Prob: 0.5}},
+		{"transient", Rule{Nth: 1, Transient: true}},
+		{"nth=4,err=eperm", Rule{Nth: 4, Err: EPERM}},
+	}
+	for _, tc := range accept {
+		r, err := ParseRule(tc.spec)
+		if err != nil {
+			t.Errorf("ParseRule(%q): unexpected error %v", tc.spec, err)
+			continue
+		}
+		if r.Op != tc.want.Op || r.Nth != tc.want.Nth || r.Prob != tc.want.Prob ||
+			r.Stage != tc.want.Stage || r.Latency != tc.want.Latency ||
+			r.Transient != tc.want.Transient || r.Persistent != tc.want.Persistent ||
+			!errors.Is(r.Err, tc.want.Err) {
+			t.Errorf("ParseRule(%q) = %+v, want %+v", tc.spec, r, tc.want)
+		}
+	}
+
+	reject := []struct {
+		spec   string
+		reason string // substring the error must carry
+	}{
+		{"", "empty spec"},
+		{"   ", "empty spec"},
+		{"ptrace::nth=1", "empty op segment"},
+		{":nth=1", "empty op segment"},
+		{"ptrace:", "empty op segment"},
+		{"ptrace:nth=1,", "trailing or doubled comma"},
+		{"ptrace:nth=1,,transient", "trailing or doubled comma"},
+		{"ptrace:nth=1,nth=2", `duplicate "nth"`},
+		{"ptrace:transient,transient", `duplicate "transient"`},
+		{"ptrace:transient=yes", "takes no value"},
+		{"ptrace:persistent=1", "takes no value"},
+		{"ptrace:nth=", "needs a value"},
+		{"ptrace:stage=", "needs a value"},
+		{"ptrace:nth=x", "bad value"},
+		{"ptrace:nth=0", "nth must be >= 1"},
+		{"ptrace:nth=-2", "nth must be >= 1"},
+		{"ptrace:prob=0", "prob must be in (0,1]"},
+		{"ptrace:prob=1.5", "prob must be in (0,1]"},
+		{"ptrace:lat=-1ms", "lat must be non-negative"},
+		{"ptrace:lat=fast", "bad value"},
+		{"ptrace:err=ewhat", "unknown err"},
+		{"ptrace:bogus=1", "unknown key"},
+		{"ptrace:nth=2,prob=0.5", "mutually exclusive"},
+	}
+	for _, tc := range reject {
+		r, err := ParseRule(tc.spec)
+		if err == nil {
+			t.Errorf("ParseRule(%q) accepted as %+v, want error containing %q", tc.spec, r, tc.reason)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.reason) {
+			t.Errorf("ParseRule(%q) error %q does not mention %q", tc.spec, err, tc.reason)
+		}
+	}
+}
+
+func TestCrossingClassesWellFormed(t *testing.T) {
+	classes := CrossingClasses()
+	if len(classes) == 0 {
+		t.Fatal("empty taxonomy")
+	}
+	seen := make(map[Op]bool)
+	for _, c := range classes {
+		if c.Op == "" || c.Doc == "" {
+			t.Errorf("class %+v missing op or doc", c)
+		}
+		if seen[c.Op] {
+			t.Errorf("duplicate class %q", c.Op)
+		}
+		seen[c.Op] = true
+		// Every class must resolve to itself through ClassOf.
+		got, ok := ClassOf(c.Op)
+		if !ok || got.Op != c.Op {
+			t.Errorf("ClassOf(%q) = %+v ok=%v, want the class itself", c.Op, got, ok)
+		}
+	}
+	// Prefix classes resolve their members; tap-only classes are never
+	// part of the fault plane's sweep surface.
+	if ci, ok := ClassOf(OpPtraceInject + ":ioctl"); !ok || ci.Op != OpPtraceInject {
+		t.Errorf("injected-syscall subop did not resolve to %q: %+v ok=%v", OpPtraceInject, ci, ok)
+	}
+	if ci, ok := ClassOf(OpKVMMMIO); !ok || !ci.TapOnly {
+		t.Errorf("kvm:mmio should be tap-only: %+v ok=%v", ci, ok)
+	}
+	if _, ok := ClassOf("made:up"); ok {
+		t.Error("unknown op resolved to a class")
+	}
+	if !OpVQBlk.PostResume() || Op("ptrace:attach").PostResume() {
+		t.Error("PostResume misclassifies")
+	}
+	if !OpNetLink.DevicePath() || Op("procvm:readv").DevicePath() {
+		t.Error("DevicePath misclassifies")
+	}
+	if OpPtraceInject.Root() != "ptrace" || Op("bpf:kprobe").Root() != "bpf" {
+		t.Error("Root misparses")
+	}
+}
+
+// FuzzFaultRuleGrammar asserts the parser never panics, and that every
+// accepted rule satisfies the grammar's invariants (so fuzzing also
+// guards the semantic contract, not just memory safety).
+func FuzzFaultRuleGrammar(f *testing.F) {
+	f.Add("ptrace:nth=3")
+	f.Add("procvm:readv:nth=5,transient")
+	f.Add("vq:blk:prob=0.01,err=eio,persistent")
+	f.Add("ptrace:inject:ioctl:lat=2ms,stage=inject_library")
+	f.Add("prob=0.5")
+	f.Add("transient")
+	f.Add("ptrace::nth=1")
+	f.Add("ptrace:nth=1,,transient")
+	f.Add("a:b:c:d=e")
+	f.Add("nth=1;prob=0.5")
+	f.Fuzz(func(t *testing.T, spec string) {
+		r, err := ParseRule(spec)
+		if err != nil {
+			return
+		}
+		if r.Nth > 0 && r.Prob > 0 {
+			t.Fatalf("accepted rule mixes nth and prob: %q -> %+v", spec, r)
+		}
+		if r.Nth == 0 && r.Prob == 0 {
+			t.Fatalf("accepted rule has no trigger: %q -> %+v", spec, r)
+		}
+		if r.Prob < 0 || r.Prob > 1 || r.Nth < 0 || r.Latency < 0 {
+			t.Fatalf("accepted rule out of range: %q -> %+v", spec, r)
+		}
+		if strings.Contains(r.Op, "::") || strings.HasPrefix(r.Op, ":") || strings.HasSuffix(r.Op, ":") {
+			t.Fatalf("accepted op with empty segment: %q -> %q", spec, r.Op)
+		}
+		if utf8.ValidString(spec) {
+			// Accepted specs round-trip through ParseRules unchanged.
+			rules, err := ParseRules(spec)
+			if strings.Contains(spec, ";") {
+				return // split into multiple specs; no 1:1 comparison
+			}
+			if err != nil || len(rules) != 1 {
+				t.Fatalf("ParseRules(%q) = %v, %v after ParseRule accepted it", spec, rules, err)
+			}
+		}
+	})
+}

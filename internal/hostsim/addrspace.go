@@ -205,26 +205,56 @@ func (h *Host) processVMCommon(caller *Process, op string, targetPID, totalBytes
 func (h *Host) ProcessVMReadv(caller *Process, targetPID int, iovs []IoVec) error {
 	target, err := h.processVMCommon(caller, "readv", targetPID, IoVecTotal(iovs))
 	if err != nil {
+		h.taps.Crossing(faults.OpProcVMRead, iovArgs(targetPID, iovs), faults.NewDigest(), err)
 		return err
 	}
 	for _, v := range iovs {
 		if err := target.AS.read(v.HVA, v.Buf); err != nil {
+			h.taps.Crossing(faults.OpProcVMRead, iovArgs(targetPID, iovs), faults.NewDigest(), err)
 			return err
 		}
 	}
+	if h.taps.Active() {
+		res := faults.NewDigest()
+		for _, v := range iovs {
+			res = res.Bytes(v.Buf)
+		}
+		h.taps.Crossing(faults.OpProcVMRead, iovArgs(targetPID, iovs), res, nil)
+	}
 	return nil
+}
+
+// iovArgs digests the shape of a process_vm crossing: target pid,
+// vector count, and each (address, length) pair. Payload bytes go
+// into the result digest instead, so argument digests identify the
+// request even when the copy fails.
+func iovArgs(pid int, iovs []IoVec) faults.Digest {
+	d := faults.NewDigest().U64(uint64(pid)).U64(uint64(len(iovs)))
+	for _, v := range iovs {
+		d = d.U64(uint64(v.HVA)).U64(uint64(len(v.Buf)))
+	}
+	return d
 }
 
 // ProcessVMWritev is the vectored process_vm_writev.
 func (h *Host) ProcessVMWritev(caller *Process, targetPID int, iovs []IoVec) error {
 	target, err := h.processVMCommon(caller, "writev", targetPID, IoVecTotal(iovs))
 	if err != nil {
+		h.taps.Crossing(faults.OpProcVMWrite, iovArgs(targetPID, iovs), faults.NewDigest(), err)
 		return err
 	}
 	for _, v := range iovs {
 		if err := target.AS.write(v.HVA, v.Buf); err != nil {
+			h.taps.Crossing(faults.OpProcVMWrite, iovArgs(targetPID, iovs), faults.NewDigest(), err)
 			return err
 		}
+	}
+	if h.taps.Active() {
+		res := faults.NewDigest()
+		for _, v := range iovs {
+			res = res.Bytes(v.Buf)
+		}
+		h.taps.Crossing(faults.OpProcVMWrite, iovArgs(targetPID, iovs), res, nil)
 	}
 	return nil
 }

@@ -99,12 +99,20 @@ func (h *Host) ProcFDInfo(caller *Process, targetPID int) ([]FDInfo, error) {
 		return nil, ErrPerm
 	}
 	if err := h.Faults.Check(faults.OpProcFDInfo); err != nil {
+		h.taps.Crossing(faults.OpProcFDInfo, faults.NewDigest().U64(uint64(targetPID)), faults.NewDigest(), err)
 		return nil, err
 	}
 	caller.chargeSyscall()
 	var out []FDInfo
 	for _, e := range target.FDs() {
 		out = append(out, FDInfo{Num: e.Num, Link: e.FD.ProcLink()})
+	}
+	if h.taps.Active() {
+		res := faults.NewDigest()
+		for _, fi := range out {
+			res = res.U64(uint64(fi.Num)).Str(fi.Link)
+		}
+		h.taps.Crossing(faults.OpProcFDInfo, faults.NewDigest().U64(uint64(targetPID)), res, nil)
 	}
 	return out, nil
 }

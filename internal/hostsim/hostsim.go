@@ -104,9 +104,15 @@ type Host struct {
 	// the hosted devices make consults it. Install with SetFaultPlan.
 	Faults *faults.Injector
 
+	// taps is the crossing-observation hub (record/replay). It shares
+	// the injector's stage and pause context; disarmed (the default)
+	// every instrumented crossing pays exactly one nil check.
+	taps faults.Taps
+
 	mu        sync.Mutex
 	procs     map[int]*Process
 	nextPID   int
+	attachSeq int
 	kprobes   map[string][]*KProbe
 	listeners map[string]*UnixListener
 	files     map[string]*HostFile
@@ -151,6 +157,29 @@ func NewHost() *Host {
 // and are recorded as "host:faults" trace events.
 func (h *Host) SetFaultPlan(p *faults.Plan) {
 	h.Faults = faults.NewInjector(p, h.Clock, h.Trace.Track("host:faults"))
+	h.taps.Bind(h.Faults)
+}
+
+// SetTap arms (or, with nil, disarms) a crossing observer — the
+// record/replay subsystem's hook. The tap shares the fault plane's
+// stage and pause context, so rollback/detach undo crossings are
+// never observed; arm a (possibly empty) fault plan first to get that
+// context.
+func (h *Host) SetTap(t faults.Tap) { h.taps.Arm(t) }
+
+// Taps exposes the host's crossing-observation hub so hosted devices
+// (virtio, netsim) can deliver their crossings through it.
+func (h *Host) Taps() *faults.Taps { return &h.taps }
+
+// NextAttachSeq hands out host-scoped attach sequence numbers (the
+// fd-passing socket names embed one). Host-scoped — not process-global
+// — so guest-visible bytes stay identical between two same-seed runs
+// in one OS process, which record/replay verification depends on.
+func (h *Host) NextAttachSeq() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.attachSeq++
+	return h.attachSeq
 }
 
 // NewProcess registers a new process.

@@ -26,6 +26,7 @@ type Tracer struct {
 // the kernel's rule: same uid or CAP_SYS_PTRACE.
 func (p *Process) Attach(target *Process) (*Tracer, error) {
 	if err := p.host.Faults.Check(faults.OpPtraceAttach); err != nil {
+		p.host.taps.Crossing(faults.OpPtraceAttach, faults.NewDigest().U64(uint64(target.PID)), faults.NewDigest(), err)
 		return nil, fmt.Errorf("ptrace attach pid %d: %w", target.PID, err)
 	}
 	if !mayAccess(p, target) {
@@ -39,6 +40,7 @@ func (p *Process) Attach(target *Process) (*Tracer, error) {
 	tr := &Tracer{host: p.host, self: p, target: target}
 	target.tracer = tr
 	p.host.Clock.Advance(p.host.Costs.Syscall)
+	p.host.taps.Crossing(faults.OpPtraceAttach, faults.NewDigest().U64(uint64(target.PID)), faults.NewDigest().U64(1), nil)
 	return tr, nil
 }
 
@@ -59,6 +61,7 @@ func (tr *Tracer) InterruptAll() error {
 		return err
 	}
 	if err := tr.host.Faults.Check(faults.OpPtraceInterrupt); err != nil {
+		tr.host.taps.Crossing(faults.OpPtraceInterrupt, faults.NewDigest().U64(uint64(tr.target.PID)), faults.NewDigest(), err)
 		return err
 	}
 	sp := tr.host.trPtrace.Span("ptrace", "interrupt_all")
@@ -72,6 +75,7 @@ func (tr *Tracer) InterruptAll() error {
 	}
 	tr.host.ctrPtraceStops.Add(stops)
 	sp.End1("stops", stops)
+	tr.host.taps.Crossing(faults.OpPtraceInterrupt, faults.NewDigest().U64(uint64(tr.target.PID)), faults.NewDigest().U64(uint64(stops)), nil)
 	return nil
 }
 
@@ -82,6 +86,7 @@ func (tr *Tracer) ResumeAll() error {
 		return err
 	}
 	if err := tr.host.Faults.Check(faults.OpPtraceResume); err != nil {
+		tr.host.taps.Crossing(faults.OpPtraceResume, faults.NewDigest().U64(uint64(tr.target.PID)), faults.NewDigest(), err)
 		return err
 	}
 	sp := tr.host.trPtrace.Span("ptrace", "resume_all")
@@ -93,6 +98,16 @@ func (tr *Tracer) ResumeAll() error {
 			tr.host.Clock.Advance(tr.host.Costs.Syscall)
 		}
 	}
+	// The crossing is observed before OnResume so that nested
+	// crossings made by the continuing process (virtqueue passes of a
+	// re-entered KVM_RUN) appear after their cause in the log.
+	var res faults.Digest
+	if resumed {
+		res = faults.NewDigest().U64(1)
+	} else {
+		res = faults.NewDigest().U64(0)
+	}
+	tr.host.taps.Crossing(faults.OpPtraceResume, faults.NewDigest().U64(uint64(tr.target.PID)), res, nil)
 	if resumed && tr.target.OnResume != nil {
 		tr.target.OnResume()
 	}
@@ -119,10 +134,21 @@ func (tr *Tracer) GetRegs(t *Thread) (Regs, error) {
 		return Regs{}, fmt.Errorf("tid %d: %w (not stopped)", t.TID, ErrNotTraced)
 	}
 	if err := tr.host.Faults.Check(faults.OpPtraceGetRegs); err != nil {
+		tr.host.taps.Crossing(faults.OpPtraceGetRegs, faults.NewDigest().U64(uint64(t.TID)), faults.NewDigest(), err)
 		return Regs{}, err
 	}
 	tr.host.Clock.Advance(tr.host.Costs.Syscall)
+	tr.host.taps.Crossing(faults.OpPtraceGetRegs, faults.NewDigest().U64(uint64(t.TID)), regsDigest(&t.Regs), nil)
 	return t.Regs, nil
+}
+
+// regsDigest summarises a register file for crossing records: the
+// control-flow registers of both ABIs, enough to pin divergence
+// without folding all 40+ fields.
+func regsDigest(r *Regs) faults.Digest {
+	return faults.NewDigest().
+		U64(r.RIP).U64(r.RSP).U64(r.RAX).U64(r.RDI).
+		U64(r.PC).U64(r.SP).U64(r.X[0]).U64(r.X[8])
 }
 
 // SetRegs replaces the register file of a stopped thread.
@@ -134,10 +160,12 @@ func (tr *Tracer) SetRegs(t *Thread, r Regs) error {
 		return fmt.Errorf("tid %d: %w (not stopped)", t.TID, ErrNotTraced)
 	}
 	if err := tr.host.Faults.Check(faults.OpPtraceSetRegs); err != nil {
+		tr.host.taps.Crossing(faults.OpPtraceSetRegs, faults.NewDigest().U64(uint64(t.TID)), faults.NewDigest(), err)
 		return err
 	}
 	tr.host.Clock.Advance(tr.host.Costs.Syscall)
 	t.Regs = r
+	tr.host.taps.Crossing(faults.OpPtraceSetRegs, faults.NewDigest().U64(uint64(t.TID)).U64(uint64(regsDigest(&r))), faults.NewDigest(), nil)
 	return nil
 }
 
@@ -157,10 +185,17 @@ func (tr *Tracer) InjectSyscall(t *Thread, nr uint64, args ...uint64) (uint64, e
 	if !t.Stopped {
 		return 0, fmt.Errorf("inject into running tid %d: %w", t.TID, ErrNotTraced)
 	}
+	// The concrete syscall name is appended so fault plans (and log
+	// records) can target e.g. only injected ioctls
+	// ("ptrace:inject:ioctl").
+	injOp := faults.OpPtraceInject + faults.Op(":"+SyscallName(nr))
+	injArgs := faults.NewDigest().U64(uint64(t.TID)).U64(nr)
+	for _, a := range args {
+		injArgs = injArgs.U64(a)
+	}
 	if f := tr.host.Faults; f != nil {
-		// The concrete syscall name is appended so fault plans can
-		// target e.g. only injected ioctls ("ptrace:inject:ioctl").
-		if err := f.Check(faults.OpPtraceInject + faults.Op(":"+SyscallName(nr))); err != nil {
+		if err := f.Check(injOp); err != nil {
+			tr.host.taps.Crossing(injOp, injArgs, faults.NewDigest(), err)
 			return 0, fmt.Errorf("injected %s: %w", SyscallName(nr), err)
 		}
 	}
@@ -204,6 +239,7 @@ func (tr *Tracer) InjectSyscall(t *Thread, nr uint64, args ...uint64) (uint64, e
 
 	t.Regs = saved
 	sp.End()
+	tr.host.taps.Crossing(injOp, injArgs, faults.NewDigest().U64(ret), err)
 	if err != nil {
 		return 0, fmt.Errorf("injected %s: %w", SyscallName(nr), err)
 	}

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"vmsh/internal/arch"
+	"vmsh/internal/faults"
 	"vmsh/internal/hostsim"
 	"vmsh/internal/mem"
 	"vmsh/internal/obs"
@@ -303,6 +304,22 @@ func (vm *VM) MMIOWrite(gpa mem.GPA, size int, value uint64) {
 //     unrelated exits pay nothing extra because the kernel filters;
 //   - hypervisor-emulated regions pay the usual return to userspace.
 func (vm *VM) dispatchMMIO(gpa mem.GPA, size int, write bool, value uint64) uint64 {
+	ret := vm.dispatchMMIOInner(gpa, size, write, value)
+	// Tap-only "kvm:mmio" crossing (never fault-checked): one record
+	// per exit so replay logs carry the device register traffic.
+	if t := vm.host.Taps(); t.Active() {
+		w := uint64(0)
+		if write {
+			w = 1
+		}
+		t.Crossing(faults.OpKVMMMIO,
+			faults.NewDigest().U64(uint64(gpa)).U64(uint64(size)).U64(w).U64(value),
+			faults.NewDigest().U64(ret), nil)
+	}
+	return ret
+}
+
+func (vm *VM) dispatchMMIOInner(gpa mem.GPA, size int, write bool, value uint64) uint64 {
 	c := vm.host.Costs
 	sp := vm.trVCPU.Span("kvm", "mmio_exit")
 	vm.host.Clock.Advance(c.VMExit)

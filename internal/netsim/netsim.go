@@ -149,6 +149,7 @@ type Switch struct {
 	stats SwitchStats
 
 	faults *faults.Injector
+	taps   *faults.Taps
 
 	trace        *obs.Tracer
 	ctrForwarded *obs.Counter
@@ -193,6 +194,23 @@ func (s *Switch) Observe(t *obs.Tracer, reg *obs.Registry) {
 // turns into a link drop (counted like a DropNth loss). A nil injector
 // (or never calling SetFaults) keeps the data path check-free.
 func (s *Switch) SetFaults(in *faults.Injector) { s.faults = in }
+
+// SetTaps wires the host's crossing-observation hub into the switch:
+// every egress link delivery (or drop) becomes a "net:link" crossing
+// in recorded sessions. Nil (or never calling SetTaps) keeps the data
+// path observation-free.
+func (s *Switch) SetTaps(t *faults.Taps) { s.taps = t }
+
+// tapLink reports one link crossing; err is nil for a delivery,
+// faults.Dropped (or the injected fault) for a loss.
+func (s *Switch) tapLink(out *Port, frame []byte, err error) {
+	if !s.taps.Active() {
+		return
+	}
+	s.taps.Crossing(faults.OpNetLink,
+		faults.NewDigest().U64(uint64(out.id)).U64(uint64(len(frame))),
+		faults.NewDigest().Bytes(frame), err)
+}
 
 // NewPort attaches a new device to the switch.
 func (s *Switch) NewPort(name string, link LinkParams) *Port {
@@ -286,6 +304,7 @@ func (s *Switch) egress(out *Port, frame []byte) {
 		s.stats.Dropped++
 		s.ctrDropped.Inc()
 		out.track.Event1("link", "drop", "bytes", int64(len(frame)))
+		s.tapLink(out, frame, faults.Dropped)
 		return
 	}
 	if err := s.faults.Check(faults.OpNetLink); err != nil {
@@ -295,6 +314,7 @@ func (s *Switch) egress(out *Port, frame []byte) {
 		s.stats.Dropped++
 		s.ctrDropped.Inc()
 		out.track.Event1("link", "drop", "bytes", int64(len(frame)))
+		s.tapLink(out, frame, err)
 		return
 	}
 	sp := out.track.Span("link", "transit")
@@ -304,9 +324,13 @@ func (s *Switch) egress(out *Port, frame []byte) {
 		out.stats.DropsNoSink++
 		s.stats.Dropped++
 		s.ctrDropped.Inc()
+		s.tapLink(out, frame, faults.Dropped)
 		return
 	}
 	out.stats.RxFrames++
 	out.stats.RxBytes += int64(len(frame))
+	// Observed before Deliver so crossings the receiving device makes
+	// while processing the frame follow their cause in the log.
+	s.tapLink(out, frame, nil)
 	out.Deliver(frame)
 }

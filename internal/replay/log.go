@@ -1,0 +1,460 @@
+// Package replay records the host crossings of a VMSH session into a
+// deterministic, versioned log and re-runs sessions from such logs —
+// no live guest required — with first-divergence detection.
+//
+// The interface recorded is exactly the fault plane's crossing
+// taxonomy (faults.CrossingClasses): because everything VMSH does to a
+// guest funnels through those few enumerable crossings, a log of them
+// is a complete account of a session's host-visible behaviour. That is
+// the same observation IRIS (arXiv:2303.12817) exploits for replay-
+// based fuzzing of virtualization stacks; keeping virtual time bit-
+// exact through replay follows the timing-simulation discipline of
+// arXiv:2206.00258.
+//
+// Log format (version 1) is line-oriented JSON with a FNV-64a checksum
+// chain, one line per element:
+//
+//	{"magic":"vmsh-replay","v":1,"label":L,"seed":S}
+//	{"s":1,"op":"ptrace:attach","st":"","os":1,"a":H16,"r":H16,"e":"","vt":NS,"ck":H16}
+//	...
+//	{"end":true,"n":N,"vt":NS,"ram":[H16...],"m":{...},"ck":H16}
+//
+// Every line is hand-marshalled in fixed key order with sorted metric
+// keys, so encode→decode→encode is byte-identical. Each "ck" chains
+// over the previous element's checksum and the line's own content;
+// any flipped byte surfaces as a structured *Divergence from Read,
+// never a panic.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vmsh/internal/faults"
+)
+
+// Version is the log format version this package reads and writes.
+const Version = 1
+
+// Magic identifies a vmsh replay log's header line.
+const Magic = "vmsh-replay"
+
+// Record is one host crossing: sequence number, hierarchical op name
+// (the sub-op is the suffix after the class prefix, e.g. the "ioctl"
+// of "ptrace:inject:ioctl"), per-op sequence number, argument and
+// result digests, outcome class, and the virtual time at which the
+// crossing was made.
+type Record struct {
+	Seq    int    // 1-based global sequence number
+	Op     string // concrete crossing name
+	Stage  string // attach-stage context ("" outside the transaction)
+	OpSeq  int    // 1-based per-op sequence number
+	Args   uint64 // FNV-64a digest of the crossing inputs
+	Result uint64 // FNV-64a digest of the crossing outputs
+	Err    string // faults.ErrClass of the outcome ("" = success)
+	VTime  int64  // virtual time in ns when the crossing occurred
+}
+
+// Footer summarises the session end state replay must reproduce.
+type Footer struct {
+	Crossings int              // number of records (cross-check)
+	VTime     int64            // final virtual time in ns
+	RAM       []uint64         // FNV-64a per guest memslot, slot order
+	Metrics   map[string]int64 // session metric snapshot
+}
+
+// Log is one recorded session.
+type Log struct {
+	Version int
+	Label   string
+	Seed    uint64
+	Records []Record
+	Footer  Footer
+}
+
+// Divergence is a structured mismatch report: the first crossing (or
+// log element) at which a replayed/verified stream departs from the
+// recording. It is also how decode reports corruption, so a damaged
+// log file yields a divergence report rather than a panic.
+type Divergence struct {
+	Seq          int    // 1-based record (or line) the mismatch is at
+	Reason       string // what differed
+	ExpectedOp   string // from the log
+	ActualOp     string // from the live stream ("" when not applicable)
+	ExpectedArgs uint64
+	ActualArgs   uint64
+	ExpectedErr  string
+	ActualErr    string
+	VTimeDelta   int64 // actual vtime minus expected vtime, ns
+}
+
+// Error implements error.
+func (d *Divergence) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "replay divergence at crossing #%d: %s", d.Seq, d.Reason)
+	if d.ExpectedOp != "" || d.ActualOp != "" {
+		fmt.Fprintf(&b, " (expected op %q args %016x err %q, actual op %q args %016x err %q)",
+			d.ExpectedOp, d.ExpectedArgs, d.ExpectedErr, d.ActualOp, d.ActualArgs, d.ActualErr)
+	}
+	if d.VTimeDelta != 0 {
+		fmt.Fprintf(&b, " (vtime delta %+dns)", d.VTimeDelta)
+	}
+	return b.String()
+}
+
+// hex16 formats a digest as fixed-width lowercase hex.
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[:])
+}
+
+// jq marshals a string as JSON (never fails for valid UTF-8 input).
+func jq(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `""`
+	}
+	return string(b)
+}
+
+// headerLine renders the header element (which seeds the chain).
+func (lg *Log) headerLine() string {
+	return fmt.Sprintf(`{"magic":%s,"v":%d,"label":%s,"seed":%d}`,
+		jq(Magic), lg.Version, jq(lg.Label), lg.Seed)
+}
+
+// recordPrefix renders a record line up to (excluding) its "ck" field.
+func recordPrefix(r Record) string {
+	return fmt.Sprintf(`{"s":%d,"op":%s,"st":%s,"os":%d,"a":"%s","r":"%s","e":%s,"vt":%d`,
+		r.Seq, jq(r.Op), jq(r.Stage), r.OpSeq, hex16(r.Args), hex16(r.Result), jq(r.Err), r.VTime)
+}
+
+// footerPrefix renders the footer line up to (excluding) its "ck".
+func footerPrefix(f Footer) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"end":true,"n":%d,"vt":%d,"ram":[`, f.Crossings, f.VTime)
+	for i, h := range f.RAM {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `"%s"`, hex16(h))
+	}
+	b.WriteString(`],"m":{`)
+	keys := make([]string, 0, len(f.Metrics))
+	for k := range f.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s:%d`, jq(k), f.Metrics[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// chain folds one element's content into the checksum chain.
+func chain(prev uint64, content string) uint64 {
+	return uint64(faults.NewDigest().U64(prev).Str(content))
+}
+
+// Encode writes the log in canonical form. Encoding the same Log value
+// twice yields byte-identical output.
+func (lg *Log) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := lg.headerLine()
+	ck := chain(0, hdr)
+	if _, err := bw.WriteString(hdr + "\n"); err != nil {
+		return err
+	}
+	for _, r := range lg.Records {
+		prefix := recordPrefix(r)
+		ck = chain(ck, prefix)
+		if _, err := fmt.Fprintf(bw, `%s,"ck":"%s"}`+"\n", prefix, hex16(ck)); err != nil {
+			return err
+		}
+	}
+	prefix := footerPrefix(lg.Footer)
+	ck = chain(ck, prefix)
+	if _, err := fmt.Fprintf(bw, `%s,"ck":"%s"}`+"\n", prefix, hex16(ck)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// jsonElem is the decode shape shared by all three line kinds.
+type jsonElem struct {
+	// header
+	Magic *string `json:"magic"`
+	V     int     `json:"v"`
+	Label string  `json:"label"`
+	Seed  uint64  `json:"seed"`
+	// record
+	S  int    `json:"s"`
+	Op string `json:"op"`
+	St string `json:"st"`
+	Os int    `json:"os"`
+	A  string `json:"a"`
+	R  string `json:"r"`
+	E  string `json:"e"`
+	Vt int64  `json:"vt"`
+	Ck string `json:"ck"`
+	// footer
+	End bool             `json:"end"`
+	N   int              `json:"n"`
+	RAM []string         `json:"ram"`
+	M   map[string]int64 `json:"m"`
+}
+
+func parseHex16(s string) (uint64, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("digest %q is not 16 hex digits", s)
+	}
+	return strconv.ParseUint(s, 16, 64)
+}
+
+// validErrClasses is the closed set of Record.Err values.
+var validErrClasses = map[string]bool{
+	"": true, "drop": true, "err": true,
+	"efault": true, "eio": true, "eperm": true,
+	"enosys": true, "eintr": true, "eagain": true,
+}
+
+// Read decodes and validates a log. Syntactic damage, checksum-chain
+// breaks and structural violations (non-contiguous sequence numbers,
+// vtime regressions, unknown crossing classes, truncation) are all
+// reported as a *Divergence error identifying the first bad element;
+// a version or magic mismatch is reported as a plain error so callers
+// can distinguish skew from corruption.
+func Read(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("replay: empty log")
+	}
+	var hdr jsonElem
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil || hdr.Magic == nil {
+		return nil, fmt.Errorf("replay: not a vmsh replay log (bad header)")
+	}
+	if *hdr.Magic != Magic {
+		return nil, fmt.Errorf("replay: bad magic %q", *hdr.Magic)
+	}
+	if hdr.V != Version {
+		return nil, fmt.Errorf("replay: version skew: log is v%d, this reader understands v%d", hdr.V, Version)
+	}
+	lg := &Log{Version: hdr.V, Label: hdr.Label, Seed: hdr.Seed}
+	ck := chain(0, lg.headerLine())
+
+	opSeq := make(map[string]int)
+	lastVT := int64(0)
+	sawFooter := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(strings.TrimSpace(string(line))) == 0 {
+			continue
+		}
+		seq := len(lg.Records) + 1
+		if sawFooter {
+			return nil, &Divergence{Seq: seq, Reason: "trailing data after footer"}
+		}
+		var el jsonElem
+		if err := json.Unmarshal(line, &el); err != nil {
+			return nil, &Divergence{Seq: seq, Reason: "unparseable element: " + err.Error()}
+		}
+		lineCk, err := parseHex16(el.Ck)
+		if err != nil {
+			return nil, &Divergence{Seq: seq, Reason: "bad checksum field: " + err.Error()}
+		}
+		if el.End {
+			f := Footer{Crossings: el.N, VTime: el.Vt, Metrics: el.M}
+			if f.Metrics == nil {
+				f.Metrics = map[string]int64{}
+			}
+			for _, h := range el.RAM {
+				v, err := parseHex16(h)
+				if err != nil {
+					return nil, &Divergence{Seq: seq, Reason: "bad RAM hash: " + err.Error()}
+				}
+				f.RAM = append(f.RAM, v)
+			}
+			ck = chain(ck, footerPrefix(f))
+			if ck != lineCk {
+				return nil, &Divergence{Seq: seq, Reason: fmt.Sprintf("footer checksum chain mismatch (want %s, log has %s)", hex16(ck), hex16(lineCk))}
+			}
+			if f.Crossings != len(lg.Records) {
+				return nil, &Divergence{Seq: seq, Reason: fmt.Sprintf("footer says %d crossings, log has %d", f.Crossings, len(lg.Records))}
+			}
+			if f.VTime < lastVT {
+				return nil, &Divergence{Seq: seq, Reason: "footer vtime precedes last crossing", VTimeDelta: f.VTime - lastVT}
+			}
+			lg.Footer = f
+			sawFooter = true
+			continue
+		}
+		args, aerr := parseHex16(el.A)
+		res, rerr := parseHex16(el.R)
+		if aerr != nil || rerr != nil {
+			return nil, &Divergence{Seq: seq, Reason: "bad digest field"}
+		}
+		rec := Record{Seq: el.S, Op: el.Op, Stage: el.St, OpSeq: el.Os,
+			Args: args, Result: res, Err: el.E, VTime: el.Vt}
+		ck = chain(ck, recordPrefix(rec))
+		if ck != lineCk {
+			return nil, &Divergence{Seq: seq, Reason: fmt.Sprintf("checksum chain mismatch (want %s, log has %s)", hex16(ck), hex16(lineCk)), ExpectedOp: rec.Op, ExpectedArgs: rec.Args}
+		}
+		if rec.Seq != seq {
+			return nil, &Divergence{Seq: seq, Reason: fmt.Sprintf("sequence gap: record says #%d", rec.Seq)}
+		}
+		if _, ok := faults.ClassOf(faults.Op(rec.Op)); !ok {
+			return nil, &Divergence{Seq: seq, Reason: fmt.Sprintf("unknown crossing class %q", rec.Op), ExpectedOp: rec.Op}
+		}
+		if !validErrClasses[rec.Err] {
+			return nil, &Divergence{Seq: seq, Reason: fmt.Sprintf("unknown error class %q", rec.Err), ExpectedOp: rec.Op}
+		}
+		os := opSeq[rec.Op] + 1
+		opSeq[rec.Op] = os
+		if rec.OpSeq != os {
+			return nil, &Divergence{Seq: seq, Reason: fmt.Sprintf("per-op sequence mismatch for %s: record says #%d, stream implies #%d", rec.Op, rec.OpSeq, os), ExpectedOp: rec.Op}
+		}
+		if rec.VTime < lastVT {
+			return nil, &Divergence{Seq: seq, Reason: "vtime regression", ExpectedOp: rec.Op, VTimeDelta: rec.VTime - lastVT}
+		}
+		lastVT = rec.VTime
+		lg.Records = append(lg.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawFooter {
+		return nil, &Divergence{Seq: len(lg.Records) + 1, Reason: "truncated log (no footer)"}
+	}
+	return lg, nil
+}
+
+// Renumber recomputes every record's Seq and OpSeq and the footer
+// crossing count from the record stream. Tests (and tools) that edit a
+// log in memory use it to restore internal consistency before
+// re-encoding.
+func (lg *Log) Renumber() {
+	opSeq := make(map[string]int)
+	for i := range lg.Records {
+		lg.Records[i].Seq = i + 1
+		opSeq[lg.Records[i].Op]++
+		lg.Records[i].OpSeq = opSeq[lg.Records[i].Op]
+	}
+	lg.Footer.Crossings = len(lg.Records)
+}
+
+// VerifyLogs compares two decoded logs record by record (and footer
+// against footer), returning the first divergence or nil when the
+// logs describe identical sessions. "expected" plays the role of the
+// reference recording.
+func VerifyLogs(expected, actual *Log) *Divergence {
+	n := len(expected.Records)
+	if len(actual.Records) < n {
+		n = len(actual.Records)
+	}
+	for i := 0; i < n; i++ {
+		e, a := expected.Records[i], actual.Records[i]
+		if d := diffRecord(e, a); d != nil {
+			return d
+		}
+	}
+	if len(expected.Records) != len(actual.Records) {
+		return &Divergence{
+			Seq:    n + 1,
+			Reason: fmt.Sprintf("crossing count mismatch: expected %d, actual %d", len(expected.Records), len(actual.Records)),
+		}
+	}
+	ef, af := expected.Footer, actual.Footer
+	seq := len(expected.Records) + 1
+	if ef.VTime != af.VTime {
+		return &Divergence{Seq: seq, Reason: "final vtime mismatch", VTimeDelta: af.VTime - ef.VTime}
+	}
+	if len(ef.RAM) != len(af.RAM) {
+		return &Divergence{Seq: seq, Reason: fmt.Sprintf("RAM slot count mismatch: expected %d, actual %d", len(ef.RAM), len(af.RAM))}
+	}
+	for i := range ef.RAM {
+		if ef.RAM[i] != af.RAM[i] {
+			return &Divergence{Seq: seq, Reason: fmt.Sprintf("RAM hash mismatch in slot %d", i), ExpectedArgs: ef.RAM[i], ActualArgs: af.RAM[i]}
+		}
+	}
+	if d := diffMetrics(ef.Metrics, af.Metrics); d != "" {
+		return &Divergence{Seq: seq, Reason: "metrics mismatch: " + d}
+	}
+	return nil
+}
+
+// diffRecord compares one expected/actual record pair.
+func diffRecord(e, a Record) *Divergence {
+	reason := ""
+	switch {
+	case e.Op != a.Op:
+		reason = "op mismatch"
+	case e.Stage != a.Stage:
+		reason = fmt.Sprintf("stage mismatch (expected %q, actual %q)", e.Stage, a.Stage)
+	case e.Args != a.Args:
+		reason = "args digest mismatch"
+	case e.Err != a.Err:
+		reason = "error class mismatch"
+	case e.Result != a.Result:
+		reason = "result digest mismatch"
+	case e.VTime != a.VTime:
+		reason = "vtime mismatch"
+	default:
+		return nil
+	}
+	return &Divergence{
+		Seq: e.Seq, Reason: reason,
+		ExpectedOp: e.Op, ActualOp: a.Op,
+		ExpectedArgs: e.Args, ActualArgs: a.Args,
+		ExpectedErr: e.Err, ActualErr: a.Err,
+		VTimeDelta: a.VTime - e.VTime,
+	}
+}
+
+// diffMetrics returns a description of the first differing key, or "".
+func diffMetrics(e, a map[string]int64) string {
+	keys := make(map[string]bool, len(e)+len(a))
+	for k := range e {
+		keys[k] = true
+	}
+	for k := range a {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		ev, eok := e[k]
+		av, aok := a[k]
+		if !eok {
+			return fmt.Sprintf("unexpected metric %q=%d", k, av)
+		}
+		if !aok {
+			return fmt.Sprintf("missing metric %q (expected %d)", k, ev)
+		}
+		if ev != av {
+			return fmt.Sprintf("%q: expected %d, actual %d", k, ev, av)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,117 @@
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"vmsh/internal/obs"
+	"vmsh/internal/vclock"
+)
+
+// RunResult is the outcome of a log-driven replay.
+type RunResult struct {
+	Label     string
+	Seed      uint64
+	Crossings int
+	// VTime is the final virtual time reached by re-advancing a fresh
+	// vclock through every recorded crossing; bit-identical to the
+	// live session's final time.
+	VTime time.Duration
+	// RAM and Metrics are the recorded end state (integrity-checked
+	// through the log's checksum chain).
+	RAM     []uint64
+	Metrics map[string]int64
+	// PerOp counts replayed crossings per op name.
+	PerOp map[string]int
+	// Tracer carries the replay-mode spans (one per crossing, on
+	// "replay:<root>" tracks); enabled only with WithTrace.
+	Tracer *obs.Tracer
+	// Clock is the replay clock, stopped at VTime.
+	Clock *vclock.Clock
+}
+
+type runConfig struct {
+	trace bool
+}
+
+// RunOption configures Run.
+type RunOption func(*runConfig)
+
+// WithTrace enables the replay tracer so the re-run can be exported
+// as a Chrome/Perfetto trace — time-travel debugging of a recorded
+// failure without re-running the guest.
+func WithTrace() RunOption {
+	return func(c *runConfig) { c.trace = true }
+}
+
+// Run re-executes a session from its log alone: no live guest, no
+// hypervisor. It walks the crossing records in order, advancing a
+// fresh virtual clock to each record's timestamp and emitting one
+// obs span per crossing, then advances to the footer time. The
+// resulting virtual time is computed by the same vclock arithmetic a
+// live run uses, so a faithful log replays to bit-identical time.
+//
+// Structural damage surfaces as a *Divergence (Read catches file
+// corruption; Run re-checks monotonicity for logs built in memory).
+func Run(lg *Log, opts ...RunOption) (*RunResult, error) {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	clock := vclock.New()
+	tracer := obs.New(clock)
+	if cfg.trace {
+		tracer.Enable()
+	}
+	tracks := make(map[string]obs.Track)
+	perOp := make(map[string]int)
+	for i, rec := range lg.Records {
+		delta := rec.VTime - int64(clock.Now())
+		if delta < 0 {
+			return nil, &Divergence{Seq: i + 1, Reason: "vtime regression during replay", ExpectedOp: rec.Op, VTimeDelta: delta}
+		}
+		root := opRoot(rec.Op)
+		tr, ok := tracks[root]
+		if !ok {
+			tr = tracer.Track("replay:" + root)
+			tracks[root] = tr
+		}
+		sp := tr.Span("replay", rec.Op)
+		clock.Advance(time.Duration(delta))
+		sp.End2("seq", int64(rec.Seq), "args", int64(rec.Args))
+		perOp[rec.Op]++
+	}
+	tail := lg.Footer.VTime - int64(clock.Now())
+	if tail < 0 {
+		return nil, &Divergence{Seq: len(lg.Records) + 1, Reason: "footer vtime precedes last crossing", VTimeDelta: tail}
+	}
+	clock.Advance(time.Duration(tail))
+	if got := int64(clock.Now()); got != lg.Footer.VTime {
+		return nil, &Divergence{Seq: len(lg.Records) + 1, Reason: fmt.Sprintf("replayed vtime %dns does not reach footer vtime %dns", got, lg.Footer.VTime)}
+	}
+	metrics := make(map[string]int64, len(lg.Footer.Metrics))
+	for k, v := range lg.Footer.Metrics {
+		metrics[k] = v
+	}
+	return &RunResult{
+		Label:     lg.Label,
+		Seed:      lg.Seed,
+		Crossings: len(lg.Records),
+		VTime:     clock.Now(),
+		RAM:       append([]uint64(nil), lg.Footer.RAM...),
+		Metrics:   metrics,
+		PerOp:     perOp,
+		Tracer:    tracer,
+		Clock:     clock,
+	}, nil
+}
+
+// opRoot returns the first ':'-segment of an op name.
+func opRoot(op string) string {
+	for i := 0; i < len(op); i++ {
+		if op[i] == ':' {
+			return op[:i]
+		}
+	}
+	return op
+}

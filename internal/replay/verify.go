@@ -1,0 +1,84 @@
+package replay
+
+import (
+	"fmt"
+
+	"vmsh/internal/faults"
+	"vmsh/internal/vclock"
+)
+
+// Verifier is a faults.Tap that checks a live crossing stream against
+// a reference log, latching the first divergence: mismatching op,
+// stage, argument digest, result digest, error class, or virtual
+// time. Attach a Verifier to a re-run of a recorded session to prove
+// (or pinpoint where) the run departs from the recording.
+type Verifier struct {
+	lg      *Log
+	clock   *vclock.Clock
+	next    int
+	matched int
+	div     *Divergence
+}
+
+// NewVerifier builds a verifier against lg. clock, when non-nil, is
+// the live run's virtual clock, used to compare crossing timestamps.
+func NewVerifier(lg *Log, clock *vclock.Clock) *Verifier {
+	return &Verifier{lg: lg, clock: clock}
+}
+
+// Crossing implements faults.Tap.
+func (v *Verifier) Crossing(c faults.Crossing) {
+	if v.div != nil {
+		return
+	}
+	var now int64
+	if v.clock != nil {
+		now = int64(v.clock.Now())
+	}
+	if v.next >= len(v.lg.Records) {
+		v.div = &Divergence{
+			Seq:      len(v.lg.Records) + 1,
+			Reason:   "live run made a crossing beyond the end of the log",
+			ActualOp: string(c.Op), ActualArgs: c.Args, ActualErr: c.Err,
+		}
+		return
+	}
+	exp := v.lg.Records[v.next]
+	live := Record{
+		Seq: exp.Seq, Op: string(c.Op), Stage: c.Stage, OpSeq: exp.OpSeq,
+		Args: c.Args, Result: c.Result, Err: c.Err, VTime: now,
+	}
+	if v.clock == nil {
+		live.VTime = exp.VTime // no clock to compare against
+	}
+	if d := diffRecord(exp, live); d != nil {
+		v.div = d
+		return
+	}
+	v.next++
+	v.matched++
+}
+
+// Matched reports how many crossings matched the log so far.
+func (v *Verifier) Matched() int { return v.matched }
+
+// Divergence returns the latched mismatch, or nil.
+func (v *Verifier) Divergence() *Divergence { return v.div }
+
+// Result summarises verification: nil when every log record was
+// matched by a live crossing and no divergence occurred; otherwise
+// the divergence (including a synthetic one for a live run that ended
+// before consuming the whole log).
+func (v *Verifier) Result() *Divergence {
+	if v.div != nil {
+		return v.div
+	}
+	if v.next != len(v.lg.Records) {
+		return &Divergence{
+			Seq:        v.next + 1,
+			Reason:     fmt.Sprintf("live run ended after %d of %d recorded crossings", v.next, len(v.lg.Records)),
+			ExpectedOp: v.lg.Records[v.next].Op,
+		}
+	}
+	return nil
+}

@@ -17,6 +17,8 @@ package virtio
 // next doorbell, exactly as a real device sees a stale index until
 // the next notification.
 
+import "vmsh/internal/faults"
+
 // serveFn handles one popped chain. It returns the used-ring length,
 // an optional side effect to run only after the completion has been
 // published (e.g. handing a tx frame to the switch), and ok=false to
@@ -40,6 +42,13 @@ func serviceQueue(dev *MMIODev, q int, batch bool, serve serveFn, serveBatch ser
 	sp := dev.Trace.Span("vq", "service")
 	served := serviceQueueInner(dev, q, batch, serve, serveBatch, signal)
 	sp.End2("queue", int64(q), "chains", served)
+	// One record/replay crossing per service pass, mirroring the
+	// granularity at which the fault plane intercepts the data path.
+	if dev.Taps.Active() && dev.TapOp != "" {
+		dev.Taps.Crossing(dev.TapOp,
+			faults.NewDigest().U64(uint64(dev.ID)).U64(uint64(q)),
+			faults.NewDigest().U64(uint64(served)), nil)
+	}
 }
 
 func serviceQueueInner(dev *MMIODev, q int, batch bool, serve serveFn, serveBatch serveBatchFn, signal func()) int64 {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"sync"
 
+	"vmsh/internal/faults"
 	"vmsh/internal/mem"
 	"vmsh/internal/obs"
 )
@@ -107,6 +108,12 @@ type MMIODev struct {
 	Trace  obs.Track
 	IRQs   *obs.Counter
 	ReqLat []*obs.Histogram
+
+	// Taps, when non-nil, receives one TapOp crossing per virtqueue
+	// service pass (the record/replay hook). TapOp is the crossing
+	// class name ("vq:blk", "vq:cons", "vq:net").
+	Taps  *faults.Taps
+	TapOp faults.Op
 
 	mu          sync.Mutex
 	queues      []queueState

@@ -241,6 +241,11 @@ func (q *DeviceQueue) Pop() (*Chain, bool, error) {
 	}
 	head := binary.LittleEndian.Uint16(hdr[2+2*slot:])
 	q.lastAvail++
+	if int(head) >= q.Size {
+		// Guest-controlled ring contents: an out-of-range head is a
+		// malformed ring, never a reason to touch memory past the table.
+		return nil, false, fmt.Errorf("virtio: avail head %d outside %d-entry queue", head, q.Size)
+	}
 
 	// Chains are typically short and laid out contiguously from the
 	// head, so the device fetches a small descriptor window with one
@@ -290,6 +295,9 @@ func (q *DeviceQueue) parseChain(head uint16, win []byte) (*Chain, error) {
 			break
 		}
 		idx = d.Next
+		if int(idx) >= q.Size {
+			return nil, fmt.Errorf("virtio: descriptor link %d outside %d-entry queue (head %d)", idx, q.Size, head)
+		}
 		if len(elems) > q.Size {
 			return nil, fmt.Errorf("virtio: descriptor chain loop at head %d", head)
 		}
@@ -333,6 +341,9 @@ func (q *DeviceQueue) PopBatch(max int) ([]*Chain, error) {
 	for i := range heads {
 		slot := int(q.lastAvail+uint16(i)) % q.Size
 		heads[i] = binary.LittleEndian.Uint16(hdr[2+2*slot:])
+		if int(heads[i]) >= q.Size {
+			return nil, fmt.Errorf("virtio: avail head %d outside %d-entry queue", heads[i], q.Size)
+		}
 	}
 	wins := make([][]byte, pending)
 	vecs := make([]mem.Vec, pending)

@@ -1,0 +1,143 @@
+// Command gencorpus regenerates the committed seed corpora under
+// internal/*/testdata/fuzz/. Seeds mirror the f.Add calls in each fuzz
+// target but live on disk so CI can run the targets against a
+// committed corpus without first fuzzing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"vmsh/internal/ksym"
+	"vmsh/internal/mem"
+	"vmsh/internal/virtio"
+)
+
+// marshal encodes values in the `go test fuzz v1` corpus file format.
+func marshal(vals ...any) []byte {
+	out := []byte("go test fuzz v1\n")
+	for _, v := range vals {
+		switch t := v.(type) {
+		case string:
+			out = append(out, fmt.Sprintf("string(%q)\n", t)...)
+		case []byte:
+			out = append(out, fmt.Sprintf("[]byte(%q)\n", t)...)
+		case byte:
+			out = append(out, fmt.Sprintf("byte(%q)\n", rune(t))...)
+		default:
+			log.Fatalf("unsupported corpus type %T", v)
+		}
+	}
+	return out
+}
+
+func writeCorpus(dir string, entries [][]byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i, e := range entries {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+		if err := os.WriteFile(name, e, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func seedRing(size int) []byte {
+	db, ab, ub := virtio.QueueLayout(size)
+	phys := mem.NewPhys(0, uint64(db+ab+ub))
+	io := mem.SlabIO{Phys: phys}
+	dq := &virtio.DriverQueue{M: io, Size: size, Desc: 0, Avail: mem.GPA(db), Used: mem.GPA(db + ab)}
+	if err := dq.InitRings(); err != nil {
+		log.Fatal(err)
+	}
+	if err := dq.Publish(0, []virtio.ChainElem{{Addr: 0x100, Len: 32}, {Addr: 0x200, Len: 64, Write: true}}); err != nil {
+		log.Fatal(err)
+	}
+	if err := dq.Publish(4, []virtio.ChainElem{{Addr: 0x300, Len: 16}}); err != nil {
+		log.Fatal(err)
+	}
+	return phys.Data
+}
+
+func ksymImage(layout ksym.Layout) []byte {
+	const imgBase = mem.GVA(0xffffffff81000000)
+	names := []string{
+		"filp_open", "filp_close", "kernel_read", "kernel_write",
+		"wake_up_process", "kthread_create_on_node", "kthread_stop",
+		"schedule", "do_exit", "platform_device_register",
+		"register_virtio_mmio_device", "vmalloc", "vfree",
+		"printk", "memcpy", "strlen",
+	}
+	syms := make([]ksym.Symbol, len(names))
+	for i, n := range names {
+		syms[i] = ksym.Symbol{Name: n, Value: imgBase + mem.GVA(0x1000+i*0x40)}
+	}
+	sec, err := ksym.Build(layout, syms, imgBase+mem.GVA(0x800), imgBase+mem.GVA(0x4000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := make([]byte, 0x4000+len(sec.Strings)+64)
+	copy(img[0x800:], sec.Tab)
+	copy(img[0x4000:], sec.Strings)
+	return img
+}
+
+func main() {
+	// faults: rule-grammar specs, accepted and rejected alike.
+	specs := []string{
+		"ptrace:nth=3",
+		"procvm:readv:nth=5,transient",
+		"vq:blk:prob=0.01,err=eio,persistent",
+		"ptrace:inject:ioctl:lat=2ms,stage=inject_library",
+		"prob=0.5",
+		"transient",
+		"ptrace::nth=1",
+		"ptrace:nth=1,,transient",
+		"a:b:c:d=e",
+		"nth=1;prob=0.5",
+	}
+	var grammar [][]byte
+	for _, s := range specs {
+		grammar = append(grammar, marshal(s))
+	}
+	writeCorpus("internal/faults/testdata/fuzz/FuzzFaultRuleGrammar", grammar)
+
+	// replay: the golden v1 log, headers with version skew, and junk.
+	golden, err := os.ReadFile("internal/replay/testdata/golden_v1.log")
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeCorpus("internal/replay/testdata/fuzz/FuzzReplayLog", [][]byte{
+		marshal(golden),
+		marshal([]byte(`{"magic":"vmsh-replay","v":1,"label":"empty","seed":0}` + "\n")),
+		marshal([]byte(`{"magic":"vmsh-replay","v":2,"label":"future","seed":0}` + "\n")),
+		marshal([]byte("not a log")),
+		marshal([]byte{}),
+	})
+
+	// virtio: well-formed rings from the real driver side plus hostile bytes.
+	allOnes := make([]byte, 256)
+	for i := range allOnes {
+		allOnes[i] = 0xff
+	}
+	writeCorpus("internal/virtio/testdata/fuzz/FuzzVirtqueueDescTable", [][]byte{
+		marshal(byte(8), seedRing(8)),
+		marshal(byte(16), seedRing(16)),
+		marshal(byte(8), []byte{}),
+		marshal(byte(4), allOnes),
+	})
+
+	// ksym: one genuinely built image per layout plus fragments.
+	writeCorpus("internal/ksym/testdata/fuzz/FuzzKsymtabParse", [][]byte{
+		marshal(ksymImage(ksym.LayoutAbsolute)),
+		marshal(ksymImage(ksym.LayoutPosRel)),
+		marshal(ksymImage(ksym.LayoutPosRelNS)),
+		marshal([]byte("kernel_read\x00filp_open\x00")),
+		marshal(make([]byte, 64)),
+	})
+
+	fmt.Println("corpora written")
+}

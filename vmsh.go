@@ -22,6 +22,8 @@ package vmsh
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"vmsh/internal/arch"
 	"vmsh/internal/blockdev"
@@ -33,6 +35,7 @@ import (
 	"vmsh/internal/hypervisor"
 	"vmsh/internal/netsim"
 	"vmsh/internal/obs"
+	"vmsh/internal/replay"
 	"vmsh/internal/vclock"
 )
 
@@ -96,6 +99,26 @@ type (
 	// RetryPolicy bounds per-stage retries of transient faults during
 	// attach (WithRetry). The zero value disables retry.
 	RetryPolicy = core.RetryPolicy
+	// RecordLog is a decoded crossing recording: every host crossing a
+	// session made, in order, with virtual timestamps, plus the end
+	// state (final vtime, RAM hashes, metrics). Produce one with
+	// WithRecord, load one with ReadRecording.
+	RecordLog = replay.Log
+	// Divergence is the typed record/replay mismatch report: the first
+	// crossing at which a replayed or verified run departed from its
+	// log, with expected/actual op, digests and vtime delta. Recover it
+	// from replay errors with errors.As.
+	Divergence = replay.Divergence
+	// ReplayResult is the outcome of a log-driven Replay: final virtual
+	// time, recorded RAM hashes and metrics, per-op crossing counts and
+	// (with replay.WithTrace) the replay tracer.
+	ReplayResult = replay.RunResult
+	// Verifier re-checks a live run against a RecordLog crossing by
+	// crossing (NewVerifier + WithVerifier); after Detach, Result
+	// reports the first divergence or nil.
+	Verifier = replay.Verifier
+	// ReplayRunOption configures a log-driven Replay (ReplayWithTrace).
+	ReplayRunOption = replay.RunOption
 )
 
 // Attach failure sentinels, matchable through an *Error chain with
@@ -291,6 +314,17 @@ type AttachOptions struct {
 	Fault *FaultPlan
 	// Retry bounds per-stage retries of transient faults.
 	Retry RetryPolicy
+	// RecordPath, when non-empty, records every host crossing of the
+	// attach and session to this file; Detach seals it with the end
+	// state. Replay or verify it later with Replay / WithVerifier.
+	RecordPath string
+	// RecordLabel names the recording (defaults to the target process
+	// name); RecordSeed stamps the run's seed into the log header.
+	RecordLabel string
+	RecordSeed  uint64
+	// Verify re-checks this attach live against a prior recording,
+	// crossing by crossing (see WithVerifier).
+	Verify *Verifier
 }
 
 func (o AttachOptions) toCore() core.Options {
@@ -306,6 +340,7 @@ func (o AttachOptions) toCore() core.Options {
 		Trace:        o.Trace,
 		Fault:        o.Fault,
 		Retry:        o.Retry,
+		Verify:       o.Verify,
 	}
 }
 
@@ -364,6 +399,35 @@ func WithFaultPlan(p *FaultPlan) Option { return func(o *AttachOptions) { o.Faul
 // exponential backoff to the virtual clock between tries.
 func WithRetry(policy RetryPolicy) Option { return func(o *AttachOptions) { o.Retry = policy } }
 
+// WithRecord records every host crossing of the attach and session —
+// ptrace stops, injected syscalls, process_vm transfers, virtqueue
+// service passes, link deliveries — to a deterministic, checksummed
+// log at path. Detach seals the log with the session's end state
+// (final virtual time, per-memslot RAM hashes, metrics), so the run
+// can later be replayed bit-identically with Replay, or a re-run
+// verified against it with WithVerifier. Recording never advances the
+// clock: a recorded run's virtual time equals the unrecorded run's.
+func WithRecord(path string) Option {
+	return func(o *AttachOptions) { o.RecordPath = path }
+}
+
+// WithRecordLabel overrides the label stamped into a WithRecord log
+// header (default: the target process name) and records seed so the
+// replayed report can name the run that produced it.
+func WithRecordLabel(label string, seed uint64) Option {
+	return func(o *AttachOptions) { o.RecordLabel, o.RecordSeed = label, seed }
+}
+
+// WithVerifier re-checks this attach live against a prior recording:
+// every crossing the run makes is compared, in order, to the log's
+// next record (op, stage, argument/result digests, error class,
+// virtual timestamp). Build v with NewVerifier; after Detach,
+// v.Result() reports the first divergence, or nil for a faithful
+// re-run.
+func WithVerifier(v *Verifier) Option {
+	return func(o *AttachOptions) { o.Verify = v }
+}
+
 // WithOptions applies a legacy AttachOptions bag wholesale.
 //
 // Deprecated: migration shim for code built against the struct API;
@@ -383,11 +447,65 @@ func buildOptions(opts []Option) AttachOptions {
 // the post-setup privilege drop (§4.5) makes a vmsh process
 // single-attach by design.
 func (l *Lab) Attach(vm *VM, opts ...Option) (*Session, error) {
-	return core.New(l.Host).Attach(vm.Proc.PID, buildOptions(opts).toCore())
+	return l.attach(vm.Proc.PID, vm.Proc.Name, buildOptions(opts))
 }
 
 // AttachPID attaches by process id, the way the real CLI is pointed at
 // a hypervisor process.
 func (l *Lab) AttachPID(pid int, opts ...Option) (*Session, error) {
-	return core.New(l.Host).Attach(pid, buildOptions(opts).toCore())
+	return l.attach(pid, fmt.Sprintf("pid-%d", pid), buildOptions(opts))
 }
+
+func (l *Lab) attach(pid int, label string, o AttachOptions) (*Session, error) {
+	co := o.toCore()
+	if o.RecordPath != "" {
+		if o.RecordLabel != "" {
+			label = o.RecordLabel
+		}
+		co.Record = replay.NewRecorder(l.Host.Clock, label, o.RecordSeed)
+		path := o.RecordPath
+		co.RecordSink = func() (io.WriteCloser, error) { return os.Create(path) }
+	}
+	return core.New(l.Host).Attach(pid, co)
+}
+
+// NewVerifier prepares a crossing-by-crossing check of a live run
+// against a recording. Pass it to an attach with WithVerifier; the
+// lab's clock must be the clock that attach will run on (Lab.Clock).
+func (l *Lab) NewVerifier(lg *RecordLog) *Verifier {
+	return replay.NewVerifier(lg, l.Host.Clock)
+}
+
+// ReadRecording loads and integrity-checks a WithRecord log. Version
+// or magic mismatches return a plain error; any corruption of the
+// body (bad checksum chain, unknown crossing class, out-of-order
+// sequence or time) returns a *Divergence describing the first bad
+// record.
+func ReadRecording(path string) (*RecordLog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return replay.Read(f)
+}
+
+// Replay re-executes a recorded session entirely from its log — no
+// live guest, no hypervisor, no lab. The replayed run advances a
+// fresh virtual clock through every recorded crossing and ends at the
+// same final time the live session reached; the result carries the
+// recorded RAM hashes and metrics for cross-checking. Pass
+// replay.WithTrace via opts to get a span per crossing on
+// "replay:<subsystem>" tracks, exportable as a Chrome/Perfetto trace
+// for time-travel debugging of a recorded failure.
+func Replay(path string, opts ...replay.RunOption) (*ReplayResult, error) {
+	lg, err := ReadRecording(path)
+	if err != nil {
+		return nil, err
+	}
+	return replay.Run(lg, opts...)
+}
+
+// ReplayWithTrace is replay.WithTrace re-exported: enable the replay
+// tracer so Replay's result can be exported with Tracer.WriteChrome.
+func ReplayWithTrace() replay.RunOption { return replay.WithTrace() }
