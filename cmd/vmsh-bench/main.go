@@ -10,6 +10,9 @@
 //	E7  image de-bloating            (Figure 8)
 //	E7n virtio-net sweep             (network)
 //	E8  single-fault attach sweep    (robustness; also via -fault)
+//	E9  fleet storm                  (parallel engine: events/sec sweep
+//	                                  across -fleet-workers, determinism
+//	                                  digest compared at every count)
 //	E10 record/replay determinism    (bit-identical vtime, RAM, metrics)
 //
 // E4, E5 and E7n additionally print a fast-path-vs-legacy comparison:
@@ -38,8 +41,22 @@ import (
 // comparison (process_vm calls, interrupts, bytes, virtual time) with
 // each mode's full stats and metrics-registry snapshot embedded.
 type benchDoc struct {
-	Tables   []*eval.Table       `json:"tables"`
-	FastPath []eval.FastPathMode `json:"fast_path,omitempty"`
+	Tables   []*eval.Table          `json:"tables"`
+	FastPath []eval.FastPathMode    `json:"fast_path,omitempty"`
+	Fleet    *eval.FleetStormResult `json:"fleet,omitempty"`
+}
+
+// parseWorkerSweep turns "1,2,4,8,16" into the E9 worker counts.
+func parseWorkerSweep(spec string) ([]int, error) {
+	var sweep []int
+	for _, f := range strings.Split(spec, ",") {
+		var w int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &w); err != nil || w < 1 {
+			return nil, fmt.Errorf("bad worker count %q", f)
+		}
+		sweep = append(sweep, w)
+	}
+	return sweep, nil
 }
 
 // writeTrace runs the traced E5 fast-path sweep, writes the Chrome
@@ -81,11 +98,15 @@ func writeTrace(path string) error {
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n,e8,e10); empty = all")
+	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n,e8,e9,e10); empty = all")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path")
 	tracePath := flag.String("trace", "", "run a traced E5 fast-path sweep and write Chrome trace-event JSON (Perfetto) to this path")
 	faultOnly := flag.Bool("fault", false, "run only the E8 single-fault attach sweep (alias for -only e8)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the E8 fault sweep")
+	fleetVMs := flag.Int("fleet-vms", 1000, "E9: total VM lifecycles in the fleet storm")
+	fleetWorkers := flag.String("fleet-workers", "1,2,4,8,16", "E9: comma-separated worker-count sweep")
+	fleetSeed := flag.Int64("fleet-seed", 42, "E9: fleet storm seed")
+	fleetJSON := flag.String("fleet-json", "", "E9: also write the fleet storm result alone to this path (e.g. BENCH_e9.json)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -97,7 +118,14 @@ func main() {
 	if *faultOnly {
 		want = map[string]bool{"e8": true}
 	}
-	sel := func(id string) bool { return len(want) == 0 || want[id] }
+	sel := func(id string) bool {
+		if id == "e9" {
+			// The fleet storm launches -fleet-vms real VM lifecycles
+			// per worker count; far too heavy for the default sweep.
+			return want["e9"]
+		}
+		return len(want) == 0 || want[id]
+	}
 	fail := func(id string, err error) {
 		fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
 		os.Exit(1)
@@ -206,6 +234,32 @@ func main() {
 		}
 		if err != nil {
 			fail("E8", err)
+		}
+	}
+
+	if sel("e9") {
+		sweep, err := parseWorkerSweep(*fleetWorkers)
+		if err != nil {
+			fail("E9", err)
+		}
+		tbl, fleet, err := eval.RunFleetStorm(*fleetVMs, sweep, *fleetSeed)
+		if tbl != nil {
+			emit(tbl)
+		}
+		if err != nil {
+			fail("E9", err)
+		}
+		doc.Fleet = fleet
+		if *fleetJSON != "" {
+			b, err := json.MarshalIndent(fleet, "", "  ")
+			if err != nil {
+				fail("E9", err)
+			}
+			b = append(b, '\n')
+			if err := os.WriteFile(*fleetJSON, b, 0o644); err != nil {
+				fail("E9", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *fleetJSON)
 		}
 	}
 

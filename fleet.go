@@ -1,0 +1,120 @@
+package vmsh
+
+import (
+	"time"
+
+	"vmsh/internal/engine"
+	"vmsh/internal/obs"
+)
+
+// Fleet-scale simulation re-exports (see internal/engine for the
+// execution model).
+type (
+	// FleetStats aggregates one fleet run: real events executed,
+	// cross-shard messages merged, wall-clock time and virtual-time
+	// extremes. EventsPerSec is the E9 headline number.
+	FleetStats = engine.Stats
+	// FleetRecord is one entry of a fleet's merged timeline.
+	FleetRecord = engine.Record
+	// FleetBridge trunks two shard-local switches through the
+	// deterministic merge.
+	FleetBridge = engine.Bridge
+	// Shard is one deterministic slice of a Fleet; events scheduled on
+	// it run against its private Lab.
+	Shard = engine.Shard
+)
+
+// SetWorkers sets how many OS workers fleets spawned from this lab
+// (NewFleet) use to execute shards concurrently. Worker count is pure
+// mechanism: any value produces bit-identical virtual-time results,
+// metrics, and replay logs — it only changes wall-clock time. n < 1
+// falls back to 1.
+func (l *Lab) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	l.workers = n
+}
+
+// Workers returns the worker count NewFleet will use (default 1).
+func (l *Lab) Workers() int {
+	if l.workers < 1 {
+		return 1
+	}
+	return l.workers
+}
+
+// Fleet is a sharded parallel simulation: `shards` independent Labs,
+// each with its own virtual clock, process table, disk, tracer and
+// metrics, executed concurrently by a worker pool and merged
+// deterministically at (vtime, shard, seq) order. Schedule work with
+// Schedule, couple shards with Bridge or cross-shard posts on the
+// underlying engine, then Run.
+type Fleet struct {
+	eng  *engine.Engine
+	labs []*Lab
+}
+
+// NewFleet creates a fleet of n shard Labs sharing this lab's cost
+// model (read-only) and worker count (SetWorkers). The spawning lab's
+// own host is not part of the fleet; it remains usable independently.
+func (l *Lab) NewFleet(n int) *Fleet {
+	eng := engine.NewWithCosts(n, l.Workers(), l.Host.Costs)
+	f := &Fleet{eng: eng, labs: make([]*Lab, n)}
+	for i := range f.labs {
+		f.labs[i] = &Lab{Host: eng.Shard(i).Host()}
+	}
+	return f
+}
+
+// Lab returns shard i's private Lab. Use it only from events scheduled
+// on shard i — touching it from another shard's events (or from
+// outside a run) forfeits determinism.
+func (f *Fleet) Lab(i int) *Lab { return f.labs[i] }
+
+// Shards returns the number of shards.
+func (f *Fleet) Shards() int { return f.eng.Shards() }
+
+// SetWorkers resizes the worker pool for subsequent Runs.
+func (f *Fleet) SetWorkers(n int) { f.eng.SetWorkers(n) }
+
+// Schedule queues fn on shard i at virtual time at (relative to the
+// fleet epoch; events scheduled behind the shard's clock fire
+// immediately at the clock's current time). fn receives the shard's
+// private Lab. Events on one shard fire in (at, scheduling order);
+// name labels the event in the merged Timeline.
+func (f *Fleet) Schedule(i int, at time.Duration, name string, fn func(*Lab) error) {
+	lab := f.labs[i]
+	f.eng.At(i, at, name, func(*engine.Shard) error { return fn(lab) })
+}
+
+// Bridge trunks switches on shards a and b (each created with the
+// respective shard Lab's NewSwitch) through the deterministic merge,
+// so guests behind different shards exchange frames in an order that
+// is a pure function of virtual time. See engine.NewBridge for the
+// MAC-staggering caveat.
+func (f *Fleet) Bridge(a int, aSw *Switch, b int, bSw *Switch, link LinkParams) *FleetBridge {
+	return engine.NewBridge(f.eng.Shard(a), aSw, f.eng.Shard(b), bSw, link)
+}
+
+// Run executes every scheduled event to quiescence and returns the
+// run's statistics. Repeated Runs form phases: later phases see the
+// clocks and hosts exactly where earlier phases left them, and stats
+// accumulate. Virtual-time results are bit-identical for any worker
+// count.
+func (f *Fleet) Run() (*FleetStats, error) { return f.eng.Run() }
+
+// VTimes returns each shard's final virtual time, indexed by shard.
+func (f *Fleet) VTimes() []time.Duration { return f.eng.VTimes() }
+
+// Metrics merges every shard's registry (shard order) into a fresh
+// aggregate; its Text() is byte-stable across worker counts.
+func (f *Fleet) Metrics() *obs.Registry { return f.eng.MergedMetrics() }
+
+// Timeline returns all shards' event records merged in deterministic
+// (fired vtime, shard, seq) order.
+func (f *Fleet) Timeline() []FleetRecord { return f.eng.Timeline() }
+
+// Engine exposes the underlying engine for cross-shard posts, barriers
+// (Engine.BarrierAt) and per-shard access beyond the Lab facade.
+func (f *Fleet) Engine() *engine.Engine { return f.eng }

@@ -1,0 +1,351 @@
+// E9: the fleet storm. Thousands of VM lifecycles — launch, attach,
+// mixed blk/net traffic, detach — executed by the sharded parallel
+// simulation engine (internal/engine) at a sweep of worker counts.
+// The experiment makes two claims at once:
+//
+//   - throughput: wall-clock events/sec and VM cycles/sec scale with
+//     the worker pool (bounded by GOMAXPROCS/NumCPU — on a single-CPU
+//     host the sweep measures the engine's overhead, not parallel
+//     speedup, and the JSON says so);
+//   - determinism: the virtual-time results are bit-identical at every
+//     worker count — per-shard final vtimes, per-VM guest RAM hashes,
+//     and the merged metrics registry fold into one digest that must
+//     not move across the sweep.
+package eval
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"vmsh/internal/blockdev"
+	"vmsh/internal/core"
+	"vmsh/internal/engine"
+	"vmsh/internal/fsimage"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+	"vmsh/internal/netsim"
+)
+
+// FleetStormRun is one worker-count configuration of the sweep.
+type FleetStormRun struct {
+	Workers      int     `json:"workers"`
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	VMsPerSec    float64 `json:"vms_per_sec"`
+	Events       int64   `json:"events"`
+	Messages     int64   `json:"messages"`
+	// SpeedupVs1 is wall-clock speedup relative to the workers=1 run
+	// of the same sweep.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	// MaxVTimeMS is the largest per-shard final virtual time — by
+	// construction identical across the sweep.
+	MaxVTimeMS float64 `json:"max_vtime_ms"`
+	// Digest folds every determinism-bearing output of the run:
+	// per-shard (vtime, per-VM RAM hashes) in shard order, the merged
+	// metrics text, and the event/message counts.
+	Digest string `json:"digest"`
+}
+
+// FleetStormResult is the machine-readable E9 document (BENCH_e9.json).
+type FleetStormResult struct {
+	VMs        int             `json:"vms"`
+	Shards     int             `json:"shards"`
+	Seed       int64           `json:"seed"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Runs       []FleetStormRun `json:"runs"`
+	// Deterministic is true when every run's digest matched.
+	Deterministic bool   `json:"deterministic"`
+	Note          string `json:"note"`
+}
+
+// fleetShardPlan is the per-shard storm schedule, fixed before the
+// engine runs: how many VM cycles, and at what virtual-time stagger.
+type fleetShardPlan struct {
+	cycles  int
+	stagger time.Duration
+	spacing time.Duration
+	netpair bool
+}
+
+// planFleet distributes vms across shards and seeds per-shard
+// staggering; a pure function of (vms, shards, seed).
+func planFleet(vms, shards int, seed int64) []fleetShardPlan {
+	plans := make([]fleetShardPlan, shards)
+	for i := range plans {
+		rnd := rand.New(rand.NewSource(seed + int64(i)*7919))
+		p := &plans[i]
+		p.cycles = vms / shards
+		if i < vms%shards {
+			p.cycles++
+		}
+		p.stagger = time.Duration(rnd.Intn(5000)) * time.Microsecond
+		p.spacing = time.Duration(50+rnd.Intn(100)) * time.Millisecond
+		// Even shards with at least two cycles open with a two-VM
+		// net pair instead of two solo cycles.
+		p.netpair = i%2 == 0 && p.cycles >= 2
+	}
+	return plans
+}
+
+// stormCycle runs one full VM lifecycle on a shard host: launch,
+// attach through the tool image, blk traffic via the overlay, detach,
+// RAM hash, teardown. The VM name is reused across cycles so the
+// host's file table stays bounded.
+func stormCycle(h *hostsim.Host, img *hostsim.HostFile, name string, seed int64, fold func(uint64)) error {
+	inst, err := hypervisor.Launch(h, hypervisor.Config{
+		Kind:          hypervisor.QEMU,
+		Name:          name,
+		KernelVersion: "5.10",
+		RAMSize:       32 << 20,
+		Seed:          seed,
+		RootFS:        fsimage.GuestRoot(name),
+	})
+	if err != nil {
+		return fmt.Errorf("launch %s: %w", name, err)
+	}
+	sess, err := core.New(h).Attach(inst.Proc.PID, core.Options{Image: img})
+	if err != nil {
+		return fmt.Errorf("attach %s: %w", name, err)
+	}
+	// Mixed blk traffic through vmsh-blk: directory scan plus a file
+	// read straight off the served image.
+	if _, err := sess.Exec("ls /var/lib/vmsh/bin"); err != nil {
+		return fmt.Errorf("exec %s: %w", name, err)
+	}
+	if _, err := sess.Exec("cat /var/lib/vmsh/etc/os-release"); err != nil {
+		return fmt.Errorf("exec %s: %w", name, err)
+	}
+	if err := sess.Detach(); err != nil {
+		return fmt.Errorf("detach %s: %w", name, err)
+	}
+	foldRAM(inst, fold)
+	h.Exit(inst.Proc)
+	return nil
+}
+
+// stormNetPair launches two VMs on a shard-local switch, attaches both
+// with vmsh-net, pings in both directions (net traffic is synchronous
+// within a shard), then tears both down.
+func stormNetPair(h *hostsim.Host, img *hostsim.HostFile, name string, seed int64, fold func(uint64)) error {
+	sw := netsim.New(h.Clock, h.Costs)
+	sw.Observe(h.Trace, h.Metrics)
+	insts := make([]*hypervisor.Instance, 2)
+	sessions := make([]*core.Session, 2)
+	for j := 0; j < 2; j++ {
+		n := fmt.Sprintf("%s-n%d", name, j)
+		inst, err := hypervisor.Launch(h, hypervisor.Config{
+			Kind:          hypervisor.QEMU,
+			Name:          n,
+			KernelVersion: "5.10",
+			RAMSize:       32 << 20,
+			Seed:          seed + int64(j),
+			RootFS:        fsimage.GuestRoot(n),
+		})
+		if err != nil {
+			return fmt.Errorf("launch %s: %w", n, err)
+		}
+		sess, err := core.New(h).Attach(inst.Proc.PID, core.Options{Image: img, Net: sw})
+		if err != nil {
+			return fmt.Errorf("attach %s: %w", n, err)
+		}
+		insts[j], sessions[j] = inst, sess
+	}
+	for j := 0; j < 2; j++ {
+		ifc, ok := insts[j].Kernel.IfaceByName("vmsh0")
+		if !ok {
+			return fmt.Errorf("%s-n%d: vmsh0 not registered", name, j)
+		}
+		peer, _ := insts[1-j].Kernel.IfaceByName("vmsh0")
+		if _, replied, err := ifc.Ping(peer.IP, uint16(j), 56); err != nil {
+			return fmt.Errorf("%s-n%d ping: %w", name, j, err)
+		} else if !replied {
+			return fmt.Errorf("%s-n%d ping: no reply on lossless link", name, j)
+		}
+	}
+	for j := 1; j >= 0; j-- {
+		if err := sessions[j].Detach(); err != nil {
+			return fmt.Errorf("detach %s-n%d: %w", name, j, err)
+		}
+		foldRAM(insts[j], fold)
+		h.Exit(insts[j].Proc)
+	}
+	return nil
+}
+
+// foldRAM feeds the FNV-64a of every guest memslot into fold, in GPA
+// order.
+func foldRAM(inst *hypervisor.Instance, fold func(uint64)) {
+	for _, s := range inst.VM.MemSlots() {
+		hh := fnv.New64a()
+		hh.Write(s.Phys.Data)
+		fold(hh.Sum64())
+	}
+}
+
+// fleetStormOnce runs the storm at one worker count and returns the
+// run record plus its determinism digest.
+func fleetStormOnce(vms, shards, workers int, seed int64) (FleetStormRun, error) {
+	eng := engine.New(shards, workers)
+	plans := planFleet(vms, shards, seed)
+	// digests[i] is written only by shard i's events; vm counting the
+	// same way.
+	digests := make([]uint64, shards)
+	for i := 0; i < shards; i++ {
+		i, p := i, plans[i]
+		fold := func(h uint64) { digests[i] = digests[i]*1099511628211 + h }
+		var img *hostsim.HostFile
+		image := func(h *hostsim.Host) (*hostsim.HostFile, error) {
+			if img != nil {
+				return img, nil
+			}
+			m := fsimage.ToolImage()
+			f := h.CreateFile("e9-tools.img", m.Size()+64<<20, false)
+			if err := fsimage.Build(blockdev.NewHostFileDevice(f), m); err != nil {
+				return nil, err
+			}
+			img = f
+			return img, nil
+		}
+		cycle := 0
+		for cycle < p.cycles {
+			at := p.stagger + time.Duration(cycle)*p.spacing
+			if p.netpair && cycle == 0 {
+				vmSeed := seed + int64(i)*1000
+				eng.At(i, at, "netpair", func(s *engine.Shard) error {
+					f, err := image(s.Host())
+					if err != nil {
+						return err
+					}
+					return stormNetPair(s.Host(), f, fmt.Sprintf("s%d", i), vmSeed, fold)
+				})
+				cycle += 2
+				continue
+			}
+			k := cycle
+			vmSeed := seed + int64(i)*1000 + int64(k)
+			eng.At(i, at, "cycle", func(s *engine.Shard) error {
+				f, err := image(s.Host())
+				if err != nil {
+					return err
+				}
+				return stormCycle(s.Host(), f, fmt.Sprintf("s%d", i), vmSeed, fold)
+			})
+			cycle++
+		}
+		// Cross-shard traffic: a token to the next shard after the
+		// last local cycle, counted on arrival.
+		last := p.stagger + time.Duration(p.cycles)*p.spacing
+		eng.At(i, last, "token-send", func(s *engine.Shard) error {
+			s.Post((i+1)%shards, s.Now(), "token", func(t *engine.Shard) error {
+				t.Host().Metrics.Counter("e9.tokens").Inc()
+				return nil
+			})
+			return nil
+		})
+	}
+
+	stats, err := eng.Run()
+	if err != nil {
+		return FleetStormRun{}, err
+	}
+	// Fold the full determinism surface into one digest.
+	dig := fnv.New64a()
+	for i, vt := range eng.VTimes() {
+		fmt.Fprintf(dig, "%d:%d:%016x\n", i, vt, digests[i])
+	}
+	dig.Write([]byte(eng.MergedMetrics().Text()))
+	fmt.Fprintf(dig, "events=%d messages=%d\n", stats.Events, stats.Messages)
+
+	wall := stats.Wall.Seconds()
+	return FleetStormRun{
+		Workers:      workers,
+		WallMS:       stats.Wall.Seconds() * 1e3,
+		EventsPerSec: stats.EventsPerSec(),
+		VMsPerSec:    float64(vms) / wall,
+		Events:       stats.Events,
+		Messages:     stats.Messages,
+		MaxVTimeMS:   stats.MaxVTime.Seconds() * 1e3,
+		Digest:       fmt.Sprintf("%016x", dig.Sum64()),
+	}, nil
+}
+
+// DefaultFleetWorkerSweep is the E9 worker-count sweep.
+var DefaultFleetWorkerSweep = []int{1, 2, 4, 8, 16}
+
+// RunFleetStorm regenerates E9: the same vms-sized storm at every
+// worker count in sweep (DefaultFleetWorkerSweep when nil), asserting
+// bit-identical virtual-time results while measuring wall-clock
+// throughput. Shards default to vms/20 clamped to [workersMax, 64] so
+// every worker count in the sweep has shards to spread across.
+func RunFleetStorm(vms int, sweep []int, seed int64) (*Table, *FleetStormResult, error) {
+	if len(sweep) == 0 {
+		sweep = DefaultFleetWorkerSweep
+	}
+	maxW := 1
+	for _, w := range sweep {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	shards := vms / 20
+	if shards < maxW {
+		shards = maxW
+	}
+	if shards > 64 {
+		shards = 64
+	}
+	if shards > vms {
+		shards = vms
+	}
+
+	res := &FleetStormResult{
+		VMs: vms, Shards: shards, Seed: seed,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Deterministic: true,
+	}
+	tbl := &Table{ID: "E9 / fleet storm",
+		Title: fmt.Sprintf("%d-VM attach/detach storm, %d shards, parallel engine", vms, shards)}
+
+	var base FleetStormRun
+	for idx, w := range sweep {
+		run, err := fleetStormOnce(vms, shards, w, seed)
+		if err != nil {
+			return tbl, res, fmt.Errorf("E9 workers=%d: %w", w, err)
+		}
+		if idx == 0 {
+			base = run
+		}
+		run.SpeedupVs1 = base.WallMS / run.WallMS
+		if run.Digest != base.Digest {
+			res.Deterministic = false
+		}
+		res.Runs = append(res.Runs, run)
+		det := "det=ok"
+		if run.Digest != base.Digest {
+			det = "DETERMINISM BROKEN"
+		}
+		tbl.Rows = append(tbl.Rows, Row{
+			Name:     fmt.Sprintf("events/sec @ workers=%d", w),
+			Measured: run.EventsPerSec,
+			Unit:     "ev/s",
+			Note: fmt.Sprintf("wall=%.0fms speedup=%.2fx vms/s=%.1f %s",
+				run.WallMS, run.SpeedupVs1, run.VMsPerSec, det),
+		})
+	}
+	if !res.Deterministic {
+		return tbl, res, fmt.Errorf("E9: virtual-time results diverged across worker counts")
+	}
+	if res.GOMAXPROCS <= 1 {
+		res.Note = "single-CPU host: worker sweep measures engine overhead, not parallel speedup; " +
+			"determinism digests still compared across all worker counts"
+	}
+	tbl.Rows = append(tbl.Rows, Row{
+		Name: "determinism across worker sweep", Measured: 1, Unit: "bool",
+		Note: "digest " + base.Digest + " identical at every worker count",
+	})
+	return tbl, res, nil
+}

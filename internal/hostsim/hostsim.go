@@ -128,8 +128,21 @@ type Host struct {
 
 // NewHost creates a host with the default cost model.
 func NewHost() *Host {
+	return NewShardHost(vclock.Default())
+}
+
+// NewShardHost creates a host that shares an existing (validated) cost
+// model but owns everything mutable: its own virtual clock, process
+// table, attach-sequence counter, disk, tracer and metrics registry.
+// This is the per-shard Host view the parallel engine builds fleets
+// from — per-VM state (procs, fds, memslots, attach seq) is confined
+// to the shard by construction, while the only cross-shard sharing is
+// the read-only *vclock.Costs. Callers must treat costs as immutable
+// once any shard host exists; the engine merges shard-local metrics
+// and traces deterministically after its run barrier instead of
+// sharing registries live.
+func NewShardHost(costs *vclock.Costs) *Host {
 	clock := vclock.New()
-	costs := vclock.Default()
 	costs.MustValidate()
 	h := &Host{
 		Clock:     clock,

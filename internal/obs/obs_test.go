@@ -309,3 +309,53 @@ func TestRegistrySnapshotAndText(t *testing.T) {
 		t.Fatalf("counters not sorted:\n%s", text)
 	}
 }
+
+func TestRegistryMerge(t *testing.T) {
+	mk := func(c1, c2 int64, samples ...time.Duration) *Registry {
+		r := NewRegistry()
+		r.Counter("a.calls").Add(c1)
+		r.Counter("b.calls").Add(c2)
+		h := r.Histogram("lat")
+		for _, d := range samples {
+			h.Observe(d)
+		}
+		return r
+	}
+	agg := NewRegistry()
+	agg.Merge(mk(3, 0, 10*time.Nanosecond, 4*time.Microsecond))
+	agg.Merge(mk(5, 7, 9*time.Millisecond))
+	if v := agg.Counter("a.calls").Value(); v != 8 {
+		t.Fatalf("a.calls = %d, want 8", v)
+	}
+	if v := agg.Counter("b.calls").Value(); v != 7 {
+		t.Fatalf("b.calls = %d, want 7", v)
+	}
+	h := agg.Histogram("lat")
+	if h.Count() != 3 {
+		t.Fatalf("lat count = %d, want 3", h.Count())
+	}
+	want := 10*time.Nanosecond + 4*time.Microsecond + 9*time.Millisecond
+	if h.Sum() != want {
+		t.Fatalf("lat sum = %v, want %v", h.Sum(), want)
+	}
+	if h.Max() != 9*time.Millisecond {
+		t.Fatalf("lat max = %v, want 9ms", h.Max())
+	}
+	if h.Bucket(bucketOf(4*time.Microsecond)) != 1 {
+		t.Fatalf("merged bucket for 4us missing")
+	}
+
+	// Merge order must not change the aggregate (commutative folds):
+	// the property that makes shard-local metrics deterministic.
+	rev := NewRegistry()
+	rev.Merge(mk(5, 7, 9*time.Millisecond))
+	rev.Merge(mk(3, 0, 10*time.Nanosecond, 4*time.Microsecond))
+	if agg.Text() != rev.Text() {
+		t.Fatalf("merge order changed the aggregate:\n%s\nvs\n%s", agg.Text(), rev.Text())
+	}
+
+	// Nil receivers/sources are inert.
+	var nilReg *Registry
+	nilReg.Merge(agg)
+	agg.Merge(nil)
+}

@@ -190,6 +190,66 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// merge folds src's samples into h: buckets and count/sum add, max
+// takes the larger value.
+func (h *Histogram) merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	for i := 0; i < HistBuckets; i++ {
+		if n := src.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Load())
+	if m := src.max.Load(); m > h.max.Load() {
+		h.max.Store(m)
+	}
+}
+
+// Merge folds every counter and histogram of src into r: counters add,
+// histogram buckets/counts/sums add and maxima take the larger value.
+// Missing names are created in r. Because every fold is commutative
+// and associative, merging a set of shard-local registries yields the
+// same aggregate no matter how the shards were scheduled — the
+// deterministic-aggregation half of the engine's shard-local metrics
+// contract (the conventional call order, shard 0..N-1, additionally
+// fixes registration order so WriteText output is byte-stable). A nil
+// r or src is a no-op. src must be quiescent for a coherent result;
+// the engine merges only after its run barrier.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	src.mu.Lock()
+	srcCtrs := make(map[string]*Counter, len(src.ctrs))
+	for n, c := range src.ctrs {
+		srcCtrs[n] = c
+	}
+	srcHists := make(map[string]*Histogram, len(src.hists))
+	for n, h := range src.hists {
+		srcHists[n] = h
+	}
+	src.mu.Unlock()
+	names := make([]string, 0, len(srcCtrs))
+	for n := range srcCtrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.Counter(n).Add(srcCtrs[n].Value())
+	}
+	names = names[:0]
+	for n := range srcHists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r.Histogram(n).merge(srcHists[n])
+	}
+}
+
 // Snapshot returns every counter value plus, for each histogram, its
 // derived scalars (<name>.count, <name>.sum_ns, <name>.max_ns). The
 // map is freshly allocated; keys are stable across runs.

@@ -71,11 +71,12 @@ type Tracer struct {
 	enabled atomic.Bool
 	charged atomic.Int64 // total ns the clock advanced while enabled
 
-	mu     sync.Mutex
-	tracks []string
-	byName map[string]TrackID
-	events []Event
-	async  map[uint64]asyncOpen
+	mu        sync.Mutex
+	tracks    []string
+	byName    map[string]TrackID
+	events    []Event
+	async     map[uint64]asyncOpen
+	unobserve func() // detaches this tracer's clock observer
 }
 
 // New returns a disabled tracer bound to the given clock. Tracks may
@@ -90,27 +91,36 @@ func New(clock *vclock.Clock) *Tracer {
 
 // Enable starts recording. It also hooks the clock so the tracer
 // accumulates the total charged virtual time (Charged), letting
-// consumers reconcile span sums against the clock.
+// consumers reconcile span sums against the clock. The hook is a
+// composable vclock.Clock.Observe registration, so enabling a tracer
+// never disturbs other clock observers (the engine's shard accounting,
+// a second tracer) and repeated Enable calls are idempotent.
 func (t *Tracer) Enable() {
 	if t == nil {
 		return
 	}
 	t.enabled.Store(true)
-	if t.clock != nil {
-		t.clock.SetOnAdvance(func(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.clock != nil && t.unobserve == nil {
+		t.unobserve = t.clock.Observe(func(d time.Duration) {
 			t.charged.Add(int64(d))
 		})
 	}
 }
 
-// Disable stops recording (events already logged are kept).
+// Disable stops recording (events already logged are kept) and
+// detaches only this tracer's clock observer.
 func (t *Tracer) Disable() {
 	if t == nil {
 		return
 	}
 	t.enabled.Store(false)
-	if t.clock != nil {
-		t.clock.SetOnAdvance(nil)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.unobserve != nil {
+		t.unobserve()
+		t.unobserve = nil
 	}
 }
 

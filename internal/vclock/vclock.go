@@ -18,11 +18,21 @@ import (
 
 // Clock is a monotonic virtual clock. It is safe for concurrent use;
 // the simulation hands control between goroutines strictly (unbuffered
-// channels), so advancing order is deterministic.
+// channels, or the engine's one-worker-per-shard windows), so advancing
+// order is deterministic.
 type Clock struct {
 	mu        sync.Mutex
 	now       time.Duration
-	onAdvance func(time.Duration)
+	onAdvance *clockObserver   // the SetOnAdvance slot
+	observers []*clockObserver // Observe registrations, in order
+}
+
+// clockObserver is one registered advance callback. Identity matters:
+// removal detaches exactly the registration that created it, so two
+// independent subsystems (the tracer, the engine) can never clobber
+// each other's hook.
+type clockObserver struct {
+	f func(time.Duration)
 }
 
 // New returns a clock starting at zero.
@@ -36,28 +46,82 @@ func (c *Clock) Now() time.Duration {
 }
 
 // Advance moves the clock forward by d. Negative d panics: virtual
-// time never rewinds.
+// time never rewinds. Observers run outside the clock lock, in
+// registration order, with the SetOnAdvance slot first.
 func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative advance %v", d))
 	}
 	c.mu.Lock()
 	c.now += d
-	f := c.onAdvance
+	primary := c.onAdvance
+	rest := c.observers // copy-on-write: safe to range outside the lock
 	c.mu.Unlock()
-	if f != nil && d > 0 {
-		f(d)
+	if d == 0 {
+		return
+	}
+	if primary != nil {
+		primary.f(d)
+	}
+	for _, o := range rest {
+		o.f(d)
 	}
 }
 
-// SetOnAdvance installs an observer called (outside the clock lock,
-// with the advanced amount) after every positive Advance. One observer
-// at a time; nil removes it. The tracer uses this to accumulate the
-// total charged virtual time without the clock knowing about tracing.
+// SetOnAdvance fills (or, with nil, clears) the clock's single
+// primary-observer slot, called (outside the clock lock, with the
+// advanced amount) after every positive Advance.
+//
+// Contract: the slot holds ONE observer; a second SetOnAdvance
+// replaces the first silently. That is fine for a single owner
+// re-registering (the tracer across Enable/Disable cycles) but wrong
+// for two independent subsystems — the second would disconnect the
+// first without either noticing. Subsystems that merely want to watch
+// the clock alongside others must use Observe, which composes;
+// SetOnAdvance is kept for the single-owner case and for backward
+// compatibility.
 func (c *Clock) SetOnAdvance(f func(time.Duration)) {
 	c.mu.Lock()
-	c.onAdvance = f
+	if f == nil {
+		c.onAdvance = nil
+	} else {
+		c.onAdvance = &clockObserver{f: f}
+	}
 	c.mu.Unlock()
+}
+
+// Observe registers an additional advance observer and returns its
+// remove function. Unlike SetOnAdvance, Observe tolerates any number
+// of concurrent registrations: each caller detaches exactly its own
+// observer, in O(observers), and never disturbs the others. Remove is
+// idempotent. Observers fire in registration order, after the
+// SetOnAdvance slot.
+func (c *Clock) Observe(f func(time.Duration)) (remove func()) {
+	if f == nil {
+		return func() {}
+	}
+	o := &clockObserver{f: f}
+	c.mu.Lock()
+	// Copy-on-write: Advance ranges over the slice outside the lock,
+	// so mutation must never touch a published backing array.
+	next := make([]*clockObserver, len(c.observers)+1)
+	copy(next, c.observers)
+	next[len(next)-1] = o
+	c.observers = next
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		for i, cur := range c.observers {
+			if cur == o {
+				next := make([]*clockObserver, 0, len(c.observers)-1)
+				next = append(next, c.observers[:i]...)
+				next = append(next, c.observers[i+1:]...)
+				c.observers = next
+				break
+			}
+		}
+		c.mu.Unlock()
+	}
 }
 
 // Since returns the virtual time elapsed since start.

@@ -201,3 +201,54 @@ func TestSetOnAdvance(t *testing.T) {
 		t.Fatalf("observer fired after removal: %v", total)
 	}
 }
+
+func TestObserveComposes(t *testing.T) {
+	c := New()
+	var primary, a, b time.Duration
+	c.SetOnAdvance(func(d time.Duration) { primary += d })
+	removeA := c.Observe(func(d time.Duration) { a += d })
+	removeB := c.Observe(func(d time.Duration) { b += d })
+	c.Advance(10)
+	if primary != 10 || a != 10 || b != 10 {
+		t.Fatalf("observers saw primary=%v a=%v b=%v, want 10ns each", primary, a, b)
+	}
+	// Removing one observer must not disturb the others.
+	removeA()
+	c.Advance(5)
+	if primary != 15 || a != 10 || b != 15 {
+		t.Fatalf("after removeA: primary=%v a=%v b=%v", primary, a, b)
+	}
+	// Remove is idempotent.
+	removeA()
+	removeB()
+	c.Advance(3)
+	if primary != 18 || a != 10 || b != 15 {
+		t.Fatalf("after removal: primary=%v a=%v b=%v", primary, a, b)
+	}
+}
+
+func TestSetOnAdvanceReRegistration(t *testing.T) {
+	// The SetOnAdvance slot replaces: the documented single-owner
+	// contract. Observers registered with Observe survive the swap.
+	c := New()
+	var old, new_, side time.Duration
+	c.SetOnAdvance(func(d time.Duration) { old += d })
+	remove := c.Observe(func(d time.Duration) { side += d })
+	defer remove()
+	c.Advance(4)
+	c.SetOnAdvance(func(d time.Duration) { new_ += d })
+	c.Advance(6)
+	if old != 4 || new_ != 6 || side != 10 {
+		t.Fatalf("old=%v new=%v side=%v, want 4/6/10", old, new_, side)
+	}
+}
+
+func TestObserveNilIsNoOp(t *testing.T) {
+	c := New()
+	remove := c.Observe(nil)
+	c.Advance(1)
+	remove()
+	if c.Now() != 1 {
+		t.Fatalf("clock at %v, want 1ns", c.Now())
+	}
+}

@@ -175,6 +175,10 @@ func GuestRoot(hostname string) Manifest { return fsimage.GuestRoot(hostname) }
 // Lab is a simulated host machine: the place VMs run and VMSH attaches.
 type Lab struct {
 	Host *hostsim.Host
+
+	// workers is the pool size fleets spawned from this lab use
+	// (SetWorkers / NewFleet, fleet.go). Zero means 1.
+	workers int
 }
 
 // NewLab creates a fresh simulated host with the calibrated cost model.
