@@ -22,7 +22,12 @@
 // counters and per-run stats/metrics snapshots) are also written as a
 // machine-readable document. With -trace PATH a traced E5 fast-path
 // run additionally exports a Chrome trace-event JSON file (virtual
-// time), loadable in Perfetto or chrome://tracing.
+// time), loadable in Perfetto or chrome://tracing; combined with
+// -only e9 the trace is instead the merged fleet trace of a traced
+// storm (one process per shard, causal flow arrows across bridges,
+// digest hard-checked against an untraced run). -profile PATH writes
+// the corresponding folded-stacks vtime profile (flamegraph.pl /
+// speedscope input) and prints the top stacks.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 
 	"vmsh/internal/debloat"
 	"vmsh/internal/eval"
+	"vmsh/internal/obs"
 )
 
 // benchDoc is the -json output: every table produced by the selected
@@ -59,48 +65,125 @@ func parseWorkerSweep(spec string) ([]int, error) {
 	return sweep, nil
 }
 
-// writeTrace runs the traced E5 fast-path sweep, writes the Chrome
-// trace and validates the written bytes parse as trace-event JSON with
-// a non-empty traceEvents array — a malformed exporter fails here, not
-// in Perfetto.
-func writeTrace(path string) error {
-	run, err := eval.TraceFioFastPath()
+// selfValidateTrace re-reads a written trace file and checks it parses
+// as trace-event JSON with a non-empty traceEvents array — a malformed
+// exporter fails here, not in Perfetto. Returns the event count.
+func selfValidateTrace(path string) (int, error) {
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0, fmt.Errorf("trace self-validation: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return 0, fmt.Errorf("trace self-validation: no events")
+	}
+	return len(doc.TraceEvents), nil
+}
+
+// writeProfile writes the folded-stacks profile (flamegraph.pl /
+// speedscope input) and prints the top stacks to stderr.
+func writeProfile(path string, p *obs.Profile) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := run.Trace.WriteChrome(f); err != nil {
+	if err := p.WriteFolded(f); err != nil {
 		f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	raw, err := os.ReadFile(path)
+	fmt.Fprintf(os.Stderr, "wrote %s: %d stacks, %v self vtime\n", path, p.Len(), p.Total())
+	return p.WriteTop(os.Stderr, 15)
+}
+
+// writeE5Observability runs the traced E5 fast-path sweep once and
+// serves both -trace (Chrome trace-event JSON) and -profile (folded
+// stacks + top-N) from it.
+func writeE5Observability(tracePath, profilePath string) error {
+	run, err := eval.TraceFioFastPath()
 	if err != nil {
 		return err
 	}
-	var doc struct {
-		TraceEvents []json.RawMessage `json:"traceEvents"`
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := run.Trace.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		n, err := selfValidateTrace(tracePath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d trace events over %v virtual time\n",
+			tracePath, n, run.Trace.Charged())
 	}
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		return fmt.Errorf("trace self-validation: %w", err)
+	if profilePath != "" {
+		p := obs.NewProfile()
+		p.AddTracer("", run.Trace)
+		if err := writeProfile(profilePath, p); err != nil {
+			return err
+		}
 	}
-	if len(doc.TraceEvents) == 0 {
-		return fmt.Errorf("trace self-validation: no events")
+	return nil
+}
+
+// writeFleetObservability runs one traced E9 fleet storm (digest
+// hard-checked against an untraced run) and serves -trace and
+// -profile from the merged fleet trace. Flow-event pairing is
+// validated and summarised.
+func writeFleetObservability(tracePath, profilePath string, vms, workers int, seed int64) error {
+	trace, prof, run, err := eval.TraceFleetStorm(vms, workers, seed)
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s: %d trace events over %v virtual time\n",
-		path, len(doc.TraceEvents), run.Trace.Charged())
+	fs := trace.FlowStats()
+	fmt.Fprintf(os.Stderr,
+		"fleet trace: %d shards, %d events, digest %s (tracing-neutral); flows begins=%d steps=%d ends=%d cross-shard=%d\n",
+		trace.Shards(), trace.Len(), run.Digest, fs.Begins, fs.Steps, fs.Ends, fs.CrossShard)
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		n, err := selfValidateTrace(tracePath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d merged trace events\n", tracePath, n)
+	}
+	if profilePath != "" {
+		if err := writeProfile(profilePath, prof); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n,e8,e9,e10); empty = all")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path")
-	tracePath := flag.String("trace", "", "run a traced E5 fast-path sweep and write Chrome trace-event JSON (Perfetto) to this path")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this path: a traced E5 fast-path sweep, or with -only e9 the merged fleet trace")
+	profilePath := flag.String("profile", "", "write a folded-stacks vtime profile (flamegraph input) to this path and print the top stacks; follows -trace's E5-or-fleet selection")
 	faultOnly := flag.Bool("fault", false, "run only the E8 single-fault attach sweep (alias for -only e8)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the E8 fault sweep")
 	fleetVMs := flag.Int("fleet-vms", 1000, "E9: total VM lifecycles in the fleet storm")
@@ -273,9 +356,20 @@ func main() {
 		}
 	}
 
-	if *tracePath != "" {
-		if err := writeTrace(*tracePath); err != nil {
-			fail("trace", err)
+	if *tracePath != "" || *profilePath != "" {
+		if sel("e9") {
+			sweep, err := parseWorkerSweep(*fleetWorkers)
+			if err != nil {
+				fail("E9 trace", err)
+			}
+			if err := writeFleetObservability(*tracePath, *profilePath,
+				*fleetVMs, sweep[0], *fleetSeed); err != nil {
+				fail("E9 trace", err)
+			}
+		} else {
+			if err := writeE5Observability(*tracePath, *profilePath); err != nil {
+				fail("trace", err)
+			}
 		}
 	}
 

@@ -83,6 +83,7 @@ func main() {
 		command = flag.String("c", "", "run one command and exit")
 		stdin   = flag.Bool("stdin", false, "read commands from stdin")
 		trace   = flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) of the session to this path")
+		profile = flag.String("profile", "", "write a folded-stacks vtime profile of the session to this path and print the top stacks (implies tracing)")
 		metrics = flag.Bool("metrics", false, "print the session metrics registry on detach")
 		fault   = flag.String("fault", "", `fault plan: ';'-separated rules, e.g. "ptrace:nth=3" or "procvm:prob=0.01,transient"`)
 		seed    = flag.Uint64("fault-seed", 1, "seed for probabilistic fault rules")
@@ -143,7 +144,7 @@ func main() {
 		os.Exit(1)
 	}
 	attachOpts := []vmsh.Option{vmsh.WithImage(img), vmsh.WithTrap(trapMode)}
-	if *trace != "" {
+	if *trace != "" || *profile != "" {
 		attachOpts = append(attachOpts, vmsh.WithTrace())
 	}
 	if *fault != "" {
@@ -240,5 +241,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("[vmsh] trace written to %s (%v virtual time)\n", *trace, lab.Trace().Charged())
+	}
+	if *profile != "" {
+		p := lab.Profile()
+		f, err := os.Create(*profile)
+		if err == nil {
+			err = p.WriteFolded(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[vmsh] profile written to %s (%d stacks, %v self vtime)\n", *profile, p.Len(), p.Total())
+		if err := p.WriteTop(os.Stdout, 10); err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

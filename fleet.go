@@ -1,6 +1,7 @@
 package vmsh
 
 import (
+	"io"
 	"time"
 
 	"vmsh/internal/engine"
@@ -22,6 +23,22 @@ type (
 	// Shard is one deterministic slice of a Fleet; events scheduled on
 	// it run against its private Lab.
 	Shard = engine.Shard
+	// FleetTrace is the deterministic merged fleet trace — every
+	// shard's tracer events in (emission vtime, shard, seq) order, with
+	// Perfetto export, flow-event validation and vtime profiling.
+	FleetTrace = obs.MergedTrace
+	// FleetWatchdog configures the engine's barrier-time health
+	// monitors (stalled shards, queue-depth anomalies). The zero value
+	// disables everything.
+	FleetWatchdog = engine.Watchdog
+	// Telemetry is a per-shard streaming sampler: vclock-periodic
+	// registry snapshots in a ring buffer.
+	Telemetry = obs.Telemetry
+	// TelemetrySample is one telemetry snapshot.
+	TelemetrySample = obs.Sample
+	// Profile is a virtual-time profile folded from trace spans
+	// (folded-stacks and top-N export).
+	Profile = obs.Profile
 )
 
 // SetWorkers sets how many OS workers fleets spawned from this lab
@@ -118,3 +135,38 @@ func (f *Fleet) Timeline() []FleetRecord { return f.eng.Timeline() }
 // Engine exposes the underlying engine for cross-shard posts, barriers
 // (Engine.BarrierAt) and per-shard access beyond the Lab facade.
 func (f *Fleet) Engine() *engine.Engine { return f.eng }
+
+// EnableTrace turns on every shard's tracer. Tracing never advances
+// any virtual clock, so traced and untraced fleets produce identical
+// results and determinism digests. Call before Run.
+func (f *Fleet) EnableTrace() { f.eng.EnableTrace() }
+
+// Trace snapshots every shard tracer into the merged fleet trace:
+// events ordered by (emission vtime, shard, per-shard seq). The bytes
+// its WriteChrome produces are identical at any worker count.
+func (f *Fleet) Trace() *FleetTrace { return f.eng.Trace() }
+
+// WriteChrome writes the merged fleet trace as Chrome trace-event JSON
+// (one process per shard) loadable in Perfetto.
+func (f *Fleet) WriteChrome(w io.Writer) error { return f.eng.Trace().WriteChrome(w) }
+
+// Profile folds every shard's span log into one fleet-wide vtime
+// profile (stacks rooted at "shard<N>"). Requires EnableTrace.
+func (f *Fleet) Profile() *Profile { return f.eng.Profile() }
+
+// EnableTelemetry starts per-shard streaming telemetry: each shard's
+// registry is snapshotted every interval of that shard's virtual time
+// into a ring of `capacity` samples. Read-only — results and digests
+// are unchanged. Call before Run.
+func (f *Fleet) EnableTelemetry(interval time.Duration, capacity int) {
+	f.eng.EnableTelemetry(interval, capacity)
+}
+
+// Telemetry returns shard i's sampler (nil until EnableTelemetry).
+func (f *Fleet) Telemetry(i int) *Telemetry { return f.eng.Telemetry(i) }
+
+// SetWatchdog installs the barrier watchdog (zero value removes it).
+// Checks run on deterministic state only, so firings are identical at
+// any worker count; each firing emits a "watchdog" trace event and an
+// engine.watchdog.* counter on the affected shard.
+func (f *Fleet) SetWatchdog(w FleetWatchdog) { f.eng.SetWatchdog(w) }

@@ -6,10 +6,12 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"vmsh"
+	"vmsh/internal/netsim"
 )
 
 // fleetRun runs a small real-VM fleet — every shard launches a VM,
@@ -103,6 +105,95 @@ func TestFleetWorkerInvariance(t *testing.T) {
 		if string(rec) != string(refRec) {
 			t.Errorf("workers=%d: shard 0 recording diverged (%d vs %d bytes)",
 				workers, len(rec), len(refRec))
+		}
+	}
+}
+
+// fleetTraceRun runs a two-shard real-VM fleet with the telemetry
+// plane on — tracing, telemetry, watchdog — plus one bridged alert
+// frame whose causal flow crosses the shard boundary, and returns the
+// merged trace plus its rendered Chrome JSON bytes.
+func fleetTraceRun(t *testing.T, workers int) (*vmsh.FleetTrace, string) {
+	t.Helper()
+	lab := vmsh.NewLab()
+	lab.SetWorkers(workers)
+	fleet := lab.NewFleet(2)
+	fleet.EnableTrace()
+	fleet.EnableTelemetry(time.Millisecond, 16)
+	fleet.SetWatchdog(vmsh.FleetWatchdog{StallWindows: 8, QueueDepth: 64})
+
+	swA := fleet.Lab(0).NewSwitch()
+	swB := fleet.Lab(1).NewSwitch()
+	alerter := swA.NewPort("alerter", vmsh.LinkParams{})
+	fleet.Bridge(0, swA, 1, swB, vmsh.LinkParams{})
+	collector := swB.NewPort("collector", vmsh.LinkParams{})
+	collectorTrack := fleet.Lab(1).Trace().Track("collector")
+	collector.Deliver = func([]byte) { collectorTrack.FlowEnd("flow", "alert.rx") }
+	alertTrack := fleet.Lab(0).Trace().Track("alerter")
+
+	for i := 0; i < 2; i++ {
+		i := i
+		fleet.Schedule(i, time.Duration(i)*5*time.Millisecond, "monitor", func(sl *vmsh.Lab) error {
+			vm, err := sl.LaunchVM(vmsh.VMConfig{
+				RAMSize: 32 << 20,
+				Seed:    int64(i),
+				RootFS:  vmsh.GuestRoot(fmt.Sprintf("trace-%d", i)),
+			})
+			if err != nil {
+				return err
+			}
+			img, err := sl.BuildImage("tools.img", vmsh.ToolImage())
+			if err != nil {
+				return err
+			}
+			sess, err := sl.Attach(vm, vmsh.WithImage(img))
+			if err != nil {
+				return err
+			}
+			if _, err := sess.Exec("ls /var/lib/vmsh/bin"); err != nil {
+				return err
+			}
+			if err := sess.Detach(); err != nil {
+				return err
+			}
+			if i == 0 {
+				alertTrack.FlowBegin("flow", "alert")
+				swA.Send(alerter, netsim.BuildFrame(netsim.Broadcast, alerter.MAC(),
+					netsim.EtherTypeVMSH, []byte("alert")))
+				sl.Trace().ClearFlow()
+			}
+			return nil
+		})
+	}
+	if _, err := fleet.Run(); err != nil {
+		t.Fatalf("fleet run (workers=%d): %v", workers, err)
+	}
+	var sb strings.Builder
+	if err := fleet.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return fleet.Trace(), sb.String()
+}
+
+// TestFleetTraceWorkerInvariance pins the fleet telemetry plane's
+// acceptance criterion at the public surface: Fleet.Trace() renders
+// byte-identical Chrome JSON at workers 1/2/4/8, with the virtio blk
+// request flows and the bridged cross-shard flow all paired.
+func TestFleetTraceWorkerInvariance(t *testing.T) {
+	ref, refChrome := fleetTraceRun(t, 1)
+	if err := ref.ValidateFlows(); err != nil {
+		t.Fatal(err)
+	}
+	fs := ref.FlowStats()
+	if fs.Begins == 0 {
+		t.Fatal("traced fleet recorded no causal flows")
+	}
+	if fs.CrossShard < 1 {
+		t.Fatalf("no flow crossed the shard bridge: %+v", fs)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if _, chrome := fleetTraceRun(t, workers); chrome != refChrome {
+			t.Errorf("workers=%d: Fleet.Trace() bytes diverged from workers=1", workers)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vmsh/internal/netsim"
+	"vmsh/internal/obs"
 )
 
 // Bridge cables two shards' packet switches together through the
@@ -36,6 +37,7 @@ type bridgeEnd struct {
 	shard *Shard
 	sw    *netsim.Switch
 	port  *netsim.Port
+	track obs.Track // "bridge:<from>-><to>" on this shard's tracer
 }
 
 // Port returns the uplink port created on the given side's switch
@@ -57,6 +59,8 @@ func NewBridge(a *Shard, aSw *netsim.Switch, b *Shard, bSw *netsim.Switch, link 
 	}
 	br.a.port = aSw.NewPort(fmt.Sprintf("uplink:%d->%d", a.ID(), b.ID()), link)
 	br.b.port = bSw.NewPort(fmt.Sprintf("uplink:%d->%d", b.ID(), a.ID()), link)
+	br.a.track = a.Host().Trace.Track(fmt.Sprintf("bridge:%d->%d", a.ID(), b.ID()))
+	br.b.track = b.Host().Trace.Track(fmt.Sprintf("bridge:%d->%d", b.ID(), a.ID()))
 	wire(br.a, br.b)
 	wire(br.b, br.a)
 	return br
@@ -70,9 +74,20 @@ func wire(from, to *bridgeEnd) {
 		// the copy crosses the shard boundary with the message.
 		f := append([]byte(nil), frame...)
 		at := from.shard.Now()
+		// Carry the sender's ambient causal flow across the shard
+		// boundary: the id travels in the closure (a plain uint64 —
+		// the barrier's happens-before makes this race-free) and is
+		// re-adopted on the peer tracer, so Perfetto draws one arrow
+		// chain from the sending shard's process into the receiver's.
+		flow := from.shard.Host().Trace.CurrentFlow()
+		from.track.FlowStep("flow", "bridge.tx")
 		from.shard.Post(to.shard.ID(), at, "net:uplink",
 			func(s *Shard) error {
+				tr := to.shard.Host().Trace
+				tr.AdoptFlow(flow)
+				to.track.FlowStep("flow", "bridge.rx")
 				to.sw.Send(to.port, f)
+				tr.ClearFlow()
 				return nil
 			})
 	}

@@ -112,6 +112,8 @@ type Shard struct {
 	records []Record
 	events  int64
 	err     error
+
+	telemetry *obs.Telemetry
 }
 
 // ID returns the shard's index in the engine (0..Shards-1).
@@ -199,6 +201,11 @@ type Engine struct {
 	shards  []*Shard
 	workers int
 	stats   Stats
+
+	watchdog Watchdog
+	wdTracks []obs.Track
+	wdPrevVT []time.Duration
+	wdStall  []int
 }
 
 // New builds an engine with n shards sharing one freshly-validated
@@ -221,6 +228,10 @@ func NewWithCosts(n, workers int, costs *vclock.Costs) *Engine {
 	e.shards = make([]*Shard, n)
 	for i := range e.shards {
 		e.shards[i] = &Shard{id: i, eng: e, host: hostsim.NewShardHost(costs)}
+		// Tag each shard's flow-id space so causal-flow arrows stay
+		// unique in the merged fleet trace (40 bits of per-shard
+		// sequence under a shard tag).
+		e.shards[i].host.Trace.SetFlowBase(uint64(i+1) << 40)
 	}
 	return e
 }
@@ -280,6 +291,13 @@ func (e *Engine) Run() (*Stats, error) {
 		for _, s := range e.shards {
 			msgs = append(msgs, s.outbox...)
 			s.outbox = s.outbox[:0]
+		}
+		if e.watchdog.enabled() {
+			msgsTo := make([]int64, len(e.shards))
+			for _, m := range msgs {
+				msgsTo[m.to]++
+			}
+			e.watchdogBarrier(msgsTo)
 		}
 		if len(msgs) == 0 {
 			continue // loop re-checks heaps; drained shards end the run
@@ -375,6 +393,134 @@ func (e *Engine) MergedMetrics() *obs.Registry {
 		agg.Merge(s.host.Metrics)
 	}
 	return agg
+}
+
+// EnableTrace turns on every shard host's tracer. Call before Run;
+// tracing never advances any clock, so traced and untraced fleets
+// produce identical vtimes, metrics and determinism digests.
+func (e *Engine) EnableTrace() {
+	for _, s := range e.shards {
+		s.host.Trace.Enable()
+	}
+}
+
+// Tracers returns every shard's tracer in shard order (index ==
+// shard). The slice is rebuilt per call; the tracers are live.
+func (e *Engine) Tracers() []*obs.Tracer {
+	out := make([]*obs.Tracer, len(e.shards))
+	for i, s := range e.shards {
+		out[i] = s.host.Trace
+	}
+	return out
+}
+
+// Trace snapshots every shard tracer into the deterministic merged
+// fleet trace: events ordered by (emission vtime, shard, per-shard
+// seq), byte-identical at any worker count.
+func (e *Engine) Trace() *obs.MergedTrace {
+	return obs.MergeShardTraces(e.Tracers())
+}
+
+// Profile folds every shard's span log into one fleet-wide vtime
+// profile, stacks rooted at "shard<N>".
+func (e *Engine) Profile() *obs.Profile {
+	p := obs.NewProfile()
+	p.AddMerged(e.Trace())
+	return p
+}
+
+// EnableTelemetry starts per-shard streaming telemetry: each shard's
+// registry is snapshotted into a ring buffer (capacity samples) every
+// interval of that shard's virtual time. Telemetry only reads state,
+// so results and digests are unchanged. Call before Run; repeated
+// calls replace the previous samplers.
+func (e *Engine) EnableTelemetry(interval time.Duration, capacity int) {
+	for _, s := range e.shards {
+		if s.telemetry != nil {
+			s.telemetry.Stop()
+		}
+		s.telemetry = obs.NewTelemetry(s.host.Clock, s.host.Metrics, interval, capacity)
+	}
+}
+
+// Telemetry returns shard i's sampler (nil until EnableTelemetry).
+func (e *Engine) Telemetry(i int) *obs.Telemetry { return e.shards[i].telemetry }
+
+// Watchdog configures the engine's barrier-time health monitors. The
+// zero value disables everything; enabled checks run single-threaded
+// at each barrier on deterministic state only (shard clocks, merged
+// message counts), so they fire identically at any worker count. Each
+// firing emits a trace event on the affected shard's "watchdog" track
+// and bumps an engine.watchdog.* counter in that shard's registry.
+type Watchdog struct {
+	// StallWindows fires "stall" when a shard's clock has not advanced
+	// for this many consecutive barrier windows while the fleet's max
+	// clock kept moving. 0 disables.
+	StallWindows int
+	// QueueDepth fires "queue" when one barrier merges more than this
+	// many messages bound for a single shard. 0 disables.
+	QueueDepth int
+}
+
+func (w Watchdog) enabled() bool { return w.StallWindows > 0 || w.QueueDepth > 0 }
+
+// SetWatchdog installs (or, with the zero value, removes) the barrier
+// watchdog. Call before Run.
+func (e *Engine) SetWatchdog(w Watchdog) {
+	e.watchdog = w
+	if w.enabled() && e.wdTracks == nil {
+		e.wdTracks = make([]obs.Track, len(e.shards))
+		for i, s := range e.shards {
+			e.wdTracks[i] = s.host.Trace.Track("watchdog")
+		}
+	}
+	e.wdPrevVT = nil
+	e.wdStall = nil
+}
+
+// watchdogBarrier runs the health checks after one barrier merge.
+// msgsTo[i] is the number of messages just delivered to shard i.
+func (e *Engine) watchdogBarrier(msgsTo []int64) {
+	w := e.watchdog
+	if e.wdPrevVT == nil {
+		e.wdPrevVT = make([]time.Duration, len(e.shards))
+		e.wdStall = make([]int, len(e.shards))
+		for i, s := range e.shards {
+			e.wdPrevVT[i] = s.host.Clock.Now()
+		}
+		return
+	}
+	var maxAdvanced bool
+	var maxPrev, maxNow time.Duration
+	for i, s := range e.shards {
+		if e.wdPrevVT[i] > maxPrev {
+			maxPrev = e.wdPrevVT[i]
+		}
+		if now := s.host.Clock.Now(); now > maxNow {
+			maxNow = now
+		}
+	}
+	maxAdvanced = maxNow > maxPrev
+	for i, s := range e.shards {
+		now := s.host.Clock.Now()
+		if w.StallWindows > 0 {
+			if now == e.wdPrevVT[i] && maxAdvanced {
+				e.wdStall[i]++
+				if e.wdStall[i] >= w.StallWindows {
+					e.wdTracks[i].Event1("watchdog", "stall", "windows", int64(e.wdStall[i]))
+					s.host.Metrics.Counter("engine.watchdog.stall").Inc()
+					e.wdStall[i] = 0 // re-arm
+				}
+			} else {
+				e.wdStall[i] = 0
+			}
+		}
+		if w.QueueDepth > 0 && msgsTo[i] > int64(w.QueueDepth) {
+			e.wdTracks[i].Event1("watchdog", "queue", "depth", msgsTo[i])
+			s.host.Metrics.Counter("engine.watchdog.queue").Inc()
+		}
+		e.wdPrevVT[i] = now
+	}
 }
 
 // timelineCursor is one shard's position in the k-way merge.

@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"vmsh/internal/netsim"
+	"vmsh/internal/obs"
+)
+
+// runTracedBridged runs the two-shard bridged topology from runBridged
+// with tracing enabled and a causal flow wrapped around every
+// transmitted frame: FlowBegin at the source device, steps through
+// switch A, the bridge crossing, switch B, and FlowEnd at the sink.
+func runTracedBridged(t *testing.T, workers int) *obs.MergedTrace {
+	t.Helper()
+	e := New(2, workers)
+	a, b := e.Shard(0), e.Shard(1)
+	swA := netsim.New(a.Host().Clock, a.Host().Costs)
+	swB := netsim.New(b.Host().Clock, b.Host().Costs)
+	swA.Observe(a.Host().Trace, a.Host().Metrics)
+	swB.Observe(b.Host().Trace, b.Host().Metrics)
+
+	// Same MAC-stagger as runBridged: guest port first on A, uplink
+	// first on B.
+	src := swA.NewPort("src", netsim.LinkParams{})
+	_ = NewBridge(a, swA, b, swB, netsim.LinkParams{})
+	sink := swB.NewPort("sink", netsim.LinkParams{})
+
+	sinkTrack := b.Host().Trace.Track("sink")
+	sink.Deliver = func(frame []byte) {
+		sinkTrack.FlowEnd("flow", "sink.rx")
+	}
+
+	txTrack := a.Host().Trace.Track("tx")
+	e.EnableTrace()
+	for i := 0; i < 4; i++ {
+		i := i
+		e.At(0, time.Duration(i)*100*time.Microsecond, "tx", func(s *Shard) error {
+			frame := netsim.BuildFrame(netsim.Broadcast, src.MAC(), netsim.EtherTypeVMSH,
+				[]byte(fmt.Sprintf("ping-%d", i)))
+			txTrack.FlowBegin("flow", "net.frame")
+			sp := txTrack.Span("net", "tx")
+			swA.Send(src, frame)
+			sp.End1("bytes", int64(len(frame)))
+			s.Host().Trace.ClearFlow()
+			return nil
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Trace()
+}
+
+// TestFleetTraceWorkerInvariance pins the ISSUE acceptance criterion:
+// the merged fleet trace must be byte-identical at worker counts
+// 1/2/4/8 — spans, async request pairs, flow arrows, metadata, all of
+// it — because per-shard logs are a pure function of the simulation
+// and the merge key (emission vtime, shard, seq) never looks at
+// execution order.
+func TestFleetTraceWorkerInvariance(t *testing.T) {
+	render := func(workers int) string {
+		var sb strings.Builder
+		if err := runTracedBridged(t, workers).WriteChrome(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	ref := render(1)
+	if !strings.Contains(ref, `"ph":"s"`) || !strings.Contains(ref, `"ph":"f"`) {
+		t.Fatal("reference trace carries no flow events")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		if got := render(workers); got != ref {
+			t.Errorf("workers=%d: merged fleet trace bytes diverged from workers=1", workers)
+		}
+	}
+}
+
+// TestBridgeFlowsPairAcrossShards checks that every frame's causal
+// flow survives the shard crossing: the merged trace is Perfetto-valid
+// JSON, every step/end pairs with a begin, and all four flows span
+// both shard processes.
+func TestBridgeFlowsPairAcrossShards(t *testing.T) {
+	m := runTracedBridged(t, 2)
+	if err := m.ValidateFlows(); err != nil {
+		t.Fatal(err)
+	}
+	fs := m.FlowStats()
+	if fs.Begins != 4 || fs.Ends != 4 {
+		t.Fatalf("flow stats %+v, want 4 begins and 4 ends", fs)
+	}
+	if fs.CrossShard != 4 {
+		t.Fatalf("CrossShard = %d, want 4 (every frame crossed the bridge)", fs.CrossShard)
+	}
+	var sb strings.Builder
+	if err := m.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("merged trace is empty")
+	}
+}
+
+// TestWatchdogFiresDeterministically drives a fleet where shard 0's
+// clock freezes while shard 1 keeps hopping, plus one burst of five
+// same-window messages: the stall and queue monitors must fire, with
+// identical counts at any worker count (they only read barrier-merged
+// deterministic state).
+func TestWatchdogFiresDeterministically(t *testing.T) {
+	run := func(workers int) (stall, queue int64, traceEvents int) {
+		e := New(2, workers)
+		e.SetWatchdog(Watchdog{StallWindows: 2, QueueDepth: 3})
+		e.EnableTrace()
+		n := 0
+		var hop func(s *Shard) error
+		hop = func(s *Shard) error {
+			s.Host().Clock.Advance(time.Millisecond)
+			n++
+			if n == 3 {
+				// Five messages into one barrier window on shard 0:
+				// trips QueueDepth=3 exactly once.
+				for i := 0; i < 5; i++ {
+					s.Post(0, s.Now(), "noise", func(*Shard) error { return nil })
+				}
+			}
+			if n < 8 {
+				s.Post(1, s.Now(), "hop", hop)
+			}
+			return nil
+		}
+		e.At(1, 0, "hop", hop)
+		if _, err := e.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		snap := e.MergedMetrics().Snapshot()
+		for _, me := range e.Trace().Events() {
+			if me.Cat == "watchdog" {
+				traceEvents++
+			}
+		}
+		return snap["engine.watchdog.stall"], snap["engine.watchdog.queue"], traceEvents
+	}
+	stall, queue, evs := run(1)
+	if stall == 0 {
+		t.Fatal("stall monitor never fired for a frozen shard")
+	}
+	if queue != 1 {
+		t.Fatalf("queue monitor fired %d times, want 1", queue)
+	}
+	if int64(evs) != stall+queue {
+		t.Fatalf("trace carries %d watchdog events, want %d", evs, stall+queue)
+	}
+	for _, workers := range []int{2, 4} {
+		s2, q2, e2 := run(workers)
+		if s2 != stall || q2 != queue || e2 != evs {
+			t.Errorf("workers=%d: watchdog fired stall=%d queue=%d events=%d, want %d/%d/%d",
+				workers, s2, q2, e2, stall, queue, evs)
+		}
+	}
+}
+
+// TestWatchdogZeroValueIsFree pins that the default configuration
+// records nothing: no watchdog counters appear, so merged metrics (and
+// the E9 determinism digest built from them) are unchanged.
+func TestWatchdogZeroValueIsFree(t *testing.T) {
+	e := New(2, 2)
+	scheduleSyntheticFleet(e, 7)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for key := range e.MergedMetrics().Snapshot() {
+		if strings.HasPrefix(key, "engine.watchdog.") {
+			t.Fatalf("disabled watchdog registered metric %q", key)
+		}
+	}
+}
+
+// TestEngineTelemetryStreamsPerShard checks that every shard's sampler
+// follows its own clock: five 1ms advances produce five boundary
+// samples whose counter series climbs 1..5.
+func TestEngineTelemetryStreamsPerShard(t *testing.T) {
+	e := New(2, 2)
+	e.EnableTelemetry(time.Millisecond, 8)
+	for i := 0; i < 2; i++ {
+		e.At(i, 0, "work", func(s *Shard) error {
+			for k := 0; k < 5; k++ {
+				s.Host().Metrics.Counter("work.done").Inc()
+				s.Host().Clock.Advance(time.Millisecond)
+			}
+			return nil
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		tm := e.Telemetry(i)
+		if tm == nil {
+			t.Fatalf("shard %d: no sampler after EnableTelemetry", i)
+		}
+		if tm.Taken() != 5 {
+			t.Fatalf("shard %d: %d samples, want 5", i, tm.Taken())
+		}
+		ts, vs := tm.Series("work.done")
+		for k := range vs {
+			if vs[k] != int64(k+1) {
+				t.Fatalf("shard %d: series %v, want 1..5", i, vs)
+			}
+			if ts[k] != time.Duration(k+1)*time.Millisecond {
+				t.Fatalf("shard %d: sample vtimes %v", i, ts)
+			}
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"vmsh/internal/hostsim"
 	"vmsh/internal/hypervisor"
 	"vmsh/internal/netsim"
+	"vmsh/internal/obs"
 )
 
 // FleetStormRun is one worker-count configuration of the sweep.
@@ -49,18 +50,47 @@ type FleetStormRun struct {
 	Digest string `json:"digest"`
 }
 
+// FleetTelemetrySeries is one shard's streamed telemetry: registry
+// snapshots sampled on virtual-time boundaries during the storm. The
+// series is a pure function of the simulation, identical at every
+// worker count.
+type FleetTelemetrySeries struct {
+	Shard       int       `json:"shard"`
+	VTimeMS     []float64 `json:"vtime_ms"`
+	ProcVMCalls []int64   `json:"procvm_calls"`
+	Syscalls    []int64   `json:"syscalls"`
+}
+
 // FleetStormResult is the machine-readable E9 document (BENCH_e9.json).
+//
+// Schema v2 (this PR's telemetry plane): adds schema_version,
+// per-shard final vtimes (vtimes_ms) and per-shard telemetry sample
+// series (telemetry). v1 documents carry neither field.
 type FleetStormResult struct {
-	VMs        int             `json:"vms"`
-	Shards     int             `json:"shards"`
-	Seed       int64           `json:"seed"`
-	GOMAXPROCS int             `json:"gomaxprocs"`
-	NumCPU     int             `json:"num_cpu"`
-	Runs       []FleetStormRun `json:"runs"`
+	SchemaVersion int             `json:"schema_version"`
+	VMs           int             `json:"vms"`
+	Shards        int             `json:"shards"`
+	Seed          int64           `json:"seed"`
+	GOMAXPROCS    int             `json:"gomaxprocs"`
+	NumCPU        int             `json:"num_cpu"`
+	Runs          []FleetStormRun `json:"runs"`
+	// VTimesMS is each shard's final virtual time in ms (shard order);
+	// identical across the worker sweep, recorded from the first run.
+	VTimesMS []float64 `json:"vtimes_ms"`
+	// Telemetry is the per-shard sample series from the first run.
+	Telemetry []FleetTelemetrySeries `json:"telemetry"`
 	// Deterministic is true when every run's digest matched.
 	Deterministic bool   `json:"deterministic"`
 	Note          string `json:"note"`
 }
+
+// fleetTelemetryInterval and fleetTelemetryCap size the per-shard
+// telemetry ring for E9: samples every 100ms of shard vtime, newest 64
+// retained.
+const (
+	fleetTelemetryInterval = 100 * time.Millisecond
+	fleetTelemetryCap      = 64
+)
 
 // fleetShardPlan is the per-shard storm schedule, fixed before the
 // engine runs: how many VM cycles, and at what virtual-time stagger.
@@ -187,9 +217,16 @@ func foldRAM(inst *hypervisor.Instance, fold func(uint64)) {
 }
 
 // fleetStormOnce runs the storm at one worker count and returns the
-// run record plus its determinism digest.
-func fleetStormOnce(vms, shards, workers int, seed int64) (FleetStormRun, error) {
+// run record plus its determinism digest and the engine (for vtimes,
+// telemetry and — when trace is set — the merged fleet trace).
+// Telemetry is always on: it only reads state, so the digest is
+// unaffected; the same holds for tracing, which the bench hard-checks.
+func fleetStormOnce(vms, shards, workers int, seed int64, trace bool) (FleetStormRun, *engine.Engine, error) {
 	eng := engine.New(shards, workers)
+	eng.EnableTelemetry(fleetTelemetryInterval, fleetTelemetryCap)
+	if trace {
+		eng.EnableTrace()
+	}
 	plans := planFleet(vms, shards, seed)
 	// digests[i] is written only by shard i's events; vm counting the
 	// same way.
@@ -250,7 +287,7 @@ func fleetStormOnce(vms, shards, workers int, seed int64) (FleetStormRun, error)
 
 	stats, err := eng.Run()
 	if err != nil {
-		return FleetStormRun{}, err
+		return FleetStormRun{}, nil, err
 	}
 	// Fold the full determinism surface into one digest.
 	dig := fnv.New64a()
@@ -270,7 +307,26 @@ func fleetStormOnce(vms, shards, workers int, seed int64) (FleetStormRun, error)
 		Messages:     stats.Messages,
 		MaxVTimeMS:   stats.MaxVTime.Seconds() * 1e3,
 		Digest:       fmt.Sprintf("%016x", dig.Sum64()),
-	}, nil
+	}, eng, nil
+}
+
+// fleetTelemetry extracts the per-shard sample series (procvm calls +
+// syscalls over vtime) from a finished run's samplers.
+func fleetTelemetry(eng *engine.Engine) []FleetTelemetrySeries {
+	out := make([]FleetTelemetrySeries, eng.Shards())
+	for i := range out {
+		out[i].Shard = i
+		tm := eng.Telemetry(i)
+		if tm == nil {
+			continue
+		}
+		for _, s := range tm.Samples() {
+			out[i].VTimeMS = append(out[i].VTimeMS, float64(s.VTime)/1e6)
+			out[i].ProcVMCalls = append(out[i].ProcVMCalls, s.Values["host.procvm.calls"])
+			out[i].Syscalls = append(out[i].Syscalls, s.Values["host.syscalls"])
+		}
+	}
+	return out
 }
 
 // DefaultFleetWorkerSweep is the E9 worker-count sweep.
@@ -303,7 +359,8 @@ func RunFleetStorm(vms int, sweep []int, seed int64) (*Table, *FleetStormResult,
 	}
 
 	res := &FleetStormResult{
-		VMs: vms, Shards: shards, Seed: seed,
+		SchemaVersion: 2,
+		VMs:           vms, Shards: shards, Seed: seed,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 		Deterministic: true,
 	}
@@ -312,12 +369,17 @@ func RunFleetStorm(vms int, sweep []int, seed int64) (*Table, *FleetStormResult,
 
 	var base FleetStormRun
 	for idx, w := range sweep {
-		run, err := fleetStormOnce(vms, shards, w, seed)
+		run, eng, err := fleetStormOnce(vms, shards, w, seed, false)
 		if err != nil {
 			return tbl, res, fmt.Errorf("E9 workers=%d: %w", w, err)
 		}
 		if idx == 0 {
 			base = run
+			// vtimes + telemetry are worker-invariant; record once.
+			for _, vt := range eng.VTimes() {
+				res.VTimesMS = append(res.VTimesMS, vt.Seconds()*1e3)
+			}
+			res.Telemetry = fleetTelemetry(eng)
 		}
 		run.SpeedupVs1 = base.WallMS / run.WallMS
 		if run.Digest != base.Digest {
@@ -348,4 +410,40 @@ func RunFleetStorm(vms int, sweep []int, seed int64) (*Table, *FleetStormResult,
 		Note: "digest " + base.Digest + " identical at every worker count",
 	})
 	return tbl, res, nil
+}
+
+// TraceFleetStorm runs the E9 storm once with the fleet trace plane
+// on: tracing + telemetry enabled, then hard-checks that the traced
+// run's determinism digest matches an untraced run of the same
+// configuration (observability must never perturb the simulation).
+// Returns the merged fleet trace, its vtime profile, and the traced
+// run record. Shard count follows the same rule as RunFleetStorm.
+func TraceFleetStorm(vms, workers int, seed int64) (*obs.MergedTrace, *obs.Profile, FleetStormRun, error) {
+	shards := vms / 20
+	if shards < workers {
+		shards = workers
+	}
+	if shards > 64 {
+		shards = 64
+	}
+	if shards > vms {
+		shards = vms
+	}
+	traced, eng, err := fleetStormOnce(vms, shards, workers, seed, true)
+	if err != nil {
+		return nil, nil, traced, fmt.Errorf("E9 traced run: %w", err)
+	}
+	plain, _, err := fleetStormOnce(vms, shards, workers, seed, false)
+	if err != nil {
+		return nil, nil, traced, fmt.Errorf("E9 untraced run: %w", err)
+	}
+	if traced.Digest != plain.Digest {
+		return nil, nil, traced, fmt.Errorf("E9: tracing perturbed the simulation: traced digest %s != untraced %s",
+			traced.Digest, plain.Digest)
+	}
+	trace := eng.Trace()
+	if err := trace.ValidateFlows(); err != nil {
+		return nil, nil, traced, err
+	}
+	return trace, eng.Profile(), traced, nil
 }

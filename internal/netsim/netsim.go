@@ -267,6 +267,7 @@ func (s *Switch) Send(p *Port, frame []byte) {
 	sp := p.track.Span("link", "ingress")
 	s.clock.Advance(s.linkTime(p, len(frame)) + s.costs.NetSwitchHop)
 	sp.End1("bytes", int64(len(frame)))
+	p.track.FlowStep("flow", "ingress")
 	s.fdb[src] = p
 
 	if dst == Broadcast {
@@ -304,6 +305,7 @@ func (s *Switch) egress(out *Port, frame []byte) {
 		s.stats.Dropped++
 		s.ctrDropped.Inc()
 		out.track.Event1("link", "drop", "bytes", int64(len(frame)))
+		out.track.FlowEnd("flow", "drop")
 		s.tapLink(out, frame, faults.Dropped)
 		return
 	}
@@ -314,16 +316,19 @@ func (s *Switch) egress(out *Port, frame []byte) {
 		s.stats.Dropped++
 		s.ctrDropped.Inc()
 		out.track.Event1("link", "drop", "bytes", int64(len(frame)))
+		out.track.FlowEnd("flow", "drop")
 		s.tapLink(out, frame, err)
 		return
 	}
 	sp := out.track.Span("link", "transit")
 	s.clock.Advance(s.linkTime(out, len(frame)))
 	sp.End1("bytes", int64(len(frame)))
+	out.track.FlowStep("flow", "transit")
 	if out.Deliver == nil {
 		out.stats.DropsNoSink++
 		s.stats.Dropped++
 		s.ctrDropped.Inc()
+		out.track.FlowEnd("flow", "drop")
 		s.tapLink(out, frame, faults.Dropped)
 		return
 	}

@@ -82,47 +82,72 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 
 	for _, e := range events {
 		line.Reset()
-		line.WriteString(`{"name":`)
-		jsonString(&line, e.Name)
-		line.WriteString(`,"cat":`)
-		jsonString(&line, e.Cat)
-		line.WriteString(`,"ph":"`)
-		line.WriteByte(e.Phase)
-		line.WriteString(`","pid":1,"tid":`)
-		line.WriteString(strconv.Itoa(int(e.Track) + 1))
-		line.WriteString(`,"ts":`)
-		line.WriteString(micros(e.TS))
-		switch e.Phase {
-		case PhaseSpan:
-			line.WriteString(`,"dur":`)
-			line.WriteString(micros(e.Dur))
-		case PhaseInstant:
-			line.WriteString(`,"s":"t"`)
-		case PhaseAsyncBegin, PhaseAsyncEnd:
-			line.WriteString(`,"id":"`)
-			line.WriteString(strconv.FormatUint(e.ID, 16))
-			line.WriteString(`"`)
-		}
-		if e.NArgs > 0 {
-			line.WriteString(`,"args":{`)
-			jsonString(&line, e.K1)
-			line.WriteString(`:`)
-			line.WriteString(strconv.FormatInt(e.V1, 10))
-			if e.NArgs > 1 {
-				line.WriteString(`,`)
-				jsonString(&line, e.K2)
-				line.WriteString(`:`)
-				line.WriteString(strconv.FormatInt(e.V2, 10))
-			}
-			line.WriteString(`}`)
-		}
-		line.WriteString(`}`)
+		writeChromeEvent(&line, e, 1, false)
 		emit(line.String())
 	}
 
 	sb.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// writeChromeEvent serialises one event as a Chrome trace-event JSON
+// object under the given pid. localAsync scopes async ids to the
+// process via id2.local — the multi-shard merged export uses it so
+// per-shard request spans never alias across shards; flow ids stay
+// global in either mode (cross-shard arrows need them to). Flow ends
+// carry bp:"e" so Perfetto binds the arrow to the enclosing slice.
+func writeChromeEvent(line *strings.Builder, e Event, pid int, localAsync bool) {
+	line.WriteString(`{"name":`)
+	jsonString(line, e.Name)
+	line.WriteString(`,"cat":`)
+	jsonString(line, e.Cat)
+	line.WriteString(`,"ph":"`)
+	line.WriteByte(e.Phase)
+	line.WriteString(`","pid":`)
+	line.WriteString(strconv.Itoa(pid))
+	line.WriteString(`,"tid":`)
+	line.WriteString(strconv.Itoa(int(e.Track) + 1))
+	line.WriteString(`,"ts":`)
+	line.WriteString(micros(e.TS))
+	switch e.Phase {
+	case PhaseSpan:
+		line.WriteString(`,"dur":`)
+		line.WriteString(micros(e.Dur))
+	case PhaseInstant:
+		line.WriteString(`,"s":"t"`)
+	case PhaseAsyncBegin, PhaseAsyncEnd:
+		if localAsync {
+			line.WriteString(`,"id2":{"local":"0x`)
+			line.WriteString(strconv.FormatUint(e.ID, 16))
+			line.WriteString(`"}`)
+		} else {
+			line.WriteString(`,"id":"`)
+			line.WriteString(strconv.FormatUint(e.ID, 16))
+			line.WriteString(`"`)
+		}
+	case PhaseFlowBegin, PhaseFlowStep, PhaseFlowEnd:
+		line.WriteString(`,"id":"`)
+		line.WriteString(strconv.FormatUint(e.ID, 16))
+		line.WriteString(`"`)
+		if e.Phase == PhaseFlowEnd {
+			line.WriteString(`,"bp":"e"`)
+		}
+	}
+	if e.NArgs > 0 {
+		line.WriteString(`,"args":{`)
+		jsonString(line, e.K1)
+		line.WriteString(`:`)
+		line.WriteString(strconv.FormatInt(e.V1, 10))
+		if e.NArgs > 1 {
+			line.WriteString(`,`)
+			jsonString(line, e.K2)
+			line.WriteString(`:`)
+			line.WriteString(strconv.FormatInt(e.V2, 10))
+		}
+		line.WriteString(`}`)
+	}
+	line.WriteString(`}`)
 }
 
 // SpanNode is one node of a reconstructed span tree: a complete span
@@ -154,13 +179,19 @@ func (t *Tracer) SpanTree(track string) []*SpanNode {
 	if id < 0 {
 		return nil
 	}
+	return buildSpanForest(t.Events(), id)
+}
+
+// buildSpanForest reconstructs one track's span nesting from an
+// end-ordered event log — the shared core of Tracer.SpanTree and the
+// profiler's per-shard folding.
+func buildSpanForest(evs []Event, id TrackID) []*SpanNode {
 	var roots []*SpanNode
 	var stack []*SpanNode
 	// Events are emitted at span End, so the log is ordered by end
 	// time: an enclosing span always appears after its children. Walk
 	// backwards so parents are seen first and children attach to the
 	// innermost open interval that contains them.
-	evs := t.Events()
 	for i := len(evs) - 1; i >= 0; i-- {
 		e := evs[i]
 		if e.Track != id || e.Phase != PhaseSpan {

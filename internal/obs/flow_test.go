@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlowBeginStepEnd(t *testing.T) {
+	clk := testClock()
+	tr := New(clk)
+	dev := tr.Track("dev")
+	link := tr.Track("link")
+	tr.Enable()
+
+	id := dev.FlowBegin("flow", "net.frame")
+	if id == 0 {
+		t.Fatal("FlowBegin returned 0 while enabled")
+	}
+	if got := tr.CurrentFlow(); got != id {
+		t.Fatalf("CurrentFlow = %d, want %d", got, id)
+	}
+	clk.Advance(10)
+	link.FlowStep("flow", "transit")
+	clk.Advance(5)
+	link.FlowEnd("flow", "net.rx")
+	if got := tr.CurrentFlow(); got != 0 {
+		t.Fatalf("CurrentFlow after end = %d, want 0", got)
+	}
+	// Steps/ends with no ambient flow record nothing.
+	link.FlowStep("flow", "ghost")
+	link.FlowEnd("flow", "ghost")
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3: %+v", len(evs), evs)
+	}
+	wantPhases := []byte{PhaseFlowBegin, PhaseFlowStep, PhaseFlowEnd}
+	for i, e := range evs {
+		if e.Phase != wantPhases[i] {
+			t.Errorf("event %d phase %q, want %q", i, e.Phase, wantPhases[i])
+		}
+		if e.ID != id {
+			t.Errorf("event %d id %d, want %d", i, e.ID, id)
+		}
+	}
+}
+
+func TestFlowIDsUniqueAndBaseTagged(t *testing.T) {
+	tr := New(testClock())
+	tr.SetFlowBase(uint64(3) << 40)
+	tk := tr.Track("t")
+	tr.Enable()
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		id := tk.FlowBegin("flow", "f")
+		if seen[id] {
+			t.Fatalf("duplicate flow id %d", id)
+		}
+		seen[id] = true
+		if id>>40 != 3 {
+			t.Fatalf("flow id %#x not tagged with base 3<<40", id)
+		}
+		tk.FlowEnd("flow", "f")
+	}
+}
+
+func TestFlowQueueFIFO(t *testing.T) {
+	clk := testClock()
+	tr := New(clk)
+	drv := tr.Track("driver")
+	dev := tr.Track("device")
+	tr.Enable()
+
+	const key = 0x1000
+	drv.FlowBeginQ(key, "flow", "blk.req")
+	clk.Advance(1)
+	drv.FlowBeginQ(key, "flow", "blk.req")
+	clk.Advance(1)
+	dev.FlowEndQ(key, "flow", "complete")
+	dev.FlowEndQ(key, "flow", "complete")
+	// Extra end on a drained queue records nothing.
+	dev.FlowEndQ(key, "flow", "complete")
+
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	// FIFO: first end carries the first begin's id.
+	if evs[2].ID != evs[0].ID || evs[3].ID != evs[1].ID {
+		t.Fatalf("FIFO pairing broken: begins (%d,%d) ends (%d,%d)",
+			evs[0].ID, evs[1].ID, evs[2].ID, evs[3].ID)
+	}
+	if evs[0].ID == evs[1].ID {
+		t.Fatal("queued begins share an id")
+	}
+}
+
+func TestFlowEventsInChromeExport(t *testing.T) {
+	tr := New(testClock())
+	tk := tr.Track("t")
+	tr.Enable()
+	tk.FlowBegin("flow", "f")
+	tk.FlowStep("flow", "hop")
+	tk.FlowEnd("flow", "done")
+
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"ph":"s"`, `"ph":"t"`, `"ph":"f"`, `"bp":"e"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome export missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlowStateResets(t *testing.T) {
+	tr := New(testClock())
+	tk := tr.Track("t")
+	tr.Enable()
+	tk.FlowBegin("flow", "f")
+	tk.FlowBeginQ(1, "flow", "q")
+	tr.Reset()
+	if tr.CurrentFlow() != 0 {
+		t.Fatal("Reset kept ambient flow")
+	}
+	tk.FlowEndQ(1, "flow", "q")
+	if n := len(tr.Events()); n != 0 {
+		t.Fatalf("FlowEndQ after Reset recorded %d events, want 0", n)
+	}
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// shardTrace is one shard tracer's snapshot inside a MergedTrace.
+type shardTrace struct {
+	tracks []string
+	events []Event
+}
+
+// MergedEvent is one event of the fleet-wide merged stream, annotated
+// with the shard that emitted it.
+type MergedEvent struct {
+	Shard int
+	Event
+}
+
+// MergedTrace is the deterministic fleet-wide trace: every shard
+// tracer's event log merged in (emission vtime, shard, per-shard
+// order) — the same discipline as the engine's Timeline. Per-shard
+// logs are a pure function of the simulation (shards are
+// single-threaded within a window), so the merged stream — and the
+// bytes WriteChrome produces — are identical at any worker count.
+type MergedTrace struct {
+	shards []shardTrace
+	total  int
+}
+
+// MergeShardTraces snapshots the given tracers (index == shard) into a
+// merged fleet trace. Nil tracers contribute nothing.
+func MergeShardTraces(tracers []*Tracer) *MergedTrace {
+	m := &MergedTrace{shards: make([]shardTrace, len(tracers))}
+	for i, t := range tracers {
+		m.shards[i] = shardTrace{tracks: t.Tracks(), events: t.Events()}
+		m.total += len(m.shards[i].events)
+	}
+	return m
+}
+
+// Shards returns the number of shard traces merged.
+func (m *MergedTrace) Shards() int { return len(m.shards) }
+
+// Len returns the total event count across all shards.
+func (m *MergedTrace) Len() int { return m.total }
+
+// emitTime is the virtual time an event entered its shard's log:
+// spans are appended at End, everything else at occurrence. Per-shard
+// logs are non-decreasing in it, which makes the k-way merge stable.
+func emitTime(e Event) time.Duration { return e.TS + e.Dur }
+
+// Events returns the merged stream ordered by (emission vtime, shard,
+// per-shard log order).
+func (m *MergedTrace) Events() []MergedEvent {
+	out := make([]MergedEvent, 0, m.total)
+	for shard, st := range m.shards {
+		for _, e := range st.events {
+			out = append(out, MergedEvent{Shard: shard, Event: e})
+		}
+	}
+	// Per-shard logs are already ordered; a stable sort on (emit,
+	// shard) therefore realises the k-way merge deterministically.
+	sort.SliceStable(out, func(i, j int) bool {
+		ei, ej := emitTime(out[i].Event), emitTime(out[j].Event)
+		if ei != ej {
+			return ei < ej
+		}
+		return out[i].Shard < out[j].Shard
+	})
+	return out
+}
+
+// WriteChrome writes the merged fleet trace as Chrome trace-event JSON
+// loadable in Perfetto: each shard is a process (pid = shard+1) whose
+// tracks are named threads; events appear in merged (emission vtime,
+// shard, seq) order. Async ids are process-scoped (id2.local) so
+// request spans never alias across shards; flow ids are global, so a
+// frame crossing a bridge renders as one connected arrow chain from
+// the sending shard's process into the receiver's. Output is
+// hand-marshaled and byte-identical across runs and worker counts.
+func (m *MergedTrace) WriteChrome(w io.Writer) error {
+	var sb strings.Builder
+	sb.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		sb.WriteString(line)
+	}
+
+	var line strings.Builder
+	for shard, st := range m.shards {
+		line.Reset()
+		line.WriteString(`{"name":"process_name","ph":"M","pid":`)
+		line.WriteString(strconv.Itoa(shard + 1))
+		line.WriteString(`,"args":{"name":"shard `)
+		line.WriteString(strconv.Itoa(shard))
+		line.WriteString(`"}}`)
+		emit(line.String())
+		for i, name := range st.tracks {
+			line.Reset()
+			line.WriteString(`{"name":"thread_name","ph":"M","pid":`)
+			line.WriteString(strconv.Itoa(shard + 1))
+			line.WriteString(`,"tid":`)
+			line.WriteString(strconv.Itoa(i + 1))
+			line.WriteString(`,"args":{"name":`)
+			jsonString(&line, name)
+			line.WriteString("}}")
+			emit(line.String())
+		}
+	}
+
+	for _, me := range m.Events() {
+		line.Reset()
+		writeChromeEvent(&line, me.Event, me.Shard+1, true)
+		emit(line.String())
+	}
+
+	sb.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// FlowStats summarises the causal-flow events of a merged trace.
+type FlowStats struct {
+	Begins int // flow chains opened
+	Steps  int // intermediate waypoints
+	Ends   int // flow chains terminated
+	// Unmatched counts steps/ends whose id was never begun — always a
+	// bug (ids are allocated at begin time).
+	Unmatched int
+	// CrossShard counts flows whose events span more than one shard —
+	// frames that crossed a Bridge.
+	CrossShard int
+}
+
+// FlowStats scans the merged trace and pairs flow events by id. Two
+// passes: begins are registered first across every shard, because a
+// bridged flow may begin on a higher-numbered shard than the one its
+// steps land on (reply traffic), and shard scan order must not matter.
+func (m *MergedTrace) FlowStats() FlowStats {
+	var st FlowStats
+	type flowSeen struct {
+		begun  bool
+		shard  int
+		spread bool
+	}
+	seen := make(map[uint64]*flowSeen)
+	look := func(id uint64, shard int) *flowSeen {
+		f := seen[id]
+		if f == nil {
+			f = &flowSeen{shard: shard}
+			seen[id] = f
+		} else if f.shard != shard {
+			f.spread = true
+		}
+		return f
+	}
+	for shard, sh := range m.shards {
+		for _, e := range sh.events {
+			if e.Phase == PhaseFlowBegin {
+				st.Begins++
+				look(e.ID, shard).begun = true
+			}
+		}
+	}
+	for shard, sh := range m.shards {
+		for _, e := range sh.events {
+			switch e.Phase {
+			case PhaseFlowStep:
+				st.Steps++
+				if !look(e.ID, shard).begun {
+					st.Unmatched++
+				}
+			case PhaseFlowEnd:
+				st.Ends++
+				if !look(e.ID, shard).begun {
+					st.Unmatched++
+				}
+			}
+		}
+	}
+	for _, f := range seen {
+		if f.spread {
+			st.CrossShard++
+		}
+	}
+	return st
+}
+
+// ValidateFlows fails when any flow step or end lacks a begin — the
+// pairing invariant a Perfetto-valid trace must satisfy. (Begins
+// without ends are legal: dropped frames terminate early.)
+func (m *MergedTrace) ValidateFlows() error {
+	st := m.FlowStats()
+	if st.Unmatched > 0 {
+		return fmt.Errorf("obs: %d flow events reference ids never begun (begins=%d steps=%d ends=%d)",
+			st.Unmatched, st.Begins, st.Steps, st.Ends)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"vmsh/internal/vclock"
+)
+
+// buildShardTracer records a deterministic little scenario on a fresh
+// tracer standing in for one shard.
+func buildShardTracer(shard int) *Tracer {
+	clk := vclock.New()
+	tr := New(clk)
+	tr.SetFlowBase(uint64(shard+1) << 40)
+	dev := tr.Track("dev")
+	link := tr.Track("link")
+	tr.Enable()
+
+	clk.Advance(time.Duration(shard+1) * 100)
+	sp := dev.Span("vq", "service")
+	clk.Advance(50)
+	sp.End()
+	dev.Begin("req", "blk.read", 7)
+	clk.Advance(30)
+	dev.AsyncEnd(7)
+	id := dev.FlowBegin("flow", "net.frame")
+	clk.Advance(10)
+	link.FlowStep("flow", "transit")
+	clk.Advance(10)
+	link.FlowEnd("flow", "net.rx")
+	_ = id
+	return tr
+}
+
+func buildMerged(n int) *MergedTrace {
+	tracers := make([]*Tracer, n)
+	for i := range tracers {
+		tracers[i] = buildShardTracer(i)
+	}
+	return MergeShardTraces(tracers)
+}
+
+func TestMergedTraceOrderingAndDeterminism(t *testing.T) {
+	m := buildMerged(3)
+	evs := m.Events()
+	if len(evs) != m.Len() || m.Len() == 0 {
+		t.Fatalf("Len=%d, Events=%d", m.Len(), len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		ea, eb := emitTime(a.Event), emitTime(b.Event)
+		if ea > eb || (ea == eb && a.Shard > b.Shard) {
+			t.Fatalf("merge order violated at %d: (%v,s%d) before (%v,s%d)",
+				i, ea, a.Shard, eb, b.Shard)
+		}
+	}
+
+	var b1, b2 strings.Builder
+	if err := buildMerged(3).WriteChrome(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildMerged(3).WriteChrome(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("identical fleets produced different merged trace bytes")
+	}
+}
+
+func TestMergedChromeIsValidJSONWithPerShardPIDs(t *testing.T) {
+	var sb strings.Builder
+	if err := buildMerged(2).WriteChrome(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	pids := map[float64]bool{}
+	for _, e := range doc.TraceEvents {
+		if pid, ok := e["pid"].(float64); ok {
+			pids[pid] = true
+		}
+	}
+	if !pids[1] || !pids[2] {
+		t.Fatalf("want events under pid 1 and 2 (one per shard), got %v", pids)
+	}
+	if !strings.Contains(out, `"process_name"`) {
+		t.Fatal("merged trace lacks process_name metadata")
+	}
+	// Async ids must be process-scoped in the merged export: both
+	// shards used async id 7, which would alias without id2.local.
+	if !strings.Contains(out, `"id2":{"local":"0x7"}`) {
+		t.Fatal("merged trace does not scope async ids with id2.local")
+	}
+}
+
+func TestMergedFlowStatsAndValidation(t *testing.T) {
+	m := buildMerged(3)
+	fs := m.FlowStats()
+	if fs.Begins != 3 || fs.Steps != 3 || fs.Ends != 3 {
+		t.Fatalf("flow stats = %+v, want 3/3/3", fs)
+	}
+	if fs.Unmatched != 0 {
+		t.Fatalf("unmatched flows: %+v", fs)
+	}
+	if err := m.ValidateFlows(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An end whose id was never begun must fail validation.
+	clk := vclock.New()
+	tr := New(clk)
+	tk := tr.Track("t")
+	tr.Enable()
+	tr.AdoptFlow(12345)
+	tk.FlowEnd("flow", "orphan")
+	bad := MergeShardTraces([]*Tracer{tr})
+	if err := bad.ValidateFlows(); err == nil {
+		t.Fatal("orphan flow end passed validation")
+	}
+}
+
+func TestMergedFlowValidationShardOrderInsensitive(t *testing.T) {
+	// Reply traffic: the flow begins on shard 1 and its step/end land
+	// on shard 0, so the begin lives on a *later* shard than the events
+	// referencing it. Validation must pair them regardless of shard
+	// scan order.
+	a, b := New(vclock.New()), New(vclock.New())
+	b.SetFlowBase(2 << 40)
+	ta, tb := a.Track("dev"), b.Track("dev")
+	a.Enable()
+	b.Enable()
+	id := tb.FlowBegin("flow", "reply")
+	a.AdoptFlow(id)
+	ta.FlowStep("flow", "bridge.rx")
+	ta.FlowEnd("flow", "net.rx")
+
+	m := MergeShardTraces([]*Tracer{a, b})
+	if err := m.ValidateFlows(); err != nil {
+		t.Fatalf("reply-direction flow falsely unmatched: %v", err)
+	}
+	if fs := m.FlowStats(); fs.CrossShard != 1 || fs.Unmatched != 0 {
+		t.Fatalf("flow stats = %+v, want CrossShard=1 Unmatched=0", fs)
+	}
+}
+
+func TestMergedTraceCrossShardFlowCounting(t *testing.T) {
+	// Simulate a bridge crossing: shard 0 begins a flow, shard 1 adopts
+	// the id and ends it.
+	a, b := buildShardTracer(0), buildShardTracer(1)
+	ta := a.Track("dev")
+	a.Enable()
+	id := ta.FlowBegin("flow", "cross")
+	b.AdoptFlow(id)
+	tb := b.Track("dev")
+	tb.FlowStep("flow", "bridge.rx")
+	tb.FlowEnd("flow", "net.rx")
+
+	m := MergeShardTraces([]*Tracer{a, b})
+	if err := m.ValidateFlows(); err != nil {
+		t.Fatal(err)
+	}
+	if fs := m.FlowStats(); fs.CrossShard != 1 {
+		t.Fatalf("CrossShard = %d, want 1 (%+v)", fs.CrossShard, fs)
+	}
+}

@@ -118,6 +118,12 @@ func TestDisabledModeAllocatesNothing(t *testing.T) {
 		tk.Event1("cat", "name", "k", 1)
 		tk.Begin("cat", "name", 7)
 		tk.AsyncEnd(7)
+		tk.FlowBegin("cat", "name")
+		tk.FlowStep("cat", "name")
+		tk.FlowEnd("cat", "name")
+		tk.FlowBeginQ(7, "cat", "name")
+		tk.FlowEndQ(7, "cat", "name")
+		tk.ClearFlow()
 		nilCtr.Inc()
 		nilHist.Observe(42)
 	})

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Profile is a virtual-time profile: every complete span's *self* time
+// (duration minus nested child spans) attributed to its call stack,
+// where a stack is the track name followed by the chain of enclosing
+// span labels. Because durations are virtual, the profile answers
+// "where does simulated time go" exactly — no sampling error, no
+// wall-clock noise, byte-identical across runs.
+type Profile struct {
+	self  map[string]time.Duration
+	total time.Duration
+}
+
+// NewProfile returns an empty profile; feed it with AddTracer /
+// AddMerged.
+func NewProfile() *Profile {
+	return &Profile{self: make(map[string]time.Duration)}
+}
+
+// AddTracer folds every track of t into the profile. prefix, when
+// non-empty, becomes the root frame of every stack (the fleet profiler
+// passes "shard3" so per-shard attribution survives the merge).
+func (p *Profile) AddTracer(prefix string, t *Tracer) {
+	if t == nil {
+		return
+	}
+	evs := t.Events()
+	for i, name := range t.Tracks() {
+		p.addForest(stackJoin(prefix, name), buildSpanForest(evs, TrackID(i)))
+	}
+}
+
+// AddMerged folds a merged fleet trace, rooting each shard's stacks at
+// "shard<N>".
+func (p *Profile) AddMerged(m *MergedTrace) {
+	for shard, st := range m.shards {
+		root := "shard" + itoa(shard)
+		for i, name := range st.tracks {
+			p.addForest(stackJoin(root, name), buildSpanForest(st.events, TrackID(i)))
+		}
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+func stackJoin(prefix, frame string) string {
+	if prefix == "" {
+		return frame
+	}
+	return prefix + ";" + frame
+}
+
+// addForest walks one span forest, charging each node's self time
+// (own duration minus direct children) to its stack.
+func (p *Profile) addForest(stack string, nodes []*SpanNode) {
+	for _, n := range nodes {
+		s := stackJoin(stack, n.Cat+":"+n.Name)
+		self := n.Dur
+		for _, c := range n.Children {
+			self -= c.Dur
+		}
+		if self < 0 {
+			self = 0 // zero-dur parents with charged children
+		}
+		p.self[s] += self
+		p.total += self
+		p.addForest(s, n.Children)
+	}
+}
+
+// Total returns the summed self time across all stacks.
+func (p *Profile) Total() time.Duration { return p.total }
+
+// Len returns the number of distinct stacks.
+func (p *Profile) Len() int { return len(p.self) }
+
+// StackEntry is one (stack, self-vtime) pair of a profile.
+type StackEntry struct {
+	Stack string
+	Self  time.Duration
+}
+
+// sorted returns all entries by self time descending, ties broken by
+// stack name — a total, deterministic order.
+func (p *Profile) sorted() []StackEntry {
+	out := make([]StackEntry, 0, len(p.self))
+	for s, d := range p.self {
+		out = append(out, StackEntry{Stack: s, Self: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Stack < out[j].Stack
+	})
+	return out
+}
+
+// Top returns the n hottest stacks by self time (all of them when
+// n <= 0 or n exceeds the stack count).
+func (p *Profile) Top(n int) []StackEntry {
+	out := p.sorted()
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Components aggregates self time by root frame (the track, or the
+// shard in a fleet profile), sorted hottest-first.
+func (p *Profile) Components() []StackEntry {
+	agg := make(map[string]time.Duration)
+	for s, d := range p.self {
+		root := s
+		if i := strings.IndexByte(s, ';'); i >= 0 {
+			root = s[:i]
+		}
+		agg[root] += d
+	}
+	out := make([]StackEntry, 0, len(agg))
+	for s, d := range agg {
+		out = append(out, StackEntry{Stack: s, Self: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Stack < out[j].Stack
+	})
+	return out
+}
+
+// WriteFolded emits the profile in collapsed-stacks format — one
+// "frame;frame;frame <ns>" line per stack, sorted by stack name — the
+// input flamegraph.pl and speedscope consume directly. Deterministic:
+// same simulation, same bytes.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	entries := make([]StackEntry, 0, len(p.self))
+	for s, d := range p.self {
+		entries = append(entries, StackEntry{Stack: s, Self: d})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Stack < entries[j].Stack })
+	var sb strings.Builder
+	for _, e := range entries {
+		sb.WriteString(e.Stack)
+		sb.WriteByte(' ')
+		fmt.Fprintf(&sb, "%d\n", int64(e.Self))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteTop renders a text report: per-component rollup followed by the
+// top-n stacks, with percentages of total self vtime.
+func (p *Profile) WriteTop(w io.Writer, n int) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "vtime profile: %v self across %d stacks\n", p.total, len(p.self))
+	sb.WriteString("\nby component:\n")
+	for _, e := range p.Components() {
+		fmt.Fprintf(&sb, "  %6.2f%%  %12v  %s\n", pct(e.Self, p.total), e.Self, e.Stack)
+	}
+	fmt.Fprintf(&sb, "\ntop %d stacks by self vtime:\n", n)
+	for _, e := range p.Top(n) {
+		fmt.Fprintf(&sb, "  %6.2f%%  %12v  %s\n", pct(e.Self, p.total), e.Self, e.Stack)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func pct(part, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}

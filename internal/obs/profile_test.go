@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vmsh/internal/vclock"
+)
+
+// profiledTracer records outer(100) { inner(30), inner(20) } on track
+// "comp" plus a flat 40ns span on track "other".
+func profiledTracer() *Tracer {
+	clk := vclock.New()
+	tr := New(clk)
+	comp := tr.Track("comp")
+	other := tr.Track("other")
+	tr.Enable()
+
+	outer := comp.Span("cat", "outer")
+	clk.Advance(25)
+	in1 := comp.Span("cat", "inner")
+	clk.Advance(30)
+	in1.End()
+	in2 := comp.Span("cat", "inner")
+	clk.Advance(20)
+	in2.End()
+	clk.Advance(25)
+	outer.End()
+
+	sp := other.Span("cat", "flat")
+	clk.Advance(40)
+	sp.End()
+	return tr
+}
+
+func TestProfileSelfTimeAttribution(t *testing.T) {
+	p := NewProfile()
+	p.AddTracer("", profiledTracer())
+
+	if p.Total() != 140 {
+		t.Fatalf("total self = %v, want 140ns", p.Total())
+	}
+	want := map[string]time.Duration{
+		"comp;cat:outer":           50, // 100 - 30 - 20
+		"comp;cat:outer;cat:inner": 50, // 30 + 20 folded to one stack
+		"other;cat:flat":           40,
+	}
+	if p.Len() != len(want) {
+		t.Fatalf("have %d stacks, want %d: %+v", p.Len(), len(want), p.Top(0))
+	}
+	for _, e := range p.Top(0) {
+		if want[e.Stack] != e.Self {
+			t.Errorf("stack %q self=%v, want %v", e.Stack, e.Self, want[e.Stack])
+		}
+	}
+}
+
+func TestProfileComponentsAndTop(t *testing.T) {
+	p := NewProfile()
+	p.AddTracer("", profiledTracer())
+	comps := p.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components: %+v", comps)
+	}
+	if comps[0].Stack != "comp" || comps[0].Self != 100 {
+		t.Fatalf("hottest component %+v, want comp/100ns", comps[0])
+	}
+	top := p.Top(1)
+	if len(top) != 1 || top[0].Self != 50 {
+		t.Fatalf("top(1) = %+v", top)
+	}
+}
+
+func TestProfileFoldedDeterministic(t *testing.T) {
+	render := func() string {
+		p := NewProfile()
+		p.AddTracer("", profiledTracer())
+		var sb strings.Builder
+		if err := p.WriteFolded(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("folded output not deterministic")
+	}
+	if !strings.Contains(a, "comp;cat:outer;cat:inner 50\n") {
+		t.Fatalf("folded output missing expected stack line:\n%s", a)
+	}
+}
+
+func TestProfileFromMergedTrace(t *testing.T) {
+	tracers := []*Tracer{profiledTracer(), profiledTracer()}
+	p := NewProfile()
+	p.AddMerged(MergeShardTraces(tracers))
+	if p.Total() != 280 {
+		t.Fatalf("merged total = %v, want 280ns", p.Total())
+	}
+	comps := p.Components()
+	if len(comps) != 2 || comps[0].Stack != "shard0" || comps[1].Stack != "shard1" {
+		t.Fatalf("fleet components = %+v, want shard0/shard1", comps)
+	}
+	if comps[0].Self != 140 || comps[1].Self != 140 {
+		t.Fatalf("per-shard self = %+v, want 140ns each", comps)
+	}
+}

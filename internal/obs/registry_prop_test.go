@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomRegistry builds a seeded registry with partially-overlapping
+// counter and histogram names, so merges exercise both the
+// matching-name and disjoint-name paths.
+func randomRegistry(rnd *rand.Rand) *Registry {
+	r := NewRegistry()
+	ctrNames := []string{"a.calls", "b.calls", "c.bytes", "d.irqs", "e.drops"}
+	histNames := []string{"a.lat", "b.lat", "c.lat"}
+	for _, name := range ctrNames {
+		if rnd.Intn(3) == 0 {
+			continue // leave some names absent from some registries
+		}
+		r.Counter(name).Add(int64(rnd.Intn(1_000_000)))
+	}
+	for _, name := range histNames {
+		if rnd.Intn(3) == 0 {
+			continue
+		}
+		h := r.Histogram(name)
+		for k, n := 0, rnd.Intn(50); k < n; k++ {
+			h.Observe(time.Duration(rnd.Intn(1 << 20)))
+		}
+	}
+	return r
+}
+
+// permutations returns every ordering of [0..n).
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// TestRegistryMergeOrderInvariant pins the commutativity/associativity
+// of Registry.Merge: folding the same random registries in every
+// possible order must produce byte-identical WriteText output. Fleet
+// metrics (Engine.MergedMetrics, the E9 determinism digest) depend on
+// exactly this property.
+func TestRegistryMergeOrderInvariant(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		regs := make([]*Registry, 4)
+		for i := range regs {
+			regs[i] = randomRegistry(rnd)
+		}
+		var ref string
+		for _, perm := range permutations(len(regs)) {
+			agg := NewRegistry()
+			for _, i := range perm {
+				agg.Merge(regs[i])
+			}
+			got := agg.Text()
+			if ref == "" {
+				ref = got
+				continue
+			}
+			if got != ref {
+				t.Fatalf("seed %d: fold order %v changed merged text:\n%s\n--- vs reference ---\n%s",
+					seed, perm, got, ref)
+			}
+		}
+		if ref == "" {
+			t.Fatalf("seed %d produced empty reference text", seed)
+		}
+	}
+}
+
+// TestRegistryMergeAssociativeGrouping checks tree-shaped folds:
+// merge(merge(a,b), merge(c,d)) must equal the sequential fold —
+// the shape Engine.MergedMetrics relies on when sessions pre-fold
+// per-VM registries before the fleet fold.
+func TestRegistryMergeAssociativeGrouping(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	a, b, c, d := randomRegistry(rnd), randomRegistry(rnd), randomRegistry(rnd), randomRegistry(rnd)
+
+	seq := NewRegistry()
+	for _, r := range []*Registry{a, b, c, d} {
+		seq.Merge(r)
+	}
+
+	left := NewRegistry()
+	left.Merge(a)
+	left.Merge(b)
+	right := NewRegistry()
+	right.Merge(c)
+	right.Merge(d)
+	tree := NewRegistry()
+	tree.Merge(left)
+	tree.Merge(right)
+
+	if seq.Text() != tree.Text() {
+		t.Fatalf("tree fold differs from sequential fold:\n%s\n--- vs ---\n%s", tree.Text(), seq.Text())
+	}
+}
+
+// TestRegistryMergeIdempotentZero checks that merging an empty
+// registry is the identity, in both directions.
+func TestRegistryMergeIdempotentZero(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	r := randomRegistry(rnd)
+	want := r.Text()
+
+	r.Merge(NewRegistry())
+	if r.Text() != want {
+		t.Fatal("merging an empty registry changed the text")
+	}
+
+	fresh := NewRegistry()
+	fresh.Merge(r)
+	if fresh.Text() != want {
+		t.Fatalf("empty.Merge(r) != r:\n%s\n--- vs ---\n%s", fresh.Text(), want)
+	}
+}

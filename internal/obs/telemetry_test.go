@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"vmsh/internal/vclock"
+)
+
+func TestTelemetrySamplesOnBoundaries(t *testing.T) {
+	clk := vclock.New()
+	reg := NewRegistry()
+	ctr := reg.Counter("work")
+	tm := NewTelemetry(clk, reg, 100*time.Nanosecond, 16)
+
+	for i := 0; i < 5; i++ {
+		ctr.Inc()
+		clk.Advance(100 * time.Nanosecond)
+	}
+	samples := tm.Samples()
+	if len(samples) != 5 {
+		t.Fatalf("got %d samples, want 5", len(samples))
+	}
+	for i, s := range samples {
+		if want := int64(i + 1); s.Values["work"] != want {
+			t.Errorf("sample %d: work=%d, want %d", i, s.Values["work"], want)
+		}
+		if want := time.Duration(i+1) * 100; s.VTime != want {
+			t.Errorf("sample %d at %v, want %v", i, s.VTime, want)
+		}
+	}
+}
+
+func TestTelemetryOneSamplePerCrossing(t *testing.T) {
+	clk := vclock.New()
+	reg := NewRegistry()
+	tm := NewTelemetry(clk, reg, 100*time.Nanosecond, 16)
+	// One giant advance spans many boundaries: the intermediate
+	// instants never existed, so exactly one sample is taken.
+	clk.Advance(1000 * time.Nanosecond)
+	if got := tm.Taken(); got != 1 {
+		t.Fatalf("taken = %d, want 1", got)
+	}
+	// The sampler re-arms on the next boundary after `now`.
+	clk.Advance(99 * time.Nanosecond)
+	if got := tm.Taken(); got != 1 {
+		t.Fatalf("taken after sub-boundary advance = %d, want 1", got)
+	}
+	clk.Advance(1 * time.Nanosecond)
+	if got := tm.Taken(); got != 2 {
+		t.Fatalf("taken after boundary = %d, want 2", got)
+	}
+}
+
+func TestTelemetryRingEvictsOldest(t *testing.T) {
+	clk := vclock.New()
+	reg := NewRegistry()
+	ctr := reg.Counter("n")
+	tm := NewTelemetry(clk, reg, 10*time.Nanosecond, 3)
+	for i := 0; i < 10; i++ {
+		ctr.Inc()
+		clk.Advance(10 * time.Nanosecond)
+	}
+	samples := tm.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("ring held %d, want 3", len(samples))
+	}
+	// Oldest-first, and only the newest three survive (counts 8,9,10).
+	for i, s := range samples {
+		if want := int64(8 + i); s.Values["n"] != want {
+			t.Fatalf("sample %d: n=%d, want %d", i, s.Values["n"], want)
+		}
+	}
+	if tm.Taken() != 10 {
+		t.Fatalf("taken = %d, want 10", tm.Taken())
+	}
+}
+
+func TestTelemetryStopDetaches(t *testing.T) {
+	clk := vclock.New()
+	reg := NewRegistry()
+	tm := NewTelemetry(clk, reg, 10*time.Nanosecond, 4)
+	clk.Advance(10 * time.Nanosecond)
+	tm.Stop()
+	clk.Advance(100 * time.Nanosecond)
+	if tm.Taken() != 1 {
+		t.Fatalf("sampler kept running after Stop: %d samples", tm.Taken())
+	}
+}
+
+func TestTelemetrySeries(t *testing.T) {
+	clk := vclock.New()
+	reg := NewRegistry()
+	ctr := reg.Counter("x")
+	tm := NewTelemetry(clk, reg, 10*time.Nanosecond, 8)
+	ctr.Add(5)
+	clk.Advance(10 * time.Nanosecond)
+	ctr.Add(5)
+	clk.Advance(10 * time.Nanosecond)
+	ts, vs := tm.Series("x")
+	if len(ts) != 2 || len(vs) != 2 {
+		t.Fatalf("series lengths %d/%d, want 2/2", len(ts), len(vs))
+	}
+	if vs[0] != 5 || vs[1] != 10 {
+		t.Fatalf("series values %v, want [5 10]", vs)
+	}
+	if ts[0] != 10 || ts[1] != 20 {
+		t.Fatalf("series vtimes %v, want [10ns 20ns]", ts)
+	}
+}

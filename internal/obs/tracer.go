@@ -27,12 +27,16 @@ import (
 )
 
 // Phase constants mirror the Chrome trace-event phases the tracer
-// emits: complete spans, instants, and async begin/end pairs.
+// emits: complete spans, instants, async begin/end pairs, and causal
+// flow begin/step/end chains (rendered as arrows in Perfetto).
 const (
 	PhaseSpan       = 'X'
 	PhaseInstant    = 'i'
 	PhaseAsyncBegin = 'b'
 	PhaseAsyncEnd   = 'e'
+	PhaseFlowBegin  = 's'
+	PhaseFlowStep   = 't'
+	PhaseFlowEnd    = 'f'
 )
 
 // Event is one recorded trace event. Args are a fixed-size inline pair
@@ -71,11 +75,23 @@ type Tracer struct {
 	enabled atomic.Bool
 	charged atomic.Int64 // total ns the clock advanced while enabled
 
+	// Flow state. flowBase tags every allocated flow id so ids from
+	// different shard tracers never collide in a merged fleet trace;
+	// curFlow is the ambient flow the current synchronous call chain
+	// is propagating (a frame's journey through device, switch and
+	// bridge); flowq holds FIFO id queues keyed by virtqueue so the
+	// device side can end the flow the driver side began without any
+	// shared simulation state.
+	flowBase uint64
+	flowSeq  atomic.Uint64
+	curFlow  atomic.Uint64
+
 	mu        sync.Mutex
 	tracks    []string
 	byName    map[string]TrackID
 	events    []Event
 	async     map[uint64]asyncOpen
+	flowq     map[uint64][]uint64
 	unobserve func() // detaches this tracer's clock observer
 }
 
@@ -86,7 +102,53 @@ func New(clock *vclock.Clock) *Tracer {
 		clock:  clock,
 		byName: make(map[string]TrackID),
 		async:  make(map[uint64]asyncOpen),
+		flowq:  make(map[uint64][]uint64),
 	}
+}
+
+// SetFlowBase tags every flow id this tracer allocates with base (the
+// engine sets a per-shard base at construction), making flow ids
+// fleet-unique so cross-shard arrows in a merged trace never alias.
+// Call during setup, before any events run.
+func (t *Tracer) SetFlowBase(base uint64) {
+	if t == nil {
+		return
+	}
+	t.flowBase = base
+}
+
+// newFlowID allocates the next fleet-unique flow id. Allocation order
+// follows the shard's deterministic event order, so ids are identical
+// across same-seed runs at any worker count.
+func (t *Tracer) newFlowID() uint64 {
+	return t.flowBase | t.flowSeq.Add(1)
+}
+
+// CurrentFlow returns the ambient flow id the current synchronous call
+// chain is propagating (0 when none). Safe on a nil receiver.
+func (t *Tracer) CurrentFlow() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.curFlow.Load()
+}
+
+// AdoptFlow makes id the ambient flow — how a cross-shard bridge
+// continues the sending shard's flow on the receiving shard's tracer.
+// Adopting 0 clears instead.
+func (t *Tracer) AdoptFlow(id uint64) {
+	if t == nil {
+		return
+	}
+	t.curFlow.Store(id)
+}
+
+// ClearFlow drops the ambient flow.
+func (t *Tracer) ClearFlow() {
+	if t == nil {
+		return
+	}
+	t.curFlow.Store(0)
 }
 
 // Enable starts recording. It also hooks the clock so the tracer
@@ -146,8 +208,10 @@ func (t *Tracer) Reset() {
 	t.mu.Lock()
 	t.events = nil
 	t.async = make(map[uint64]asyncOpen)
+	t.flowq = make(map[uint64][]uint64)
 	t.mu.Unlock()
 	t.charged.Store(0)
+	t.curFlow.Store(0)
 }
 
 // Track registers (or finds) a named track and returns a handle. The
@@ -280,6 +344,104 @@ func (tk Track) AsyncEnd(id uint64) (time.Duration, bool) {
 		Cat: open.cat, Name: open.name, TS: now, ID: id})
 	tk.t.mu.Unlock()
 	return now - open.start, true
+}
+
+// FlowBegin allocates a fleet-unique flow id, records the flow-begin
+// event on this track, and makes the id the tracer's ambient flow so
+// downstream hops (switch ports, bridges, the receiving device) can
+// FlowStep/FlowEnd it without threading the id through their APIs.
+// Returns the id; 0 (and no state change) while disabled.
+func (tk Track) FlowBegin(cat, name string) uint64 {
+	if !tk.Live() {
+		return 0
+	}
+	id := tk.t.newFlowID()
+	tk.t.append(Event{Track: tk.id, Phase: PhaseFlowBegin, Cat: cat, Name: name,
+		TS: tk.t.now(), ID: id})
+	tk.t.curFlow.Store(id)
+	return id
+}
+
+// FlowStep records a flow step for the ambient flow on this track —
+// one arrow waypoint. No-op when no flow is ambient or while disabled.
+func (tk Track) FlowStep(cat, name string) {
+	if !tk.Live() {
+		return
+	}
+	id := tk.t.curFlow.Load()
+	if id == 0 {
+		return
+	}
+	tk.t.append(Event{Track: tk.id, Phase: PhaseFlowStep, Cat: cat, Name: name,
+		TS: tk.t.now(), ID: id})
+}
+
+// FlowEnd terminates the ambient flow on this track and clears it.
+// No-op when no flow is ambient or while disabled.
+func (tk Track) FlowEnd(cat, name string) {
+	if !tk.Live() {
+		return
+	}
+	id := tk.t.curFlow.Load()
+	if id == 0 {
+		return
+	}
+	tk.t.append(Event{Track: tk.id, Phase: PhaseFlowEnd, Cat: cat, Name: name,
+		TS: tk.t.now(), ID: id})
+	tk.t.curFlow.Store(0)
+}
+
+// ClearFlow drops the tracer's ambient flow (frame handed off but
+// never terminated — e.g. queued behind a bridge). Valid on the zero
+// Track.
+func (tk Track) ClearFlow() {
+	if tk.t == nil {
+		return
+	}
+	tk.t.curFlow.Store(0)
+}
+
+// FlowBeginQ allocates a flow id, records the begin event, and
+// enqueues the id under key (FIFO) for FlowEndQ — the request-flow
+// protocol between the two sides of a virtqueue, which share a tracer
+// but no Go state. key is the queue's Avail GPA, identical in both
+// views.
+func (tk Track) FlowBeginQ(key uint64, cat, name string) {
+	if !tk.Live() {
+		return
+	}
+	id := tk.t.newFlowID()
+	now := tk.t.now()
+	tk.t.mu.Lock()
+	tk.t.flowq[key] = append(tk.t.flowq[key], id)
+	tk.t.events = append(tk.t.events, Event{Track: tk.id, Phase: PhaseFlowBegin,
+		Cat: cat, Name: name, TS: now, ID: id})
+	tk.t.mu.Unlock()
+}
+
+// FlowEndQ dequeues the oldest flow id under key and records its end
+// event — the completing side of FlowBeginQ. An empty queue (flow
+// begun before tracing started) records nothing.
+func (tk Track) FlowEndQ(key uint64, cat, name string) {
+	if !tk.Live() {
+		return
+	}
+	now := tk.t.now()
+	tk.t.mu.Lock()
+	q := tk.t.flowq[key]
+	if len(q) == 0 {
+		tk.t.mu.Unlock()
+		return
+	}
+	id := q[0]
+	if len(q) == 1 {
+		delete(tk.t.flowq, key)
+	} else {
+		tk.t.flowq[key] = q[1:]
+	}
+	tk.t.events = append(tk.t.events, Event{Track: tk.id, Phase: PhaseFlowEnd,
+		Cat: cat, Name: name, TS: now, ID: id})
+	tk.t.mu.Unlock()
 }
 
 // Span is one in-flight complete-span measurement. The zero value is

@@ -86,6 +86,10 @@ func (n *NetDevice) DeliverToGuest(frame []byte) {
 	n.mu.Lock()
 	n.pending = append(n.pending, append([]byte(nil), frame...))
 	n.mu.Unlock()
+	// Terminate the frame's causal flow here, before the rx fill: any
+	// reply traffic the guest generates while the interrupt is serviced
+	// starts flows of its own.
+	n.Dev.Trace.FlowEnd("flow", "net.rx")
 	n.flushPending()
 }
 
@@ -296,10 +300,16 @@ func (n *NetDevice) serveTxBatch(dq *DeviceQueue, chains []*Chain) ([]uint32, fu
 	return used, after, true
 }
 
-// sendPkt strips the virtio-net header and forwards the frame.
+// sendPkt strips the virtio-net header and forwards the frame. Each
+// frame begins a causal flow whose id rides the tracer's ambient slot
+// through the synchronous switch hops (and, via Bridge, onto a remote
+// shard); it is cleared on return so a queued or bridged frame — whose
+// flow ends elsewhere — cannot leak into unrelated later events.
 func (n *NetDevice) sendPkt(pkt []byte) {
 	if len(pkt) > NetHdrSize && n.SendFrame != nil {
+		n.Dev.Trace.FlowBegin("flow", "net.frame")
 		n.SendFrame(pkt[NetHdrSize:])
+		n.Dev.Trace.ClearFlow()
 	}
 }
 

@@ -159,6 +159,7 @@ func (q *DriverQueue) Publish(start int, elems []ChainElem) error {
 	}
 	if q.ReqName != "" && q.Trace.Live() {
 		q.Trace.Begin("req", q.ReqName, reqSpanID(q.Avail, q.seq))
+		q.Trace.FlowBeginQ(uint64(q.Avail), "flow", q.ReqName)
 	}
 	q.seq++
 	return nil
@@ -215,6 +216,7 @@ func (q *DeviceQueue) endReqSpan() {
 	if q.Trace.Live() {
 		if d, ok := q.Trace.AsyncEnd(reqSpanID(q.Avail, q.seq)); ok {
 			q.Lat.Observe(d)
+			q.Trace.FlowEndQ(uint64(q.Avail), "flow", "complete")
 		}
 	}
 	q.seq++

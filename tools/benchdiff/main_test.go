@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func mustParse(t *testing.T, s string) *benchFile {
+	t.Helper()
+	var doc benchFile
+	if err := json.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var top fleetDoc
+	if err := json.Unmarshal([]byte(s), &top); err == nil && len(top.Runs) > 0 {
+		doc.top = top
+	}
+	return &doc
+}
+
+const e5Base = `{"fast_path":[
+	{"Name":"fast","VirtualTime":1000,"ProcVMCalls":10,"Interrupts":5,"BytesMoved":4096},
+	{"Name":"legacy","VirtualTime":2000,"ProcVMCalls":300,"Interrupts":140,"BytesMoved":4096}]}`
+
+func TestE5IdenticalPasses(t *testing.T) {
+	r := diff(mustParse(t, e5Base), mustParse(t, e5Base), 0)
+	if len(r.regressions) != 0 {
+		t.Fatalf("identical docs regressed: %v", r.regressions)
+	}
+}
+
+func TestE5GrowthBeyondThresholdFails(t *testing.T) {
+	cand := `{"fast_path":[
+		{"Name":"fast","VirtualTime":1200,"ProcVMCalls":10,"Interrupts":5,"BytesMoved":4096},
+		{"Name":"legacy","VirtualTime":2000,"ProcVMCalls":300,"Interrupts":140,"BytesMoved":4096}]}`
+	r := diff(mustParse(t, e5Base), mustParse(t, cand), 5)
+	if len(r.regressions) != 1 {
+		t.Fatalf("want 1 regression (vtime +20%% > 5%%), got %v", r.regressions)
+	}
+	// The same growth passes under a looser threshold.
+	r = diff(mustParse(t, e5Base), mustParse(t, cand), 25)
+	if len(r.regressions) != 0 {
+		t.Fatalf("+20%% under 25%% threshold regressed: %v", r.regressions)
+	}
+}
+
+func TestE5ImprovementPasses(t *testing.T) {
+	cand := `{"fast_path":[
+		{"Name":"fast","VirtualTime":900,"ProcVMCalls":8,"Interrupts":5,"BytesMoved":4096},
+		{"Name":"legacy","VirtualTime":2000,"ProcVMCalls":300,"Interrupts":140,"BytesMoved":4096}]}`
+	r := diff(mustParse(t, e5Base), mustParse(t, cand), 0)
+	if len(r.regressions) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", r.regressions)
+	}
+	if len(r.notes) == 0 {
+		t.Fatal("improvement produced no note")
+	}
+}
+
+func TestE5MissingModeFails(t *testing.T) {
+	cand := `{"fast_path":[
+		{"Name":"fast","VirtualTime":1000,"ProcVMCalls":10,"Interrupts":5,"BytesMoved":4096}]}`
+	r := diff(mustParse(t, e5Base), mustParse(t, cand), 0)
+	if len(r.regressions) != 1 {
+		t.Fatalf("want missing-mode regression, got %v", r.regressions)
+	}
+}
+
+const e9Base = `{"schema_version":2,"vms":100,"shards":8,"seed":42,
+	"runs":[{"workers":1,"events":500,"messages":8,"max_vtime_ms":900.5,"digest":"aaaa"}],
+	"vtimes_ms":[1.5,2.5],"deterministic":true}`
+
+func TestE9IdenticalPasses(t *testing.T) {
+	r := diff(mustParse(t, e9Base), mustParse(t, e9Base), 0)
+	if len(r.regressions) != 0 {
+		t.Fatalf("identical fleet docs regressed: %v", r.regressions)
+	}
+}
+
+func TestE9EventGrowthFails(t *testing.T) {
+	cand := `{"schema_version":2,"vms":100,"shards":8,"seed":42,
+		"runs":[{"workers":1,"events":600,"messages":8,"max_vtime_ms":900.5,"digest":"bbbb"}],
+		"vtimes_ms":[1.5,2.5],"deterministic":true}`
+	r := diff(mustParse(t, e9Base), mustParse(t, cand), 0)
+	if len(r.regressions) != 1 {
+		t.Fatalf("want events regression, got %v", r.regressions)
+	}
+}
+
+func TestE9ConfigMismatchSkips(t *testing.T) {
+	cand := `{"schema_version":2,"vms":1000,"shards":50,"seed":42,
+		"runs":[{"workers":1,"events":99999,"messages":50,"max_vtime_ms":5000,"digest":"cccc"}],
+		"vtimes_ms":[9.9],"deterministic":true}`
+	r := diff(mustParse(t, e9Base), mustParse(t, cand), 0)
+	if len(r.regressions) != 0 {
+		t.Fatalf("mismatched configs must be skipped, got %v", r.regressions)
+	}
+}
+
+func TestE9NondeterministicFails(t *testing.T) {
+	cand := `{"schema_version":2,"vms":100,"shards":8,"seed":42,
+		"runs":[{"workers":1,"events":500,"messages":8,"max_vtime_ms":900.5,"digest":"aaaa"}],
+		"vtimes_ms":[1.5,2.5],"deterministic":false}`
+	r := diff(mustParse(t, e9Base), mustParse(t, cand), 0)
+	if len(r.regressions) != 1 {
+		t.Fatalf("want deterministic=false regression, got %v", r.regressions)
+	}
+}
+
+func TestE9VTimeShiftFails(t *testing.T) {
+	cand := `{"schema_version":2,"vms":100,"shards":8,"seed":42,
+		"runs":[{"workers":1,"events":500,"messages":8,"max_vtime_ms":900.5,"digest":"aaaa"}],
+		"vtimes_ms":[1.5,3.0],"deterministic":true}`
+	r := diff(mustParse(t, e9Base), mustParse(t, cand), 0)
+	if len(r.regressions) != 1 {
+		t.Fatalf("want per-shard vtime regression, got %v", r.regressions)
+	}
+}
+
+func TestNestedFleetDocument(t *testing.T) {
+	// vmsh-bench -json nests the fleet doc under "fleet".
+	nested := `{"tables":[],"fleet":` + e9Base + `}`
+	r := diff(mustParse(t, nested), mustParse(t, e9Base), 0)
+	if len(r.regressions) != 0 {
+		t.Fatalf("nested-vs-bare comparison regressed: %v", r.regressions)
+	}
+}

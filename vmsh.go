@@ -202,6 +202,15 @@ func (l *Lab) Trace() *Tracer { return l.Host.Trace }
 // Session.Metrics.
 func (l *Lab) Metrics() *Registry { return l.Host.Metrics }
 
+// Profile folds the lab tracer's span log into a vtime profile
+// (per-component attribution, folded stacks, top-N). Requires a traced
+// run (WithTrace / AttachOptions.Trace).
+func (l *Lab) Profile() *Profile {
+	p := obs.NewProfile()
+	p.AddTracer("", l.Host.Trace)
+	return p
+}
+
 // NewSwitch creates an inter-VM packet switch charged to this lab's
 // clock and cost model. Pass it via AttachOptions.Net to give each
 // attached guest a vmsh-net interface on a shared segment. The switch
