@@ -47,9 +47,10 @@ import (
 // comparison (process_vm calls, interrupts, bytes, virtual time) with
 // each mode's full stats and metrics-registry snapshot embedded.
 type benchDoc struct {
-	Tables   []*eval.Table          `json:"tables"`
-	FastPath []eval.FastPathMode    `json:"fast_path,omitempty"`
-	Fleet    *eval.FleetStormResult `json:"fleet,omitempty"`
+	Tables   []*eval.Table             `json:"tables"`
+	FastPath []eval.FastPathMode       `json:"fast_path,omitempty"`
+	Fleet    *eval.FleetStormResult    `json:"fleet,omitempty"`
+	Xfstests []eval.XfstestsBackendRow `json:"xfstests,omitempty"`
 }
 
 // parseWorkerSweep turns "1,2,4,8,16" into the E9 worker counts.
@@ -190,6 +191,7 @@ func main() {
 	fleetWorkers := flag.String("fleet-workers", "1,2,4,8,16", "E9: comma-separated worker-count sweep")
 	fleetSeed := flag.Int64("fleet-seed", 42, "E9: fleet storm seed")
 	fleetJSON := flag.String("fleet-json", "", "E9: also write the fleet storm result alone to this path (e.g. BENCH_e9.json)")
+	e1JSON := flag.String("e1-json", "", "E1: also write the per-environment xfstests rows (classic + storage backends) alone to this path (e.g. BENCH_e1.json)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -227,6 +229,25 @@ func main() {
 			fail("E1", err)
 		}
 		emit(eval.XfstestsTable(res))
+		bres, err := eval.RunXfstestsBackends()
+		if err != nil {
+			fail("E1b", err)
+		}
+		emit(eval.XfstestsBackendsTable(bres))
+		doc.Xfstests = eval.BackendRows(append(res.Results(), bres...))
+		if *e1JSON != "" {
+			b, err := json.MarshalIndent(struct {
+				Xfstests []eval.XfstestsBackendRow `json:"xfstests"`
+			}{doc.Xfstests}, "", "  ")
+			if err != nil {
+				fail("E1", err)
+			}
+			b = append(b, '\n')
+			if err := os.WriteFile(*e1JSON, b, 0o644); err != nil {
+				fail("E1", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *e1JSON)
+		}
 	}
 
 	if sel("e2") || sel("e3") {

@@ -88,6 +88,7 @@ func main() {
 		fault   = flag.String("fault", "", `fault plan: ';'-separated rules, e.g. "ptrace:nth=3" or "procvm:prob=0.01,transient"`)
 		seed    = flag.Uint64("fault-seed", 1, "seed for probabilistic fault rules")
 		retry   = flag.Int("retry", 0, "retry transient attach faults up to N times (virtual-time backoff)")
+		storage = flag.String("storage", "file", "block store for the vmsh-blk image: file|memory|cow|cas|remote")
 		record  = flag.String("record", "", "record every host crossing of the session to this replay log")
 		replay  = flag.String("replay", "", "re-run a recorded session from its log alone (no live guest) and exit")
 		verify  = flag.String("replay-verify", "", "re-run the live session and check every crossing against this recorded log")
@@ -144,6 +145,9 @@ func main() {
 		os.Exit(1)
 	}
 	attachOpts := []vmsh.Option{vmsh.WithImage(img), vmsh.WithTrap(trapMode)}
+	if *storage != "" && *storage != "file" {
+		attachOpts = append(attachOpts, vmsh.WithStorageBackend(*storage))
+	}
 	if *trace != "" || *profile != "" {
 		attachOpts = append(attachOpts, vmsh.WithTrace())
 	}

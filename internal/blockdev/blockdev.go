@@ -6,32 +6,20 @@ import (
 	"fmt"
 
 	"vmsh/internal/hostsim"
+	"vmsh/internal/storage"
 )
 
 // SectorSize is the addressing granularity.
 const SectorSize = 512
 
-// Device is a byte-addressed block device. Implementations charge
-// their own costs to the virtual clock.
-type Device interface {
-	// ReadAt fills buf from the device at off. off and len(buf) must
-	// be sector-aligned.
-	ReadAt(off int64, buf []byte) error
-	// WriteAt stores buf at off, sector-aligned.
-	WriteAt(off int64, buf []byte) error
-	// Flush commits volatile write caches.
-	Flush() error
-	// Size returns the device size in bytes.
-	Size() int64
-	// SupportsFUA reports whether forced-unit-access writes are
-	// available. The virtio paths do not negotiate FUA, which is why
-	// quota persistence (and its three xfstests) fail there on both
-	// qemu-blk and vmsh-blk (§6.1).
-	SupportsFUA() bool
-	// SetQueueDepth hints the expected IO parallelism for latency
-	// amortisation in the cost model.
-	SetQueueDepth(qd int)
-}
+// Device is a byte-addressed block device; the contract now lives in
+// internal/storage as BlockBackend (this alias keeps every existing
+// implementation and caller source-compatible). Implementations
+// charge their own costs to the virtual clock. Note for FUA: the
+// virtio paths do not negotiate forced-unit-access, which is why
+// quota persistence (and its three xfstests) fail there on both
+// qemu-blk and vmsh-blk (§6.1).
+type Device = storage.BlockBackend
 
 // CheckAligned validates sector alignment of an access.
 func CheckAligned(off int64, n int) error {

@@ -10,9 +10,34 @@ import (
 	"vmsh/internal/kvm"
 	"vmsh/internal/mem"
 	"vmsh/internal/obs"
+	"vmsh/internal/storage"
 	"vmsh/internal/vclock"
 	"vmsh/internal/virtio"
 )
+
+// fileStore adapts the memory-mapped host image file to the
+// storage.BlockBackend contract with zero charging of its own — the
+// page-cache and device costs stay in mmapBackend, exactly where they
+// were, so the default data path's virtual-time behaviour is
+// bit-identical to the pre-refactor direct access.
+type fileStore struct {
+	f *hostsim.HostFile
+}
+
+func (s *fileStore) ReadAt(off int64, buf []byte) error {
+	copy(buf, s.f.Bytes()[off:])
+	return nil
+}
+
+func (s *fileStore) WriteAt(off int64, buf []byte) error {
+	copy(s.f.Bytes()[off:], buf)
+	return nil
+}
+
+func (s *fileStore) Flush() error      { return nil }
+func (s *fileStore) Size() int64       { return s.f.Size() }
+func (s *fileStore) SupportsFUA() bool { return true }
+func (s *fileStore) SetQueueDepth(int) {}
 
 // mmapBackend serves the vmsh-blk image from a memory-mapped host
 // file — the optimisation §5 credits with doubling Phoronix results.
@@ -20,9 +45,16 @@ import (
 // writes land in the cache and are charged at steady-state writeback
 // bandwidth once, at write time (the background flusher's work,
 // attributed to the writer the way dirty throttling does).
+//
+// The byte store behind the cache model is pluggable
+// (Options.Storage): the default fileStore reproduces the historic
+// direct-mmap access byte-for-byte and charge-for-charge; the
+// storage-package backends (memory, cow, cas, remote) swap the medium
+// while this layer keeps the page-cache accounting.
 type mmapBackend struct {
-	f    *hostsim.HostFile
-	host *hostsim.Host
+	store storage.BlockBackend
+	size  int64
+	host  *hostsim.Host
 	// resident tracks which 4 KiB pages of the image live in the
 	// host page cache.
 	resident map[int64]bool
@@ -69,8 +101,7 @@ func (m *mmapBackend) ReadBlk(off int64, buf []byte) error {
 	if miss := m.touch(off, len(buf)); miss > 0 {
 		m.host.Disk.ChargeRead(miss)
 	}
-	copy(buf, m.f.Bytes()[off:])
-	return nil
+	return m.store.ReadAt(off, buf)
 }
 
 // WriteBlk implements virtio.BlkBackend.
@@ -79,7 +110,9 @@ func (m *mmapBackend) WriteBlk(off int64, buf []byte) error {
 		m.chargeBounce(len(buf))
 	}
 	m.touch(off, len(buf))
-	copy(m.f.Bytes()[off:], buf)
+	if err := m.store.WriteAt(off, buf); err != nil {
+		return err
+	}
 	// Sustained writes are bounded by host writeback to the device.
 	m.host.Disk.ChargeWrite(len(buf))
 	return nil
@@ -89,11 +122,11 @@ func (m *mmapBackend) WriteBlk(off int64, buf []byte) error {
 // write time, so a flush costs one device cache flush.
 func (m *mmapBackend) FlushBlk() error {
 	m.host.Disk.ChargeFlush()
-	return nil
+	return m.store.Flush()
 }
 
 // Capacity implements virtio.BlkBackend.
-func (m *mmapBackend) Capacity() int64 { return m.f.Size() }
+func (m *mmapBackend) Capacity() int64 { return m.size }
 
 // mmioMux routes the VMSH MMIO window to the right device. The net
 // handler is nil when no switch was attached; accesses to its block
@@ -251,8 +284,26 @@ func (s *Session) setupDevices(tx *attachTx, scratch uint64, opts Options) error
 	_ = s.v.Proc.WriteMem(mem.HVA(sigHVA), hostsim.EncodeU64s(1))
 
 	// Device instances, running in the VMSH process over the
-	// process_vm view of guest memory.
-	backend := &mmapBackend{f: image, host: h, resident: make(map[int64]bool), bounce: opts.BounceCopy}
+	// process_vm view of guest memory. The image byte store is
+	// selectable (Options.Storage); "" / "file" is the historic
+	// direct-mmap path with unchanged charging.
+	var store storage.BlockBackend = &fileStore{f: image}
+	if opts.Storage != "" && opts.Storage != "file" {
+		st, err := storage.OpenBlock(opts.Storage, storage.Config{
+			Base:   store,
+			Size:   image.Size(),
+			Clock:  h.Clock,
+			Costs:  h.Costs,
+			Faults: h.Faults,
+			Taps:   h.Taps(),
+		})
+		if err != nil {
+			return fmt.Errorf("storage backend %q: %w", opts.Storage, err)
+		}
+		store = st
+	}
+	backend := &mmapBackend{store: store, size: store.Size(), host: h,
+		resident: make(map[int64]bool), bounce: opts.BounceCopy}
 	batch := !opts.LegacyVirtio
 	s.blk = virtio.NewBlkDevice(vmshBlkBase, s.pm, backend, h.Clock, h.Costs)
 	s.blk.Faults = h.Faults

@@ -38,7 +38,7 @@ type e10Wire func(h *hostsim.Host) (*replay.Recorder, func() (io.WriteCloser, er
 // console exec traffic, the standard seeded net mix, then detach —
 // exercising every crossing class the taxonomy has. It returns the
 // final virtual time and the session's end state for cross-checking.
-func e10Scenario(seed int64, wire e10Wire) (int64, []uint64, map[string]int64, error) {
+func e10Scenario(seed int64, store string, wire e10Wire) (int64, []uint64, map[string]int64, error) {
 	h := hostsim.NewHost()
 	rec, sink, ver := wire(h)
 	sw := netsim.New(h.Clock, h.Costs)
@@ -53,7 +53,7 @@ func e10Scenario(seed int64, wire e10Wire) (int64, []uint64, map[string]int64, e
 	}
 
 	sessA, err := core.New(h).Attach(instA.Proc.PID, core.Options{
-		Image: imgA, Net: sw,
+		Image: imgA, Net: sw, Storage: store,
 		Record: rec, RecordSink: sink, Verify: ver,
 	})
 	if err != nil {
@@ -127,7 +127,7 @@ func RunRecordReplay(seed int64) (*Table, error) {
 	// Leg 0: the recorded run.
 	var sink memSink
 	var rec *replay.Recorder
-	liveVT, liveRAM, liveMetrics, err := e10Scenario(seed,
+	liveVT, liveRAM, liveMetrics, err := e10Scenario(seed, "",
 		func(h *hostsim.Host) (*replay.Recorder, func() (io.WriteCloser, error), *replay.Verifier) {
 			rec = replay.NewRecorder(h.Clock, "e10", uint64(seed))
 			return rec, func() (io.WriteCloser, error) { return &sink, nil }, nil
@@ -139,7 +139,7 @@ func RunRecordReplay(seed int64) (*Table, error) {
 
 	// Recording must be free: the same scenario without the recorder
 	// must reach the identical virtual time.
-	bareVT, _, _, err := e10Scenario(seed,
+	bareVT, _, _, err := e10Scenario(seed, "",
 		func(*hostsim.Host) (*replay.Recorder, func() (io.WriteCloser, error), *replay.Verifier) {
 			return nil, nil, nil
 		})
@@ -172,7 +172,7 @@ func RunRecordReplay(seed int64) (*Table, error) {
 	// Leg b: live re-run verified against the log, crossing by
 	// crossing.
 	var ver *replay.Verifier
-	verifyVT, _, _, err := e10Scenario(seed,
+	verifyVT, _, _, err := e10Scenario(seed, "",
 		func(h *hostsim.Host) (*replay.Recorder, func() (io.WriteCloser, error), *replay.Verifier) {
 			ver = replay.NewVerifier(lg, h.Clock)
 			return nil, nil, ver

@@ -1,0 +1,152 @@
+package eval
+
+import (
+	"fmt"
+
+	"vmsh/internal/fsimage"
+	"vmsh/internal/guestos"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+	"vmsh/internal/simplefs"
+	"vmsh/internal/storage"
+	"vmsh/internal/xfstests"
+)
+
+// XfstestsBackendRow is the deterministic per-environment E1 record
+// committed to BENCH_e1.json and gated by tools/benchdiff.
+type XfstestsBackendRow struct {
+	Env     string `json:"env"`
+	Total   int    `json:"total"`
+	Passed  int    `json:"passed"`
+	Failed  int    `json:"failed"`
+	Skipped int    `json:"skipped"`
+}
+
+// Results flattens the classic trio in table order so it can be
+// concatenated with the backend results for the committed artifact.
+func (r *XfstestsResults) Results() []xfstests.Result {
+	return []xfstests.Result{r.Native, r.QemuBlk, r.VmshBlk}
+}
+
+// BackendRows flattens classic-plus-backend results into the committed
+// artifact shape.
+func BackendRows(results []xfstests.Result) []XfstestsBackendRow {
+	rows := make([]XfstestsBackendRow, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, XfstestsBackendRow{
+			Env: r.Env, Total: r.Total, Passed: r.Passed,
+			Failed: r.Failed, Skipped: r.Skipped,
+		})
+	}
+	return rows
+}
+
+// RunXfstestsBackends runs the E1 quick corpus against every storage
+// backend served through the guest VFS: the in-memory family (memory,
+// cow, cas, remote) mounted directly, plus the simplefs image pair
+// (fsimage = a built image re-served, overlay = a copy-on-write union
+// over that image — the remote-disk rescue configuration of §4.4).
+func RunXfstestsBackends() ([]xfstests.Result, error) {
+	h := hostsim.NewHost()
+	inst, err := hypervisor.Launch(h, hypervisor.Config{
+		Kind:   hypervisor.QEMU,
+		RootFS: fsimage.GuestRoot("xfstests-backends"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	kern := inst.Kernel
+
+	// The fsimage environment serves a freshly built tool image; the
+	// overlay environment unions a writable top over the same kind of
+	// image, exercising copy-up and whiteouts under the full corpus.
+	imgDev := storage.NewMemBlock(testFSSize)
+	if err := fsimage.Build(imgDev, fsimage.Manifest{}); err != nil {
+		return nil, err
+	}
+	imgFS, err := simplefs.Mount(imgDev)
+	if err != nil {
+		return nil, err
+	}
+	imgFS.NowFn = kern.NowSec
+
+	lowerDev := storage.NewMemBlock(testFSSize)
+	if err := fsimage.Build(lowerDev, fsimage.ToolImage()); err != nil {
+		return nil, err
+	}
+	lowerFS, err := simplefs.Mount(lowerDev)
+	if err != nil {
+		return nil, err
+	}
+
+	link := storage.LinkFromConfig(storage.Config{
+		Clock: h.Clock, Costs: h.Costs, Faults: h.Faults, Taps: h.Taps(),
+	})
+
+	envs := []struct {
+		name string
+		fs   storage.FS
+	}{
+		{"memory", storage.NewMemFS(storage.MemOptions{})},
+		{"cow", storage.NewCowFS(nil)},
+		{"cas", storage.NewCasFS(storage.MemOptions{})},
+		{"remote", storage.NewRemoteFS(storage.MemOptions{}, link)},
+		{"fsimage", guestos.SFS{FS: imgFS}},
+		{"overlay", storage.NewCowFS(guestos.SFS{FS: lowerFS})},
+	}
+
+	suite := xfstests.Suite()
+	results := make([]xfstests.Result, 0, len(envs))
+	for _, e := range envs {
+		mount := "/mnt/" + e.name
+		fs := e.fs
+		kern.InitProc.NS.AddMount(mount, fs)
+		env := &xfstests.Env{
+			Name:    e.name,
+			Mount:   mount,
+			NewProc: func() *guestos.Proc { return inst.NewGuestProc("xfstests") },
+			// Every backend in this table supports quota reporting:
+			// the in-memory family natively, simplefs because MemBlock
+			// is FUA-capable.
+			QuotaCapable: true,
+			Features:     map[string]bool{},
+			// The in-memory family persists within the instance;
+			// remount is sync + re-serve. The image-backed pair could
+			// re-mount from the device, but shares the path so every
+			// environment runs the identical corpus shape.
+			Remount: func() error {
+				p := inst.NewGuestProc("remount")
+				if err := p.Sync(); err != nil {
+					return err
+				}
+				if err := kern.InitProc.NS.RemoveMount(mount); err != nil {
+					return err
+				}
+				kern.InitProc.NS.AddMount(mount, fs)
+				return nil
+			},
+		}
+		results = append(results, xfstests.Run(env, suite))
+	}
+	return results, nil
+}
+
+// XfstestsBackendsTable renders the per-backend E1 run.
+func XfstestsBackendsTable(results []xfstests.Result) *Table {
+	rows := make([]Row, 0, len(results))
+	for _, res := range results {
+		rows = append(rows, Row{
+			Name:     res.Env,
+			Measured: float64(res.Failed),
+			Paper:    0,
+			Unit:     "failed",
+			Note: fmt.Sprintf("(%d passed, %d skipped of %d)",
+				res.Passed, res.Skipped, res.Total),
+		})
+	}
+	return &Table{
+		ID:    "E1b / §6.1",
+		Title: "xfstests quick group per storage backend",
+		Rows:  rows,
+	}
+}

@@ -125,7 +125,7 @@ func planFleet(vms, shards int, seed int64) []fleetShardPlan {
 // attach through the tool image, blk traffic via the overlay, detach,
 // RAM hash, teardown. The VM name is reused across cycles so the
 // host's file table stays bounded.
-func stormCycle(h *hostsim.Host, img *hostsim.HostFile, name string, seed int64, fold func(uint64)) error {
+func stormCycle(h *hostsim.Host, img *hostsim.HostFile, name, store string, seed int64, fold func(uint64)) error {
 	inst, err := hypervisor.Launch(h, hypervisor.Config{
 		Kind:          hypervisor.QEMU,
 		Name:          name,
@@ -137,7 +137,7 @@ func stormCycle(h *hostsim.Host, img *hostsim.HostFile, name string, seed int64,
 	if err != nil {
 		return fmt.Errorf("launch %s: %w", name, err)
 	}
-	sess, err := core.New(h).Attach(inst.Proc.PID, core.Options{Image: img})
+	sess, err := core.New(h).Attach(inst.Proc.PID, core.Options{Image: img, Storage: store})
 	if err != nil {
 		return fmt.Errorf("attach %s: %w", name, err)
 	}
@@ -160,7 +160,7 @@ func stormCycle(h *hostsim.Host, img *hostsim.HostFile, name string, seed int64,
 // stormNetPair launches two VMs on a shard-local switch, attaches both
 // with vmsh-net, pings in both directions (net traffic is synchronous
 // within a shard), then tears both down.
-func stormNetPair(h *hostsim.Host, img *hostsim.HostFile, name string, seed int64, fold func(uint64)) error {
+func stormNetPair(h *hostsim.Host, img *hostsim.HostFile, name, store string, seed int64, fold func(uint64)) error {
 	sw := netsim.New(h.Clock, h.Costs)
 	sw.Observe(h.Trace, h.Metrics)
 	insts := make([]*hypervisor.Instance, 2)
@@ -178,7 +178,7 @@ func stormNetPair(h *hostsim.Host, img *hostsim.HostFile, name string, seed int6
 		if err != nil {
 			return fmt.Errorf("launch %s: %w", n, err)
 		}
-		sess, err := core.New(h).Attach(inst.Proc.PID, core.Options{Image: img, Net: sw})
+		sess, err := core.New(h).Attach(inst.Proc.PID, core.Options{Image: img, Net: sw, Storage: store})
 		if err != nil {
 			return fmt.Errorf("attach %s: %w", n, err)
 		}
@@ -221,7 +221,10 @@ func foldRAM(inst *hypervisor.Instance, fold func(uint64)) {
 // telemetry and — when trace is set — the merged fleet trace).
 // Telemetry is always on: it only reads state, so the digest is
 // unaffected; the same holds for tracing, which the bench hard-checks.
-func fleetStormOnce(vms, shards, workers int, seed int64, trace bool) (FleetStormRun, *engine.Engine, error) {
+// The store parameter names the session storage backend behind every
+// attach ("" = the historic file path); RAM-class backends must leave
+// the digest untouched, which TestFleetStormStorageNeutral pins.
+func fleetStormOnce(vms, shards, workers int, seed int64, store string, trace bool) (FleetStormRun, *engine.Engine, error) {
 	eng := engine.New(shards, workers)
 	eng.EnableTelemetry(fleetTelemetryInterval, fleetTelemetryCap)
 	if trace {
@@ -257,7 +260,7 @@ func fleetStormOnce(vms, shards, workers int, seed int64, trace bool) (FleetStor
 					if err != nil {
 						return err
 					}
-					return stormNetPair(s.Host(), f, fmt.Sprintf("s%d", i), vmSeed, fold)
+					return stormNetPair(s.Host(), f, fmt.Sprintf("s%d", i), store, vmSeed, fold)
 				})
 				cycle += 2
 				continue
@@ -269,7 +272,7 @@ func fleetStormOnce(vms, shards, workers int, seed int64, trace bool) (FleetStor
 				if err != nil {
 					return err
 				}
-				return stormCycle(s.Host(), f, fmt.Sprintf("s%d", i), vmSeed, fold)
+				return stormCycle(s.Host(), f, fmt.Sprintf("s%d", i), store, vmSeed, fold)
 			})
 			cycle++
 		}
@@ -369,7 +372,7 @@ func RunFleetStorm(vms int, sweep []int, seed int64) (*Table, *FleetStormResult,
 
 	var base FleetStormRun
 	for idx, w := range sweep {
-		run, eng, err := fleetStormOnce(vms, shards, w, seed, false)
+		run, eng, err := fleetStormOnce(vms, shards, w, seed, "", false)
 		if err != nil {
 			return tbl, res, fmt.Errorf("E9 workers=%d: %w", w, err)
 		}
@@ -429,11 +432,11 @@ func TraceFleetStorm(vms, workers int, seed int64) (*obs.MergedTrace, *obs.Profi
 	if shards > vms {
 		shards = vms
 	}
-	traced, eng, err := fleetStormOnce(vms, shards, workers, seed, true)
+	traced, eng, err := fleetStormOnce(vms, shards, workers, seed, "", true)
 	if err != nil {
 		return nil, nil, traced, fmt.Errorf("E9 traced run: %w", err)
 	}
-	plain, _, err := fleetStormOnce(vms, shards, workers, seed, false)
+	plain, _, err := fleetStormOnce(vms, shards, workers, seed, "", false)
 	if err != nil {
 		return nil, nil, traced, fmt.Errorf("E9 untraced run: %w", err)
 	}

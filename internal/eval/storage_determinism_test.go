@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"vmsh/internal/hostsim"
+	"vmsh/internal/replay"
+)
+
+// TestFleetStormStorageNeutral pins the E9 claim for the storage
+// refactor: naming the in-memory backend explicitly must produce the
+// same determinism digest as the historic file path — the medium swap
+// is invisible to the virtual-time results (RAM hashes, vtimes,
+// metrics alike).
+func TestFleetStormStorageNeutral(t *testing.T) {
+	file, _, err := fleetStormOnce(16, 4, 2, 7, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, _, err := fleetStormOnce(16, 4, 2, 7, "memory", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if file.Digest != mem.Digest {
+		t.Fatalf("memory backend moved the fleet digest: file=%s memory=%s",
+			file.Digest, mem.Digest)
+	}
+	if file.Events != mem.Events || file.MaxVTimeMS != mem.MaxVTimeMS {
+		t.Fatalf("memory backend changed event count or vtime: %+v vs %+v", file, mem)
+	}
+}
+
+// TestRecordReplayRemoteStorage records an E10 session whose vmsh-blk
+// image is served by the remote backend — every block access crossing a
+// charged, observable link — then replays the log alone and live-
+// verifies a re-run against it. Both must be bit-identical: the remote
+// crossings are part of the recorded taxonomy, not noise around it.
+func TestRecordReplayRemoteStorage(t *testing.T) {
+	const seed = 42
+
+	var sink memSink
+	liveVT, liveRAM, liveMetrics, err := e10Scenario(seed, "remote",
+		func(h *hostsim.Host) (*replay.Recorder, func() (io.WriteCloser, error), *replay.Verifier) {
+			rec := replay.NewRecorder(h.Clock, "e10-remote", seed)
+			return rec, func() (io.WriteCloser, error) { return &sink, nil }, nil
+		})
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+
+	lg, err := replay.Read(bytes.NewReader(sink.Bytes()))
+	if err != nil {
+		t.Fatalf("decode own recording: %v", err)
+	}
+	if len(lg.Records) == 0 {
+		t.Fatal("recorded session produced no crossings")
+	}
+	remoteOps := 0
+	for _, r := range lg.Records {
+		if len(r.Op) >= 7 && r.Op[:7] == "remote:" {
+			remoteOps++
+		}
+	}
+	if remoteOps == 0 {
+		t.Fatal("no remote:* crossings in the log — the remote backend was not in the data path")
+	}
+
+	// Log-driven replay, no live guest: identical vtime, RAM, metrics.
+	res, err := replay.Run(lg)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if int64(res.VTime) != liveVT {
+		t.Fatalf("replayed vtime %d != live %d", int64(res.VTime), liveVT)
+	}
+	if len(res.RAM) != len(liveRAM) {
+		t.Fatalf("replayed %d RAM slots, live %d", len(res.RAM), len(liveRAM))
+	}
+	for i := range liveRAM {
+		if res.RAM[i] != liveRAM[i] {
+			t.Fatalf("RAM hash mismatch at slot %d", i)
+		}
+	}
+	for k, v := range liveMetrics {
+		if res.Metrics[k] != v {
+			t.Fatalf("metric %s: replayed %d, live %d", k, res.Metrics[k], v)
+		}
+	}
+
+	// Live re-run verified crossing by crossing against the log.
+	var ver *replay.Verifier
+	verifyVT, _, _, err := e10Scenario(seed, "remote",
+		func(h *hostsim.Host) (*replay.Recorder, func() (io.WriteCloser, error), *replay.Verifier) {
+			ver = replay.NewVerifier(lg, h.Clock)
+			return nil, nil, ver
+		})
+	if err != nil {
+		t.Fatalf("verify run: %v", err)
+	}
+	if div := ver.Result(); div != nil {
+		t.Fatalf("live re-run diverged from recording: %v", div)
+	}
+	if ver.Matched() != len(lg.Records) {
+		t.Fatalf("verifier matched %d of %d crossings", ver.Matched(), len(lg.Records))
+	}
+	if verifyVT != liveVT {
+		t.Fatalf("verified re-run vtime %d != recorded %d", verifyVT, liveVT)
+	}
+}

@@ -53,6 +53,11 @@ const (
 	OpVQBlk        Op = "vq:blk"
 	OpVQNet        Op = "vq:net"
 	OpNetLink      Op = "net:link"
+	// Remote storage backend object operations (internal/storage):
+	// GET/PUT of one object chunk and the flush barrier.
+	OpRemoteGet   Op = "remote:get"
+	OpRemotePut   Op = "remote:put"
+	OpRemoteFlush Op = "remote:flush"
 )
 
 // Injected errno-flavoured sentinels. EINTR and EAGAIN are the
@@ -185,9 +190,9 @@ type Injector struct {
 	ruleHits []int
 	injected int
 
-	record   bool
-	statIdx  map[string]int
-	stats    []CrossingStat
+	record  bool
+	statIdx map[string]int
+	stats   []CrossingStat
 }
 
 // NewInjector arms a plan against the given clock. track (may be the

@@ -79,6 +79,9 @@ var crossingClasses = []ClassInfo{
 	{Op: OpVQNet, PostResume: true, DevicePath: true, Doc: "virtio-net tx virtqueue service pass"},
 	{Op: OpNetLink, PostResume: true, DevicePath: true, Doc: "netsim link delivery of one frame"},
 	{Op: OpKVMMMIO, PostResume: true, TapOnly: true, Doc: "KVM MMIO exit dispatch (guest register access)"},
+	{Op: OpRemoteGet, PostResume: true, DevicePath: true, Doc: "remote storage backend GET of one object chunk"},
+	{Op: OpRemotePut, PostResume: true, DevicePath: true, Doc: "remote storage backend PUT of one object chunk"},
+	{Op: OpRemoteFlush, PostResume: true, DevicePath: true, Doc: "remote storage backend flush barrier"},
 }
 
 // CrossingClasses returns the authoritative crossing-class taxonomy in

@@ -1,0 +1,156 @@
+package fsimage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The packed archive is the wire form of a Manifest — how tool images
+// travel to a remote backend or into a recorded session. Layout, all
+// little-endian:
+//
+//	magic  "VMSHIMG1"                     (8 bytes)
+//	count  uint32
+//	entry × count, paths in sorted order:
+//	  pathLen uint16, path bytes
+//	  mode, uid, gid uint32
+//	  linkLen uint16, symlink target bytes
+//	  dataLen uint32, data bytes
+const packMagic = "VMSHIMG1"
+
+// ErrCorrupt reports a malformed packed archive. Every Parse failure
+// wraps it, so callers can distinguish bad input from I/O errors.
+var ErrCorrupt = errors.New("fsimage: corrupt archive")
+
+// maxPackEntries bounds the declared entry count so a hostile header
+// cannot make Parse pre-allocate unbounded memory.
+const maxPackEntries = 1 << 20
+
+// Pack serialises the manifest into the archive format. Entries are
+// written in sorted path order, so equal manifests pack to identical
+// bytes.
+func Pack(m Manifest) []byte {
+	out := make([]byte, 0, 16+m.Size())
+	out = append(out, packMagic...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(m)))
+	for _, path := range m.Paths() {
+		e := m[path]
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(path)))
+		out = append(out, path...)
+		out = binary.LittleEndian.AppendUint32(out, e.Mode)
+		out = binary.LittleEndian.AppendUint32(out, e.UID)
+		out = binary.LittleEndian.AppendUint32(out, e.GID)
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(e.Symlink)))
+		out = append(out, e.Symlink...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Data)))
+		out = append(out, e.Data...)
+	}
+	return out
+}
+
+// Parse decodes a packed archive back into a Manifest. Malformed input
+// of any kind — truncation, bad magic, oversized declared lengths,
+// duplicate or invalid paths — returns an error wrapping ErrCorrupt;
+// Parse never panics.
+func Parse(raw []byte) (Manifest, error) {
+	r := packReader{buf: raw}
+	magic, err := r.bytes(len(packMagic), "magic")
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != packMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
+	}
+	count, err := r.u32("entry count")
+	if err != nil {
+		return nil, err
+	}
+	if count > maxPackEntries {
+		return nil, fmt.Errorf("%w: %d entries exceeds limit", ErrCorrupt, count)
+	}
+	m := make(Manifest, count)
+	for i := uint32(0); i < count; i++ {
+		path, err := r.lenPrefixed16(fmt.Sprintf("entry %d path", i))
+		if err != nil {
+			return nil, err
+		}
+		if len(path) == 0 || path[0] != '/' {
+			return nil, fmt.Errorf("%w: entry %d path %q not absolute", ErrCorrupt, i, path)
+		}
+		var e Entry
+		if e.Mode, err = r.u32("mode"); err != nil {
+			return nil, err
+		}
+		if e.UID, err = r.u32("uid"); err != nil {
+			return nil, err
+		}
+		if e.GID, err = r.u32("gid"); err != nil {
+			return nil, err
+		}
+		link, err := r.lenPrefixed16(fmt.Sprintf("entry %d symlink", i))
+		if err != nil {
+			return nil, err
+		}
+		e.Symlink = string(link)
+		dataLen, err := r.u32("data length")
+		if err != nil {
+			return nil, err
+		}
+		data, err := r.bytes(int(dataLen), fmt.Sprintf("entry %d data", i))
+		if err != nil {
+			return nil, err
+		}
+		if len(data) > 0 {
+			e.Data = append([]byte(nil), data...)
+		}
+		if _, dup := m[string(path)]; dup {
+			return nil, fmt.Errorf("%w: duplicate path %q", ErrCorrupt, path)
+		}
+		m[string(path)] = e
+	}
+	if r.off != len(raw) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(raw)-r.off)
+	}
+	return m, nil
+}
+
+// packReader walks the archive with bounds checks on every read.
+type packReader struct {
+	buf []byte
+	off int
+}
+
+func (r *packReader) bytes(n int, what string) ([]byte, error) {
+	if n < 0 || n > len(r.buf)-r.off {
+		return nil, fmt.Errorf("%w: truncated at %s (want %d bytes, have %d)",
+			ErrCorrupt, what, n, len(r.buf)-r.off)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *packReader) u16(what string) (uint16, error) {
+	b, err := r.bytes(2, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *packReader) u32(what string) (uint32, error) {
+	b, err := r.bytes(4, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *packReader) lenPrefixed16(what string) ([]byte, error) {
+	n, err := r.u16(what)
+	if err != nil {
+		return nil, err
+	}
+	return r.bytes(int(n), what)
+}

@@ -1,0 +1,112 @@
+package fsimage
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	manifests := map[string]Manifest{
+		"empty":     {},
+		"tool":      ToolImage(),
+		"guestroot": GuestRoot("pack-test"),
+		"mixed": {
+			"/bin/sh":     {Mode: 0o755, Data: []byte{0x7f, 'E', 'L', 'F', 0}},
+			"/etc/rc":     {UID: 1, GID: 2, Data: []byte("boot\n")},
+			"/usr/bin/vi": {Symlink: "../../bin/sh", Mode: 0o777},
+			"/empty":      {},
+		},
+	}
+	for name, m := range manifests {
+		t.Run(name, func(t *testing.T) {
+			got, err := Parse(Pack(m))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(got) != len(m) {
+				t.Fatalf("entry count %d, want %d", len(got), len(m))
+			}
+			for p, e := range m {
+				ge, ok := got[p]
+				if !ok {
+					t.Fatalf("path %s lost", p)
+				}
+				if !reflect.DeepEqual(normalize(e), normalize(ge)) {
+					t.Errorf("%s: %+v != %+v", p, ge, e)
+				}
+			}
+		})
+	}
+}
+
+// normalize maps nil and empty data to the same value — the distinction
+// is not representable on the wire.
+func normalize(e Entry) Entry {
+	if len(e.Data) == 0 {
+		e.Data = nil
+	}
+	return e
+}
+
+func TestPackDeterministic(t *testing.T) {
+	a, b := Pack(ToolImage()), Pack(ToolImage())
+	if !bytes.Equal(a, b) {
+		t.Fatal("packing the same manifest twice produced different bytes")
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	good := Pack(Manifest{"/a": {Data: []byte("x")}})
+	cases := map[string][]byte{
+		"empty":          {},
+		"short magic":    []byte("VMSH"),
+		"bad magic":      []byte("NOTANIMG\x00\x00\x00\x00"),
+		"no count":       []byte("VMSHIMG1"),
+		"count too big":  append([]byte("VMSHIMG1"), 0xff, 0xff, 0xff, 0xff),
+		"truncated body": good[:len(good)-1],
+		"trailing junk":  append(append([]byte(nil), good...), 0),
+	}
+	// A relative path must be rejected.
+	rel := append([]byte(nil), good...)
+	copy(rel[14:], "a\x00") // overwrite "/a" with "a\x00"
+	cases["relative path"] = rel
+
+	for name, raw := range cases {
+		if m, err := Parse(raw); err == nil {
+			t.Errorf("%s: parsed without error (%d entries)", name, len(m))
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+	}
+}
+
+// FuzzFsImageParse feeds arbitrary bytes through Parse: malformed
+// archives must error (wrapping ErrCorrupt), never panic, and anything
+// that parses must re-pack/re-parse to the same manifest.
+func FuzzFsImageParse(f *testing.F) {
+	f.Add(Pack(Manifest{}))
+	f.Add(Pack(ToolImage()))
+	f.Add(Pack(GuestRoot("fuzz")))
+	f.Add(Pack(Manifest{"/s": {Symlink: "t"}, "/d": {Data: []byte("abc")}}))
+	f.Add([]byte("VMSHIMG1"))
+	f.Add([]byte("VMSHIMG1\x01\x00\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := Parse(raw)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		again, err := Parse(Pack(m))
+		if err != nil {
+			t.Fatalf("re-parse of valid manifest failed: %v", err)
+		}
+		if len(again) != len(m) {
+			t.Fatalf("round trip changed entry count %d -> %d", len(m), len(again))
+		}
+	})
+}

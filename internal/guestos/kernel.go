@@ -17,6 +17,7 @@ import (
 	"vmsh/internal/kvm"
 	"vmsh/internal/mem"
 	"vmsh/internal/pagetable"
+	"vmsh/internal/storage"
 	"vmsh/internal/vclock"
 )
 
@@ -152,15 +153,8 @@ type Kernel struct {
 }
 
 // BlockDev is the guest-facing block device contract re-exported to
-// avoid a wide import surface in callers.
-type BlockDev interface {
-	ReadAt(off int64, buf []byte) error
-	WriteAt(off int64, buf []byte) error
-	Flush() error
-	Size() int64
-	SupportsFUA() bool
-	SetQueueDepth(qd int)
-}
+// avoid a wide import surface in callers (storage.BlockBackend).
+type BlockDev = storage.BlockBackend
 
 type kthread struct {
 	id      uint64

@@ -470,5 +470,5 @@ func (k *Kernel) MountRoot(fs FileSystem) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("guestos: no root mount")
+	return fmt.Errorf("guestos: no root mount: %w", fserr.ErrNotFound)
 }

@@ -21,6 +21,11 @@ func newRAMFS() *ramfs {
 	return fs
 }
 
+// NewRAMFS exposes the kernel's in-memory filesystem as a mountable
+// FileSystem — the storage conformance suite drives it through the
+// same checks as every storage backend.
+func NewRAMFS() FileSystem { return newRAMFS() }
+
 // Root implements FileSystem.
 func (r *ramfs) Root() FSNode { return r.root }
 

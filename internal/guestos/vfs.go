@@ -7,41 +7,18 @@ import (
 
 	"vmsh/internal/fserr"
 	"vmsh/internal/simplefs"
+	"vmsh/internal/storage"
 	"vmsh/internal/vclock"
 )
 
-// FSNode is the inode contract the VFS walks. simplefs inodes are
-// adapted via sfsNode; ramfs implements it natively.
-type FSNode interface {
-	Stat() simplefs.FileInfo
-	IsDir() bool
-	IsSymlink() bool
-	Lookup(name string) (FSNode, error)
-	Create(name string, perm, uid, gid uint32) (FSNode, error)
-	Mkdir(name string, perm, uid, gid uint32) (FSNode, error)
-	Symlink(name, target string, uid, gid uint32) (FSNode, error)
-	Readlink() (string, error)
-	Link(target FSNode, name string) error
-	Unlink(name string) error
-	Rmdir(name string) error
-	Rename(oldName string, dst FSNode, newName string) error
-	ReadDir() ([]simplefs.DirEntry, error)
-	ReadAt(buf []byte, off int64) (int, error)
-	WriteAt(buf []byte, off int64) (int, error)
-	Truncate(size int64) error
-	Chmod(perm uint32) error
-	Chown(uid, gid uint32) error
-	SetTimes(atime, mtime uint64) error
-	ID() uint64
-}
+// FSNode is the inode contract the VFS walks; the canonical
+// definition now lives in internal/storage (Node). simplefs inodes
+// are adapted via sfsNode; ramfs implements it natively, and every
+// storage backend (memory, cow, cas, remote) mounts directly.
+type FSNode = storage.Node
 
-// FileSystem is a mountable filesystem.
-type FileSystem interface {
-	Root() FSNode
-	Sync() error
-	Statfs() simplefs.StatfsInfo
-	QuotaReport() ([]simplefs.QuotaUsage, error)
-}
+// FileSystem is a mountable filesystem (storage.FS).
+type FileSystem = storage.FS
 
 // --- simplefs adapter --------------------------------------------------
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 
 	"vmsh/internal/fserr"
+	"vmsh/internal/storage"
 )
 
 // Directory entries are fixed 256-byte slots: ino u32, type u8,
@@ -14,12 +15,8 @@ const (
 	maxName      = dirEntSize - 8
 )
 
-// DirEntry is one directory listing row.
-type DirEntry struct {
-	Ino  uint32
-	Type uint32 // ModeDir / ModeFile / ModeSymlink
-	Name string
-}
+// DirEntry is one directory listing row (storage-layer type).
+type DirEntry = storage.DirEntry
 
 // dirBlocks returns how many blocks the directory currently spans.
 func (n *Inode) dirBlocks() int64 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"vmsh/internal/fserr"
+	"vmsh/internal/storage"
 )
 
 // dinode is the on-disk inode layout (128 bytes).
@@ -112,18 +113,8 @@ func (n *Inode) now() uint64 {
 	return 0
 }
 
-// FileInfo is the stat(2) view of an inode.
-type FileInfo struct {
-	Ino   uint32
-	Mode  uint32
-	UID   uint32
-	GID   uint32
-	Nlink uint32
-	Size  int64
-	Atime uint64
-	Mtime uint64
-	Ctime uint64
-}
+// FileInfo is the stat(2) view of an inode (storage-layer type).
+type FileInfo = storage.FileInfo
 
 // Stat returns the inode attributes.
 func (n *Inode) Stat() FileInfo {
@@ -315,7 +306,7 @@ func (n *Inode) blockForEx(fileBlk int64, alloc, meta, skipZero bool) (uint32, e
 		}
 		return p, nil
 	}
-	return 0, fmt.Errorf("simplefs: file block %d beyond maximum file size", fileBlk)
+	return 0, fmt.Errorf("simplefs: file block %d beyond maximum file size: %w", fileBlk, fserr.ErrNoSpace)
 }
 
 func (f *FS) zeroDataBlock(b uint32) error {

@@ -19,6 +19,7 @@ import (
 
 	"vmsh/internal/blockdev"
 	"vmsh/internal/fserr"
+	"vmsh/internal/storage"
 )
 
 // BlockSize is the filesystem block size.
@@ -33,13 +34,15 @@ const (
 	MaxNameLen = 255
 )
 
-// File type bits stored in the mode's high nibble.
+// File type bits stored in the mode's high nibble. The canonical
+// definitions live in internal/storage; simplefs re-exports them so
+// on-disk layout code and interface-level code agree by construction.
 const (
-	ModeTypeMask = 0xf000
-	ModeDir      = 0x4000
-	ModeFile     = 0x8000
-	ModeSymlink  = 0xa000
-	ModePermMask = 0x0fff
+	ModeTypeMask = storage.ModeTypeMask
+	ModeDir      = storage.ModeDir
+	ModeFile     = storage.ModeFile
+	ModeSymlink  = storage.ModeSymlink
+	ModePermMask = storage.ModePermMask
 )
 
 // superblock is the on-disk block 0 layout.
@@ -111,12 +114,9 @@ type cblock struct {
 	dirty bool
 }
 
-// QuotaUsage is the per-uid accounting record.
-type QuotaUsage struct {
-	UID    uint32
-	Blocks uint64
-	Inodes uint64
-}
+// QuotaUsage is the per-uid accounting record (the storage-layer
+// type; aliased so existing callers keep compiling unchanged).
+type QuotaUsage = storage.QuotaUsage
 
 // MkfsOptions tunes filesystem geometry.
 type MkfsOptions struct {
@@ -131,7 +131,7 @@ func Mkfs(dev blockdev.Device, opts MkfsOptions) error {
 		blocks = int(dev.Size() / BlockSize)
 	}
 	if blocks < 64 {
-		return fmt.Errorf("simplefs: device too small (%d blocks)", blocks)
+		return fmt.Errorf("simplefs: device too small (%d blocks): %w", blocks, fserr.ErrInvalid)
 	}
 	inodes := opts.Inodes
 	if inodes == 0 {
@@ -162,7 +162,7 @@ func Mkfs(dev blockdev.Device, opts MkfsOptions) error {
 	sb.QuotaBlks = uint32(quotaBlks)
 	sb.DataStart = next
 	if sb.DataStart >= sb.BlockCount {
-		return fmt.Errorf("simplefs: metadata (%d blocks) exceeds device", sb.DataStart)
+		return fmt.Errorf("simplefs: metadata (%d blocks) exceeds device: %w", sb.DataStart, fserr.ErrNoSpace)
 	}
 	sb.FreeBlocks = sb.BlockCount - sb.DataStart
 	sb.FreeInodes = uint32(inodes) - 1 // ino 0 reserved
@@ -206,7 +206,7 @@ func Mount(dev blockdev.Device) (*FS, error) {
 	}
 	sb := decodeSuper(b)
 	if sb.Magic != magic {
-		return nil, fmt.Errorf("simplefs: bad magic %#x", sb.Magic)
+		return nil, fmt.Errorf("simplefs: bad magic %#x: %w", sb.Magic, fserr.ErrInvalid)
 	}
 	f := &FS{dev: dev, sb: sb, cache: make(map[uint32]*cblock),
 		quota: make(map[uint32]*QuotaUsage), inodes: make(map[uint32]*Inode)}
@@ -466,14 +466,8 @@ func (f *FS) QuotaReport() ([]QuotaUsage, error) {
 	return out, nil
 }
 
-// StatfsInfo is the statfs(2) summary.
-type StatfsInfo struct {
-	BlockSize  int
-	Blocks     uint64
-	BlocksFree uint64
-	Inodes     uint64
-	InodesFree uint64
-}
+// StatfsInfo is the statfs(2) summary (storage-layer type).
+type StatfsInfo = storage.StatfsInfo
 
 // Statfs returns filesystem usage.
 func (f *FS) Statfs() StatfsInfo {

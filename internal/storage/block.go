@@ -1,0 +1,393 @@
+package storage
+
+import (
+	"fmt"
+
+	"vmsh/internal/faults"
+	"vmsh/internal/fserr"
+)
+
+// Block-store backends. These model the storage *medium* below a
+// filesystem: RAM-class stores charge nothing themselves (the caller
+// owns charging, matching the mmap page-cache model in core), while
+// the remote store charges its link like the remote FS backend.
+
+func checkRange(size, off int64, n int) error {
+	if off < 0 || off+int64(n) > size {
+		return fmt.Errorf("storage: access [%d,%d) beyond device size %d: %w",
+			off, off+int64(n), size, fserr.ErrInvalid)
+	}
+	return nil
+}
+
+// MemBlock is a RAM-backed block store. Writes are durable by
+// construction, so it reports FUA support (quota-style persistence
+// works on top of it).
+type MemBlock struct {
+	data []byte
+	qd   int
+}
+
+// NewMemBlock allocates a zeroed RAM store of size bytes.
+func NewMemBlock(size int64) *MemBlock {
+	return &MemBlock{data: make([]byte, size), qd: 1}
+}
+
+// NewMemBlockFrom seeds a RAM store with the full content of base.
+func NewMemBlockFrom(base BlockBackend) (*MemBlock, error) {
+	m := NewMemBlock(base.Size())
+	if err := base.ReadAt(0, m.data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Bytes exposes the backing array (tests, image builders).
+func (m *MemBlock) Bytes() []byte { return m.data }
+
+// ReadAt implements BlockBackend.
+func (m *MemBlock) ReadAt(off int64, buf []byte) error {
+	if err := checkRange(m.Size(), off, len(buf)); err != nil {
+		return err
+	}
+	copy(buf, m.data[off:])
+	return nil
+}
+
+// WriteAt implements BlockBackend.
+func (m *MemBlock) WriteAt(off int64, buf []byte) error {
+	if err := checkRange(m.Size(), off, len(buf)); err != nil {
+		return err
+	}
+	copy(m.data[off:], buf)
+	return nil
+}
+
+// Flush implements BlockBackend.
+func (m *MemBlock) Flush() error { return nil }
+
+// Size implements BlockBackend.
+func (m *MemBlock) Size() int64 { return int64(len(m.data)) }
+
+// SupportsFUA implements BlockBackend.
+func (m *MemBlock) SupportsFUA() bool { return true }
+
+// SetQueueDepth implements BlockBackend.
+func (m *MemBlock) SetQueueDepth(qd int) {
+	if qd < 1 {
+		qd = 1
+	}
+	m.qd = qd
+}
+
+// CowBlock is a copy-on-write block store: reads fall through to an
+// immutable base, writes land in private pages. The base is never
+// written, so one image can seed many stores.
+type CowBlock struct {
+	base  BlockBackend
+	dirty map[int64][]byte // page index -> PageSize private copy
+	qd    int
+}
+
+// NewCowBlock stacks a writable page layer over base.
+func NewCowBlock(base BlockBackend) *CowBlock {
+	return &CowBlock{base: base, dirty: make(map[int64][]byte), qd: 1}
+}
+
+// DirtyPages reports how many pages have diverged from the base.
+func (c *CowBlock) DirtyPages() int { return len(c.dirty) }
+
+func (c *CowBlock) pageFor(page int64, create bool) ([]byte, error) {
+	if p, ok := c.dirty[page]; ok {
+		return p, nil
+	}
+	if !create {
+		return nil, nil
+	}
+	p := make([]byte, PageSize)
+	off := page * PageSize
+	n := int64(PageSize)
+	if off+n > c.base.Size() {
+		n = c.base.Size() - off
+	}
+	if n > 0 {
+		if err := c.base.ReadAt(off, p[:n]); err != nil {
+			return nil, err
+		}
+	}
+	c.dirty[page] = p
+	return p, nil
+}
+
+// ReadAt implements BlockBackend.
+func (c *CowBlock) ReadAt(off int64, buf []byte) error {
+	if err := checkRange(c.Size(), off, len(buf)); err != nil {
+		return err
+	}
+	for len(buf) > 0 {
+		page := off / PageSize
+		po := int(off % PageSize)
+		chunk := PageSize - po
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		p, err := c.pageFor(page, false)
+		if err != nil {
+			return err
+		}
+		if p != nil {
+			copy(buf[:chunk], p[po:po+chunk])
+		} else if err := c.base.ReadAt(off, buf[:chunk]); err != nil {
+			return err
+		}
+		buf = buf[chunk:]
+		off += int64(chunk)
+	}
+	return nil
+}
+
+// WriteAt implements BlockBackend.
+func (c *CowBlock) WriteAt(off int64, buf []byte) error {
+	if err := checkRange(c.Size(), off, len(buf)); err != nil {
+		return err
+	}
+	for len(buf) > 0 {
+		page := off / PageSize
+		po := int(off % PageSize)
+		chunk := PageSize - po
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		p, err := c.pageFor(page, true)
+		if err != nil {
+			return err
+		}
+		copy(p[po:], buf[:chunk])
+		buf = buf[chunk:]
+		off += int64(chunk)
+	}
+	return nil
+}
+
+// Flush implements BlockBackend (private pages are already durable;
+// the base is read-only).
+func (c *CowBlock) Flush() error { return nil }
+
+// Size implements BlockBackend.
+func (c *CowBlock) Size() int64 { return c.base.Size() }
+
+// SupportsFUA implements BlockBackend.
+func (c *CowBlock) SupportsFUA() bool { return true }
+
+// SetQueueDepth implements BlockBackend.
+func (c *CowBlock) SetQueueDepth(qd int) {
+	if qd < 1 {
+		qd = 1
+	}
+	c.qd = qd
+}
+
+// CasBlock is a content-addressed block store: every page is stored
+// once in an FNV-64a chunk store with refcounts; identical pages
+// (zero pages above all) share physical storage.
+type CasBlock struct {
+	size  int64
+	pages map[int64]uint64 // page index -> ref (0 = zero page)
+	cas   *casStore
+	qd    int
+}
+
+// NewCasBlock allocates a deduplicating store of size bytes.
+func NewCasBlock(size int64) *CasBlock {
+	return &CasBlock{size: size, pages: make(map[int64]uint64), cas: newCasStore()}
+}
+
+// NewCasBlockFrom seeds a deduplicating store from base, deduping the
+// seed content as it loads.
+func NewCasBlockFrom(base BlockBackend) (*CasBlock, error) {
+	c := NewCasBlock(base.Size())
+	buf := make([]byte, PageSize)
+	for off := int64(0); off < c.size; off += PageSize {
+		n := c.size - off
+		if n > PageSize {
+			n = PageSize
+		}
+		if err := base.ReadAt(off, buf[:n]); err != nil {
+			return nil, err
+		}
+		if err := c.WriteAt(off, buf[:n]); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// DedupStats reports logical vs physical page counts.
+func (c *CasBlock) DedupStats() DedupStats {
+	return DedupStats{
+		LogicalPages:  uint64(len(c.pages)),
+		PhysicalPages: uint64(len(c.cas.byHash)),
+		SharedWrites:  c.cas.shared,
+	}
+}
+
+// ReadAt implements BlockBackend.
+func (c *CasBlock) ReadAt(off int64, buf []byte) error {
+	if err := checkRange(c.size, off, len(buf)); err != nil {
+		return err
+	}
+	for len(buf) > 0 {
+		page := off / PageSize
+		po := int(off % PageSize)
+		chunk := PageSize - po
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		if data := c.cas.read(c.pages[page]); data != nil {
+			copy(buf[:chunk], data[po:po+chunk])
+		} else {
+			for i := 0; i < chunk; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[chunk:]
+		off += int64(chunk)
+	}
+	return nil
+}
+
+// WriteAt implements BlockBackend.
+func (c *CasBlock) WriteAt(off int64, buf []byte) error {
+	if err := checkRange(c.size, off, len(buf)); err != nil {
+		return err
+	}
+	var scratch [PageSize]byte
+	for len(buf) > 0 {
+		page := off / PageSize
+		po := int(off % PageSize)
+		chunk := PageSize - po
+		if chunk > len(buf) {
+			chunk = len(buf)
+		}
+		old := c.pages[page]
+		data := scratch[:]
+		if prev := c.cas.read(old); prev != nil {
+			copy(data, prev)
+		} else {
+			for i := range data {
+				data[i] = 0
+			}
+		}
+		copy(data[po:], buf[:chunk])
+		if allZero(data) {
+			// Zero pages are holes, not stored chunks.
+			if old != 0 {
+				c.cas.free(old)
+			}
+			delete(c.pages, page)
+		} else {
+			c.pages[page] = c.cas.write(old, data)
+		}
+		buf = buf[chunk:]
+		off += int64(chunk)
+	}
+	return nil
+}
+
+// Flush implements BlockBackend.
+func (c *CasBlock) Flush() error { return nil }
+
+// Size implements BlockBackend.
+func (c *CasBlock) Size() int64 { return c.size }
+
+// SupportsFUA implements BlockBackend.
+func (c *CasBlock) SupportsFUA() bool { return true }
+
+// SetQueueDepth implements BlockBackend.
+func (c *CasBlock) SetQueueDepth(qd int) {
+	if qd < 1 {
+		qd = 1
+	}
+	c.qd = qd
+}
+
+// RemoteBlock is the simulated remote disk: a local RAM mirror whose
+// every access crosses a RemoteLink — latency and bandwidth charged to
+// the virtual clock, faults injectable under remote:*, crossings
+// observable for record/replay. It models the "VM whose disk lives
+// elsewhere" rescue scenario.
+type RemoteBlock struct {
+	mirror *MemBlock
+	link   RemoteLink
+}
+
+// NewRemoteBlock seeds the remote store from base (the upload is
+// considered pre-session and not charged).
+func NewRemoteBlock(base BlockBackend, link RemoteLink) (*RemoteBlock, error) {
+	m, err := NewMemBlockFrom(base)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteBlock{mirror: m, link: link}, nil
+}
+
+func blockKey(off int64) string { return fmt.Sprintf("b%d", off/PageSize) }
+
+// ReadAt implements BlockBackend.
+func (r *RemoteBlock) ReadAt(off int64, buf []byte) error {
+	if err := r.mirror.ReadAt(off, buf); err != nil {
+		return err
+	}
+	return r.link.xfer(faults.OpRemoteGet, blockKey(off), buf)
+}
+
+// WriteAt implements BlockBackend.
+func (r *RemoteBlock) WriteAt(off int64, buf []byte) error {
+	if err := r.link.xfer(faults.OpRemotePut, blockKey(off), buf); err != nil {
+		return err
+	}
+	return r.mirror.WriteAt(off, buf)
+}
+
+// Flush implements BlockBackend.
+func (r *RemoteBlock) Flush() error {
+	return r.link.xfer(faults.OpRemoteFlush, "all", nil)
+}
+
+// Size implements BlockBackend.
+func (r *RemoteBlock) Size() int64 { return r.mirror.Size() }
+
+// SupportsFUA implements BlockBackend: the object store acknowledges
+// writes only once durable.
+func (r *RemoteBlock) SupportsFUA() bool { return true }
+
+// SetQueueDepth implements BlockBackend.
+func (r *RemoteBlock) SetQueueDepth(qd int) { r.mirror.SetQueueDepth(qd) }
+
+func init() {
+	RegisterBlock("memory", func(cfg Config) (BlockBackend, error) {
+		if cfg.Base != nil {
+			return NewMemBlockFrom(cfg.Base)
+		}
+		return NewMemBlock(cfg.Size), nil
+	})
+	RegisterBlock("cow", func(cfg Config) (BlockBackend, error) {
+		if cfg.Base == nil {
+			return NewCowBlock(NewMemBlock(cfg.Size)), nil
+		}
+		return NewCowBlock(cfg.Base), nil
+	})
+	RegisterBlock("cas", func(cfg Config) (BlockBackend, error) {
+		if cfg.Base != nil {
+			return NewCasBlockFrom(cfg.Base)
+		}
+		return NewCasBlock(cfg.Size), nil
+	})
+	RegisterBlock("remote", func(cfg Config) (BlockBackend, error) {
+		base := cfg.Base
+		if base == nil {
+			base = NewMemBlock(cfg.Size)
+		}
+		return NewRemoteBlock(base, LinkFromConfig(cfg))
+	})
+}

@@ -1,0 +1,115 @@
+// Package storage defines the pluggable storage backend layer: the
+// FS/Node interface pair every mountable filesystem implements and the
+// BlockBackend contract every block store implements. guestos' VFS,
+// simplefs, fsimage, blockdev and the overlay are ported onto these
+// interfaces by type alias (zero behavioural change); the package adds
+// four new backends on top — pure in-memory (mem.go), copy-on-write
+// layer stacking (cow.go), content-addressed/dedup (cas.go) and a
+// simulated remote object store whose latency and bandwidth are
+// charged through the virtual clock like netsim links (remote.go) —
+// plus the matching block-store implementations (block.go) selectable
+// at attach time via core.Options.Storage / vmsh.WithStorageBackend.
+//
+// Every backend is driven through one conformance suite
+// (storage/conformance) and the E1 xfstests families; see DESIGN §14.
+package storage
+
+// PageSize is the accounting granularity shared by every backend: the
+// 4 KiB unit of sparse-file block accounting, page-store chunking and
+// block-store copy-on-write.
+const PageSize = 4096
+
+// File type bits stored in the mode's high nibble (the canonical
+// definitions; simplefs re-exports them).
+const (
+	ModeTypeMask = 0xf000
+	ModeDir      = 0x4000
+	ModeFile     = 0x8000
+	ModeSymlink  = 0xa000
+	ModePermMask = 0x0fff
+)
+
+// FileInfo is the stat record every backend serves.
+type FileInfo struct {
+	Ino   uint32
+	Mode  uint32
+	UID   uint32
+	GID   uint32
+	Nlink uint32
+	Size  int64
+	Atime uint64
+	Mtime uint64
+	Ctime uint64
+}
+
+// DirEntry is one directory listing entry.
+type DirEntry struct {
+	Ino  uint32
+	Type uint32 // ModeDir / ModeFile / ModeSymlink
+	Name string
+}
+
+// StatfsInfo is filesystem-level usage accounting.
+type StatfsInfo struct {
+	BlockSize  int
+	Blocks     uint64
+	BlocksFree uint64
+	Inodes     uint64
+	InodesFree uint64
+}
+
+// QuotaUsage is the per-uid accounting record.
+type QuotaUsage struct {
+	UID    uint32
+	Blocks uint64
+	Inodes uint64
+}
+
+// Node is the inode contract the VFS walks (guestos.FSNode is an
+// alias). Errors are the internal/fserr sentinels, uniformly: a
+// backend that wraps them must do so with %w so errors.Is works
+// through the interface.
+type Node interface {
+	Stat() FileInfo
+	IsDir() bool
+	IsSymlink() bool
+	Lookup(name string) (Node, error)
+	Create(name string, perm, uid, gid uint32) (Node, error)
+	Mkdir(name string, perm, uid, gid uint32) (Node, error)
+	Symlink(name, target string, uid, gid uint32) (Node, error)
+	Readlink() (string, error)
+	Link(target Node, name string) error
+	Unlink(name string) error
+	Rmdir(name string) error
+	Rename(oldName string, dst Node, newName string) error
+	ReadDir() ([]DirEntry, error)
+	ReadAt(buf []byte, off int64) (int, error)
+	WriteAt(buf []byte, off int64) (int, error)
+	Truncate(size int64) error
+	Chmod(perm uint32) error
+	Chown(uid, gid uint32) error
+	SetTimes(atime, mtime uint64) error
+	ID() uint64
+}
+
+// FS is a mountable filesystem (guestos.FileSystem is an alias).
+type FS interface {
+	Root() Node
+	Sync() error
+	Statfs() StatfsInfo
+	QuotaReport() ([]QuotaUsage, error)
+}
+
+// BlockBackend is the block device contract (blockdev.Device and
+// guestos.BlockDev are aliases): fixed-size random-access byte store
+// with an explicit flush barrier. Implementations charge the virtual
+// clock themselves where the medium has a cost (host NVMe, remote
+// links); RAM-class stores are free and leave charging to the caller.
+type BlockBackend interface {
+	ReadAt(off int64, buf []byte) error
+	WriteAt(off int64, buf []byte) error
+	Flush() error
+	Size() int64
+	SupportsFUA() bool
+	SetQueueDepth(qd int)
+}

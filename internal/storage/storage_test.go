@@ -1,0 +1,374 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"vmsh/internal/faults"
+	"vmsh/internal/fserr"
+	"vmsh/internal/obs"
+	"vmsh/internal/vclock"
+)
+
+func fillPage(seed byte) []byte {
+	b := make([]byte, PageSize)
+	for i := range b {
+		b[i] = seed
+	}
+	return b
+}
+
+// --- CAS filesystem -----------------------------------------------------
+
+func TestCasFSDedup(t *testing.T) {
+	fs := NewCasFS(MemOptions{})
+	root := fs.Root()
+	page := fillPage(0xAA)
+
+	// Ten files, identical content: one physical page.
+	for i := 0; i < 10; i++ {
+		n, err := root.Create(string(rune('a'+i)), 0o644, 0, 0)
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if _, err := n.WriteAt(page, 0); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	st := fs.DedupStats()
+	if st.LogicalPages != 10 {
+		t.Errorf("logical pages: %d, want 10", st.LogicalPages)
+	}
+	if st.PhysicalPages != 1 {
+		t.Errorf("physical pages: %d, want 1", st.PhysicalPages)
+	}
+	if st.SharedWrites < 9 {
+		t.Errorf("shared writes: %d, want >=9", st.SharedWrites)
+	}
+
+	// Logical accounting is unaffected by dedup: Statfs charges 10 pages.
+	free := fs.Statfs().BlocksFree
+	n, err := root.Create("unique", 0o644, 0, 0)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := n.WriteAt(fillPage(0xBB), 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if got := fs.Statfs().BlocksFree; got != free-1 {
+		t.Errorf("logical accounting moved by %d, want 1", free-got)
+	}
+	if st := fs.DedupStats(); st.PhysicalPages != 2 {
+		t.Errorf("physical pages after unique write: %d, want 2", st.PhysicalPages)
+	}
+
+	// Unlinking the sharers drops refs; the page is freed only when the
+	// last reference goes.
+	for i := 0; i < 10; i++ {
+		if err := root.Unlink(string(rune('a' + i))); err != nil {
+			t.Fatalf("unlink: %v", err)
+		}
+	}
+	st = fs.DedupStats()
+	if st.LogicalPages != 1 || st.PhysicalPages != 1 {
+		t.Errorf("after unlink: %+v, want 1 logical / 1 physical", st)
+	}
+}
+
+func TestCasFSRewriteSameContent(t *testing.T) {
+	fs := NewCasFS(MemOptions{})
+	n, err := fs.Root().Create("f", 0o644, 0, 0)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	page := fillPage(7)
+	for i := 0; i < 3; i++ {
+		if _, err := n.WriteAt(page, 0); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if st := fs.DedupStats(); st.PhysicalPages != 1 || st.LogicalPages != 1 {
+		t.Errorf("same-content rewrites: %+v", st)
+	}
+	// Content is intact after dedup gymnastics.
+	buf := make([]byte, PageSize)
+	if _, err := n.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, page) {
+		t.Error("content mismatch")
+	}
+}
+
+// --- block backends -----------------------------------------------------
+
+func TestCowBlockIsolatesBase(t *testing.T) {
+	base := NewMemBlock(4 * PageSize)
+	seed := fillPage(0x11)
+	if err := base.WriteAt(0, seed); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	cow := NewCowBlock(base)
+
+	// Reads pass through.
+	buf := make([]byte, PageSize)
+	if err := cow.ReadAt(0, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, seed) {
+		t.Error("pass-through read mismatch")
+	}
+
+	// A partial write copies up the page; the base never changes.
+	if err := cow.WriteAt(100, []byte("dirty")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := base.ReadAt(0, buf); err != nil {
+		t.Fatalf("base read: %v", err)
+	}
+	if !bytes.Equal(buf, seed) {
+		t.Error("base mutated through cow")
+	}
+	if err := cow.ReadAt(0, buf); err != nil {
+		t.Fatalf("cow read: %v", err)
+	}
+	want := append([]byte{}, seed...)
+	copy(want[100:], "dirty")
+	if !bytes.Equal(buf, want) {
+		t.Error("cow read did not merge base and overlay")
+	}
+	if cow.DirtyPages() != 1 {
+		t.Errorf("dirty pages: %d, want 1", cow.DirtyPages())
+	}
+}
+
+func TestCasBlockDedupAndHoles(t *testing.T) {
+	blk := NewCasBlock(16 * PageSize)
+	page := fillPage(0x42)
+	for i := int64(0); i < 8; i++ {
+		if err := blk.WriteAt(i*PageSize, page); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if st := blk.DedupStats(); st.PhysicalPages != 1 || st.LogicalPages != 8 {
+		t.Errorf("dedup stats: %+v", st)
+	}
+	// All-zero pages are stored as holes, not content.
+	if err := blk.WriteAt(0, make([]byte, PageSize)); err != nil {
+		t.Fatalf("zero write: %v", err)
+	}
+	if st := blk.DedupStats(); st.LogicalPages != 7 {
+		t.Errorf("zero page not stored as hole: %+v", st)
+	}
+	buf := make([]byte, PageSize)
+	if err := blk.ReadAt(0, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(buf, make([]byte, PageSize)) {
+		t.Error("hole read not zero")
+	}
+	// Out-of-range access is rejected.
+	if err := blk.ReadAt(16*PageSize, buf); !errors.Is(err, fserr.ErrInvalid) {
+		t.Errorf("out-of-range read: %v, want ErrInvalid", err)
+	}
+}
+
+func TestBlockRegistrySeedsFromBase(t *testing.T) {
+	base := NewMemBlock(4 * PageSize)
+	if err := base.WriteAt(PageSize, fillPage(9)); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	for _, name := range []string{"memory", "cow", "cas", "remote"} {
+		blk, err := OpenBlock(name, Config{Base: base, Size: base.Size()})
+		if err != nil {
+			t.Fatalf("open %s: %v", name, err)
+		}
+		if blk.Size() != base.Size() {
+			t.Errorf("%s: size %d, want %d", name, blk.Size(), base.Size())
+		}
+		buf := make([]byte, PageSize)
+		if err := blk.ReadAt(PageSize, buf); err != nil {
+			t.Fatalf("%s read: %v", name, err)
+		}
+		if !bytes.Equal(buf, fillPage(9)) {
+			t.Errorf("%s did not seed from base image", name)
+		}
+	}
+	if _, err := OpenBlock("nvme-of", Config{}); !errors.Is(err, fserr.ErrNotSupported) {
+		t.Errorf("unknown block backend: %v, want ErrNotSupported", err)
+	}
+	if _, err := OpenFS("tmpfs9", Config{}); !errors.Is(err, fserr.ErrNotSupported) {
+		t.Errorf("unknown fs backend: %v, want ErrNotSupported", err)
+	}
+}
+
+// --- remote backend -----------------------------------------------------
+
+func TestRemoteChargesLink(t *testing.T) {
+	clock := vclock.New()
+	link := RemoteLink{Clock: clock, Lat: time.Millisecond, BW: 1e6} // 1 MB/s
+	fs := NewRemoteFS(MemOptions{}, link)
+	n, err := fs.Root().Create("obj", 0o644, 0, 0)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	// Metadata ops are local: the create charged nothing.
+	if clock.Now() != 0 {
+		t.Fatalf("metadata op charged the link: %v", clock.Now())
+	}
+
+	payload := fillPage(1)
+	if _, err := n.WriteAt(payload, 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	wantPut := time.Millisecond + vclock.Copy(PageSize, 1e6)
+	if got := clock.Now(); got != wantPut {
+		t.Errorf("put charge: %v, want %v", got, wantPut)
+	}
+
+	buf := make([]byte, PageSize)
+	if _, err := n.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	wantGet := wantPut + time.Millisecond + vclock.Copy(PageSize, 1e6)
+	if got := clock.Now(); got != wantGet {
+		t.Errorf("get charge: %v, want %v", got, wantGet)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Error("remote round-trip mismatch")
+	}
+
+	// Sync is a flush barrier: latency only, no payload.
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if got := clock.Now(); got != wantGet+time.Millisecond {
+		t.Errorf("flush charge: %v, want %v", got, wantGet+time.Millisecond)
+	}
+}
+
+func TestRemoteFaultInjection(t *testing.T) {
+	clock := vclock.New()
+	in := faults.NewInjector(faults.NewPlan(1, faults.Rule{
+		Op: "remote:get", Nth: 1, Persistent: true,
+	}), clock, obs.Track{})
+	link := RemoteLink{Clock: clock, Faults: in}
+	fs := NewRemoteFS(MemOptions{}, link)
+	n, err := fs.Root().Create("obj", 0o644, 0, 0)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := n.WriteAt(fillPage(3), 0); err != nil {
+		t.Fatalf("write (puts unaffected): %v", err)
+	}
+	buf := make([]byte, PageSize)
+	if _, err := n.ReadAt(buf, 0); !faults.IsFault(err) {
+		t.Errorf("read under remote:get fault: %v, want injected fault", err)
+	}
+	// The flush class is independent of get.
+	if err := fs.Sync(); err != nil {
+		t.Errorf("sync under remote:get fault: %v", err)
+	}
+}
+
+type recordTap struct{ ops []faults.Op }
+
+func (r *recordTap) Crossing(c faults.Crossing) { r.ops = append(r.ops, c.Op) }
+
+func TestRemoteCrossingsObserved(t *testing.T) {
+	taps := &faults.Taps{}
+	tap := &recordTap{}
+	taps.Arm(tap)
+	link := RemoteLink{Taps: taps}
+	fs := NewRemoteFS(MemOptions{}, link)
+	n, err := fs.Root().Create("obj", 0o644, 0, 0)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := n.WriteAt(fillPage(5), 0); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, PageSize)
+	if _, err := n.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	want := []faults.Op{faults.OpRemotePut, faults.OpRemoteGet, faults.OpRemoteFlush}
+	if len(tap.ops) != len(want) {
+		t.Fatalf("crossings: %v, want %v", tap.ops, want)
+	}
+	for i, op := range want {
+		if tap.ops[i] != op {
+			t.Errorf("crossing %d: %s, want %s", i, tap.ops[i], op)
+		}
+	}
+}
+
+// --- MemFS internals ----------------------------------------------------
+
+func TestMemFSSealRejectsWrites(t *testing.T) {
+	fs := NewMemFS(MemOptions{})
+	n, err := fs.Root().Create("f", 0o644, 0, 0)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	fs.Seal()
+	if _, err := fs.Root().Create("g", 0o644, 0, 0); !errors.Is(err, fserr.ErrReadOnly) {
+		t.Errorf("create on sealed fs: %v, want ErrReadOnly", err)
+	}
+	// Reads still work.
+	buf := make([]byte, 4)
+	if _, err := n.ReadAt(buf, 0); err != nil {
+		t.Errorf("read on sealed fs: %v", err)
+	}
+}
+
+func TestMemFSInodeAndBlockLimits(t *testing.T) {
+	fs := NewMemFS(MemOptions{Blocks: 4, Inodes: 3})
+	root := fs.Root()
+	// Root consumed one inode; two more fit.
+	if _, err := root.Create("a", 0o644, 0, 0); err != nil {
+		t.Fatalf("create a: %v", err)
+	}
+	if _, err := root.Create("b", 0o644, 0, 0); err != nil {
+		t.Fatalf("create b: %v", err)
+	}
+	if _, err := root.Create("c", 0o644, 0, 0); !errors.Is(err, fserr.ErrNoSpace) {
+		t.Errorf("create past inode cap: %v, want ErrNoSpace", err)
+	}
+	n, _ := root.Lookup("a")
+	// 4-block budget: a 5-page write must fail all-or-nothing.
+	if _, err := n.WriteAt(make([]byte, 5*PageSize), 0); !errors.Is(err, fserr.ErrNoSpace) {
+		t.Errorf("write past block cap: %v, want ErrNoSpace", err)
+	}
+	if got := n.Stat().Size; got != 0 {
+		t.Errorf("failed write left size %d, want 0 (all-or-nothing)", got)
+	}
+	if _, err := n.WriteAt(make([]byte, 4*PageSize), 0); err != nil {
+		t.Errorf("write at exactly the cap: %v", err)
+	}
+}
+
+func TestFSBackendsRegistry(t *testing.T) {
+	got := FSBackends()
+	want := map[string]bool{"memory": true, "cas": true, "cow": true, "remote": true}
+	for _, name := range got {
+		delete(want, name)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing FS backends: %v (have %v)", want, got)
+	}
+	gotB := BlockBackends()
+	wantB := map[string]bool{"memory": true, "cas": true, "cow": true, "remote": true}
+	for _, name := range gotB {
+		delete(wantB, name)
+	}
+	if len(wantB) != 0 {
+		t.Errorf("missing block backends: %v (have %v)", wantB, gotB)
+	}
+}

@@ -195,6 +195,12 @@ type Costs struct {
 	NetLinkLat   time.Duration // one-way link propagation latency
 	NetLinkBW    float64       // link serialisation bandwidth, bytes/sec
 	NetStackOp   time.Duration // guest network stack handling, per packet
+
+	// Simulated remote object store (internal/storage remote backend).
+	// Per-op round-trip latency plus payload serialisation bandwidth,
+	// charged exactly like a netsim link.
+	RemoteOpLat  time.Duration // GET/PUT/flush round-trip latency
+	RemoteLinkBW float64       // object payload bandwidth, bytes/sec
 }
 
 // Default returns the calibrated cost model. Tests that need a
@@ -237,6 +243,9 @@ func Default() *Costs {
 		NetLinkLat:   25 * time.Microsecond,
 		NetLinkBW:    1.25e9, // 10 GbE
 		NetStackOp:   4 * time.Microsecond,
+
+		RemoteOpLat:  500 * time.Microsecond, // same-DC object store RTT
+		RemoteLinkBW: 2.5e8,                  // 2 Gb/s object link
 	}
 	if err := c.Validate(); err != nil {
 		panic("vclock: invalid default cost model: " + err.Error())

@@ -39,6 +39,18 @@ type e5Mode struct {
 	BytesMoved  int64  `json:"BytesMoved"`
 }
 
+// e1Row mirrors eval.XfstestsBackendRow: one xfstests environment's
+// pass/fail/skip counts (BENCH_e1.json). Counts are deterministic, so
+// they are always compared bit-identically regardless of -threshold —
+// a backend that starts failing tests is a regression at any size.
+type e1Row struct {
+	Env     string `json:"env"`
+	Total   int    `json:"total"`
+	Passed  int    `json:"passed"`
+	Failed  int    `json:"failed"`
+	Skipped int    `json:"skipped"`
+}
+
 // fleetRun mirrors eval.FleetStormRun's deterministic fields.
 type fleetRun struct {
 	Workers    int     `json:"workers"`
@@ -65,6 +77,7 @@ type fleetDoc struct {
 type benchFile struct {
 	FastPath []e5Mode  `json:"fast_path"`
 	Fleet    *fleetDoc `json:"fleet"`
+	Xfstests []e1Row   `json:"xfstests"`
 	top      fleetDoc  // top-level fleet fields (BENCH_e9.json)
 }
 
@@ -135,6 +148,26 @@ func diff(oldDoc, newDoc *benchFile, thresholdPct float64) *report {
 			r.cmp(pfx+".procvm_calls", float64(om.ProcVMCalls), float64(nm.ProcVMCalls), thresholdPct)
 			r.cmp(pfx+".interrupts", float64(om.Interrupts), float64(nm.Interrupts), thresholdPct)
 			r.cmp(pfx+".bytes_moved", float64(om.BytesMoved), float64(nm.BytesMoved), thresholdPct)
+		}
+	}
+
+	if len(oldDoc.Xfstests) > 0 {
+		newEnvs := make(map[string]e1Row, len(newDoc.Xfstests))
+		for _, row := range newDoc.Xfstests {
+			newEnvs[row.Env] = row
+		}
+		for _, or := range oldDoc.Xfstests {
+			nr, ok := newEnvs[or.Env]
+			if !ok {
+				r.regress("e1 env %q missing from candidate", or.Env)
+				continue
+			}
+			compared = true
+			if or != nr {
+				r.regress("e1 env %q changed: %d/%d/%d/%d (total/passed/failed/skipped) -> %d/%d/%d/%d",
+					or.Env, or.Total, or.Passed, or.Failed, or.Skipped,
+					nr.Total, nr.Passed, nr.Failed, nr.Skipped)
+			}
 		}
 	}
 

@@ -338,6 +338,9 @@ type AttachOptions struct {
 	// Verify re-checks this attach live against a prior recording,
 	// crossing by crossing (see WithVerifier).
 	Verify *Verifier
+	// Storage selects the block store serving the vmsh-blk image (see
+	// WithStorageBackend). Empty is the default direct-mmap file path.
+	Storage string
 }
 
 func (o AttachOptions) toCore() core.Options {
@@ -354,6 +357,7 @@ func (o AttachOptions) toCore() core.Options {
 		Fault:        o.Fault,
 		Retry:        o.Retry,
 		Verify:       o.Verify,
+		Storage:      o.Storage,
 	}
 }
 
@@ -381,6 +385,20 @@ func WithoutShell() Option { return func(o *AttachOptions) { o.NoShell = true } 
 // WithPCITransport registers devices with MSI-routed irqfds (the
 // virtio-over-PCI interrupt path) — required for Cloud Hypervisor.
 func WithPCITransport() Option { return func(o *AttachOptions) { o.PCITransport = true } }
+
+// WithStorageBackend selects the block store serving the vmsh-blk
+// image: "file" (default; the image file accessed through the host
+// page-cache mmap path), "memory" (a RAM copy — fastest, volatile),
+// "cow" (private copy-on-write pages over the shared read-only image),
+// "cas" (content-addressed with page dedup), or "remote" (a simulated
+// object store whose per-op latency and bandwidth are charged to the
+// virtual clock, with faults injectable under the remote:* crossing
+// classes — the "rescue a VM whose disk lives elsewhere" scenario).
+// Unknown names fail the attach with fserr.ErrNotSupported in the
+// chain.
+func WithStorageBackend(name string) Option {
+	return func(o *AttachOptions) { o.Storage = name }
+}
 
 // WithNet cables the session's vmsh-net device into sw (Lab.NewSwitch)
 // — the multi-VM overlay network.
