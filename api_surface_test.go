@@ -1,0 +1,156 @@
+package vmsh
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/api_surface.golden from the current source")
+
+// TestExportedAPISurface pins the exported surface of package vmsh —
+// every exported const, var, type, function and method — against a
+// committed golden list. The public API is the product: a symbol
+// appearing or disappearing must be a deliberate act (regenerate with
+// `go test -run TestExportedAPISurface -update .`), never a side
+// effect of a refactor.
+func TestExportedAPISurface(t *testing.T) {
+	got, err := exportedSurface(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "api_surface.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(strings.Join(got, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d symbols)", goldenPath, len(got))
+		return
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	want := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+
+	wantSet := make(map[string]bool, len(want))
+	for _, s := range want {
+		wantSet[s] = true
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, s := range got {
+		gotSet[s] = true
+	}
+	var missing, extra []string
+	for _, s := range want {
+		if !gotSet[s] {
+			missing = append(missing, s)
+		}
+	}
+	for _, s := range got {
+		if !wantSet[s] {
+			extra = append(extra, s)
+		}
+	}
+	if len(missing) > 0 || len(extra) > 0 {
+		t.Errorf("exported API surface drifted from %s (run with -update if deliberate)", goldenPath)
+		for _, s := range missing {
+			t.Errorf("  removed: %s", s)
+		}
+		for _, s := range extra {
+			t.Errorf("  added:   %s", s)
+		}
+	}
+}
+
+// exportedSurface parses the package's non-test files and returns one
+// sorted line per exported symbol: "const X", "var X", "type X",
+// "func F", "method (T) M", plus "field T.F" for exported fields of
+// exported struct types (a struct field is API too).
+func exportedSurface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	pkg, ok := pkgs["vmsh"]
+	if !ok {
+		return nil, fmt.Errorf("package vmsh not found in %s", dir)
+	}
+	var out []string
+	add := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format, args...))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv == nil {
+					add("func %s", d.Name.Name)
+					continue
+				}
+				recv := recvTypeName(d.Recv.List[0].Type)
+				if recv == "" || !ast.IsExported(recv) {
+					continue
+				}
+				add("method (%s) %s", recv, d.Name.Name)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								add("%s %s", kind, n.Name)
+							}
+						}
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						add("type %s", s.Name.Name)
+						if st, ok := s.Type.(*ast.StructType); ok {
+							for _, fld := range st.Fields.List {
+								for _, n := range fld.Names {
+									if n.IsExported() {
+										add("field %s.%s", s.Name.Name, n.Name)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// recvTypeName unwraps a method receiver type to its named type.
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}

@@ -169,7 +169,7 @@ func BenchmarkE7Debloat(b *testing.B) {
 func BenchmarkAttachLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		lab := vmsh.NewLab()
-		vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("bench")})
+		vm, err := lab.LaunchVM(vmsh.WithRootFS(vmsh.GuestRoot("bench")))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -282,10 +282,10 @@ func BenchmarkAblationMemslotPlacement(b *testing.B) {
 		for _, kind := range kinds {
 			for _, ram := range rams {
 				lab := vmsh.NewLab()
-				vm, err := lab.LaunchVM(vmsh.VMConfig{
+				vm, err := lab.LaunchVM(vmsh.WithVMConfig(vmsh.VMConfig{
 					Hypervisor: kind, RAMSize: ram, RootFS: vmsh.GuestRoot("d4"),
 					Seed: int64(ram) + int64(kind),
-				})
+				}))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -306,7 +306,7 @@ func BenchmarkAblationMemslotPlacement(b *testing.B) {
 // everything: one 4 KiB request through the full vmsh-blk path.
 func BenchmarkVirtqueueRoundTrip(b *testing.B) {
 	lab := vmsh.NewLab()
-	vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("vq")})
+	vm, err := lab.LaunchVM(vmsh.WithRootFS(vmsh.GuestRoot("vq")))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func BenchmarkVirtqueueRoundTrip(b *testing.B) {
 // injected console.
 func BenchmarkConsoleExec(b *testing.B) {
 	lab := vmsh.NewLab()
-	vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("exec")})
+	vm, err := lab.LaunchVM(vmsh.WithRootFS(vmsh.GuestRoot("exec")))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -366,7 +366,7 @@ func BenchmarkConsoleExec(b *testing.B) {
 // qemu-blk (the substrate the evaluation rests on).
 func BenchmarkGuestFSOps(b *testing.B) {
 	lab := vmsh.NewLab()
-	vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("fsops")})
+	vm, err := lab.LaunchVM(vmsh.WithRootFS(vmsh.GuestRoot("fsops")))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -394,7 +394,7 @@ func BenchmarkGuestFSOps(b *testing.B) {
 func BenchmarkSideloadScan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		lab := vmsh.NewLab()
-		vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("scan"), Seed: int64(i)})
+		vm, err := lab.LaunchVM(vmsh.WithRootFS(vmsh.GuestRoot("scan")), vmsh.WithVMSeed(int64(i)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -416,7 +416,7 @@ func BenchmarkSideloadScan(b *testing.B) {
 // natively in the guest (not comparative) as a substrate microbench.
 func BenchmarkPhoronixSingle(b *testing.B) {
 	lab := vmsh.NewLab()
-	vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("pts")})
+	vm, err := lab.LaunchVM(vmsh.WithRootFS(vmsh.GuestRoot("pts")))
 	if err != nil {
 		b.Fatal(err)
 	}

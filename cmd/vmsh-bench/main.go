@@ -14,6 +14,11 @@
 //	                                  across -fleet-workers, determinism
 //	                                  digest compared at every count)
 //	E10 record/replay determinism    (bit-identical vtime, RAM, metrics)
+//	E11 live migration               (downtime and pages-on-wire vs
+//	                                  dirty rate, stop-and-copy vs
+//	                                  post-copy; RAM hash equality,
+//	                                  session survival, record-verify
+//	                                  across the migration)
 //
 // E4, E5 and E7n additionally print a fast-path-vs-legacy comparison:
 // the same workload with the batched virtqueue service on and off.
@@ -47,10 +52,11 @@ import (
 // comparison (process_vm calls, interrupts, bytes, virtual time) with
 // each mode's full stats and metrics-registry snapshot embedded.
 type benchDoc struct {
-	Tables   []*eval.Table             `json:"tables"`
-	FastPath []eval.FastPathMode       `json:"fast_path,omitempty"`
-	Fleet    *eval.FleetStormResult    `json:"fleet,omitempty"`
-	Xfstests []eval.XfstestsBackendRow `json:"xfstests,omitempty"`
+	Tables    []*eval.Table             `json:"tables"`
+	FastPath  []eval.FastPathMode       `json:"fast_path,omitempty"`
+	Fleet     *eval.FleetStormResult    `json:"fleet,omitempty"`
+	Xfstests  []eval.XfstestsBackendRow `json:"xfstests,omitempty"`
+	Migration *eval.MigrationResult     `json:"migration,omitempty"`
 }
 
 // parseWorkerSweep turns "1,2,4,8,16" into the E9 worker counts.
@@ -181,7 +187,7 @@ func writeFleetObservability(tracePath, profilePath string, vms, workers int, se
 }
 
 func main() {
-	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n,e8,e9,e10); empty = all")
+	only := flag.String("only", "", "comma-separated experiment ids (e1,e2,e3,e4,e5,e6,e7,e7n,e8,e9,e10,e11); empty = all")
 	jsonPath := flag.String("json", "", "also write results as JSON to this path")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this path: a traced E5 fast-path sweep, or with -only e9 the merged fleet trace")
 	profilePath := flag.String("profile", "", "write a folded-stacks vtime profile (flamegraph input) to this path and print the top stacks; follows -trace's E5-or-fleet selection")
@@ -192,6 +198,8 @@ func main() {
 	fleetSeed := flag.Int64("fleet-seed", 42, "E9: fleet storm seed")
 	fleetJSON := flag.String("fleet-json", "", "E9: also write the fleet storm result alone to this path (e.g. BENCH_e9.json)")
 	e1JSON := flag.String("e1-json", "", "E1: also write the per-environment xfstests rows (classic + storage backends) alone to this path (e.g. BENCH_e1.json)")
+	migrateJSON := flag.String("migrate-json", "", "E11: also write the migration sweep result alone to this path (e.g. BENCH_e11.json)")
+	migrateSeed := flag.Int64("migrate-seed", 42, "E11: migration sweep seed")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -374,6 +382,28 @@ func main() {
 		}
 		if err != nil {
 			fail("E10", err)
+		}
+	}
+
+	if sel("e11") {
+		tbl, migration, err := eval.RunMigration(*migrateSeed)
+		if tbl != nil {
+			emit(tbl)
+		}
+		if err != nil {
+			fail("E11", err)
+		}
+		doc.Migration = migration
+		if *migrateJSON != "" {
+			b, err := json.MarshalIndent(migration, "", "  ")
+			if err != nil {
+				fail("E11", err)
+			}
+			b = append(b, '\n')
+			if err := os.WriteFile(*migrateJSON, b, 0o644); err != nil {
+				fail("E11", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *migrateJSON)
 		}
 	}
 

@@ -126,13 +126,16 @@ func main() {
 	}
 
 	lab := vmsh.NewLab()
-	vm, err := lab.LaunchVM(vmsh.VMConfig{
-		Hypervisor:     kind,
-		Arch:           guestArch,
-		KernelVersion:  *kernel,
-		RootFS:         vmsh.GuestRoot("cli-vm"),
-		DisableSeccomp: kind == vmsh.Firecracker,
-	})
+	vmOpts := []vmsh.VMOption{
+		vmsh.WithHypervisor(kind),
+		vmsh.WithArch(guestArch),
+		vmsh.WithKernelVersion(*kernel),
+		vmsh.WithRootFS(vmsh.GuestRoot("cli-vm")),
+	}
+	if kind == vmsh.Firecracker {
+		vmOpts = append(vmOpts, vmsh.WithoutSeccomp())
+	}
+	vm, err := lab.LaunchVM(vmOpts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "launch: %v\n", err)
 		os.Exit(1)

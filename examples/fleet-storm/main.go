@@ -43,13 +43,13 @@ func main() {
 			at := time.Duration(i)*time.Millisecond + time.Duration(k)*60*time.Millisecond
 			name := fmt.Sprintf("storm-%d", i)
 			fleet.Schedule(i, at, "cycle", func(sl *vmsh.Lab) error {
-				vm, err := sl.LaunchVM(vmsh.VMConfig{
-					Hypervisor: vmsh.QEMU,
-					Name:       name, // reused per shard: bounded host state
-					RAMSize:    32 << 20,
-					Seed:       int64(i*1000 + k),
-					RootFS:     vmsh.GuestRoot(name),
-				})
+				vm, err := sl.LaunchVM(
+					vmsh.WithHypervisor(vmsh.QEMU),
+					vmsh.WithVMName(name), // reused per shard: bounded host state
+					vmsh.WithMemMiB(32),
+					vmsh.WithVMSeed(int64(i*1000+k)),
+					vmsh.WithRootFS(vmsh.GuestRoot(name)),
+				)
 				if err != nil {
 					return err
 				}

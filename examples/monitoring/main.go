@@ -38,11 +38,11 @@ func main() {
 func singleVM() {
 	lab := vmsh.NewLab()
 
-	vm, err := lab.LaunchVM(vmsh.VMConfig{
-		Hypervisor: vmsh.QEMU,
-		Arch:       vmsh.ArchARM64,
-		RootFS:     vmsh.GuestRoot("prod-vm"),
-	})
+	vm, err := lab.LaunchVM(
+		vmsh.WithHypervisor(vmsh.QEMU),
+		vmsh.WithArch(vmsh.ArchARM64),
+		vmsh.WithRootFS(vmsh.GuestRoot("prod-vm")),
+	)
 	if err != nil {
 		log.Fatalf("launch: %v", err)
 	}
@@ -172,12 +172,12 @@ func fleetTelemetryPlane() {
 		i := i
 		at := time.Duration(i) * 2 * time.Millisecond
 		fleet.Schedule(i, at, "monitor", func(sl *vmsh.Lab) error {
-			vm, err := sl.LaunchVM(vmsh.VMConfig{
-				Hypervisor: vmsh.QEMU,
-				Name:       fmt.Sprintf("prod-%d", i),
-				RootFS:     vmsh.GuestRoot(fmt.Sprintf("prod-%d", i)),
-				Seed:       int64(i),
-			})
+			vm, err := sl.LaunchVM(
+				vmsh.WithHypervisor(vmsh.QEMU),
+				vmsh.WithVMName(fmt.Sprintf("prod-%d", i)),
+				vmsh.WithRootFS(vmsh.GuestRoot(fmt.Sprintf("prod-%d", i))),
+				vmsh.WithVMSeed(int64(i)),
+			)
 			if err != nil {
 				return err
 			}

@@ -14,10 +14,10 @@ func main() {
 	lab := vmsh.NewLab()
 
 	// A de-bloated guest: no shell, no coreutils, just the app.
-	vm, err := lab.LaunchVM(vmsh.VMConfig{
-		Hypervisor: vmsh.QEMU,
-		RootFS:     vmsh.GuestRoot("quickstart-vm"),
-	})
+	vm, err := lab.LaunchVM(
+		vmsh.WithHypervisor(vmsh.QEMU),
+		vmsh.WithRootFS(vmsh.GuestRoot("quickstart-vm")),
+	)
 	if err != nil {
 		log.Fatalf("launch: %v", err)
 	}

@@ -16,10 +16,10 @@ import (
 func main() {
 	lab := vmsh.NewLab()
 
-	vm, err := lab.LaunchVM(vmsh.VMConfig{
-		Hypervisor: vmsh.QEMU,
-		RootFS:     vmsh.GuestRoot("customer-vm"),
-	})
+	vm, err := lab.LaunchVM(
+		vmsh.WithHypervisor(vmsh.QEMU),
+		vmsh.WithRootFS(vmsh.GuestRoot("customer-vm")),
+	)
 	if err != nil {
 		log.Fatalf("launch: %v", err)
 	}

@@ -26,10 +26,10 @@ var cveDB = map[string]struct {
 func main() {
 	lab := vmsh.NewLab()
 
-	vm, err := lab.LaunchVM(vmsh.VMConfig{
-		Hypervisor: vmsh.QEMU,
-		RootFS:     vmsh.GuestRoot("alpine-vm"), // ships an apk db
-	})
+	vm, err := lab.LaunchVM(
+		vmsh.WithHypervisor(vmsh.QEMU),
+		vmsh.WithRootFS(vmsh.GuestRoot("alpine-vm")), // ships an apk db
+	)
 	if err != nil {
 		log.Fatalf("launch: %v", err)
 	}

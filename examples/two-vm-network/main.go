@@ -18,11 +18,11 @@ func main() {
 
 	var sessions [2]*vmsh.Session
 	for i, name := range []string{"alpha", "beta"} {
-		vm, err := lab.LaunchVM(vmsh.VMConfig{
-			Hypervisor: vmsh.QEMU,
-			Name:       "qemu-" + name,
-			RootFS:     vmsh.GuestRoot(name),
-		})
+		vm, err := lab.LaunchVM(
+			vmsh.WithHypervisor(vmsh.QEMU),
+			vmsh.WithVMName("qemu-"+name),
+			vmsh.WithRootFS(vmsh.GuestRoot(name)),
+		)
 		if err != nil {
 			log.Fatalf("launch %s: %v", name, err)
 		}

@@ -33,12 +33,12 @@ func fleetRun(t *testing.T, shards, workers int) ([]time.Duration, [][]uint64, s
 		// must still be deterministic.
 		start := time.Duration(i) * 10 * time.Millisecond
 		fleet.Schedule(i, start, "storm", func(sl *vmsh.Lab) error {
-			vm, err := sl.LaunchVM(vmsh.VMConfig{
-				Hypervisor: vmsh.QEMU,
-				RAMSize:    32 << 20,
-				Seed:       int64(1000 + i),
-				RootFS:     vmsh.GuestRoot(fmt.Sprintf("fleet-%d", i)),
-			})
+			vm, err := sl.LaunchVM(
+				vmsh.WithHypervisor(vmsh.QEMU),
+				vmsh.WithMemMiB(32),
+				vmsh.WithVMSeed(int64(1000+i)),
+				vmsh.WithRootFS(vmsh.GuestRoot(fmt.Sprintf("fleet-%d", i))),
+			)
 			if err != nil {
 				return err
 			}
@@ -134,11 +134,11 @@ func fleetTraceRun(t *testing.T, workers int) (*vmsh.FleetTrace, string) {
 	for i := 0; i < 2; i++ {
 		i := i
 		fleet.Schedule(i, time.Duration(i)*5*time.Millisecond, "monitor", func(sl *vmsh.Lab) error {
-			vm, err := sl.LaunchVM(vmsh.VMConfig{
-				RAMSize: 32 << 20,
-				Seed:    int64(i),
-				RootFS:  vmsh.GuestRoot(fmt.Sprintf("trace-%d", i)),
-			})
+			vm, err := sl.LaunchVM(
+				vmsh.WithMemMiB(32),
+				vmsh.WithVMSeed(int64(i)),
+				vmsh.WithRootFS(vmsh.GuestRoot(fmt.Sprintf("trace-%d", i))),
+			)
 			if err != nil {
 				return err
 			}
@@ -230,12 +230,12 @@ func TestFleetRecordingReplays(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		i := i
 		fleet.Schedule(i, time.Duration(i)*10*time.Millisecond, "verify", func(sl *vmsh.Lab) error {
-			vm, err := sl.LaunchVM(vmsh.VMConfig{
-				Hypervisor: vmsh.QEMU,
-				RAMSize:    32 << 20,
-				Seed:       int64(1000 + i),
-				RootFS:     vmsh.GuestRoot(fmt.Sprintf("fleet-%d", i)),
-			})
+			vm, err := sl.LaunchVM(
+				vmsh.WithHypervisor(vmsh.QEMU),
+				vmsh.WithMemMiB(32),
+				vmsh.WithVMSeed(int64(1000+i)),
+				vmsh.WithRootFS(vmsh.GuestRoot(fmt.Sprintf("fleet-%d", i))),
+			)
 			if err != nil {
 				return err
 			}
@@ -294,10 +294,10 @@ func TestFleetBridgeCrossShardPing(t *testing.T) {
 			sw = swB
 		}
 		fleet.Schedule(i, 0, "boot", func(sl *vmsh.Lab) error {
-			vm, err := sl.LaunchVM(vmsh.VMConfig{
-				RAMSize: 32 << 20,
-				RootFS:  vmsh.GuestRoot(fmt.Sprintf("net-%d", i)),
-			})
+			vm, err := sl.LaunchVM(
+				vmsh.WithMemMiB(32),
+				vmsh.WithRootFS(vmsh.GuestRoot(fmt.Sprintf("net-%d", i))),
+			)
 			if err != nil {
 				return err
 			}

@@ -514,6 +514,7 @@ func (v *VMSH) Attach(pid int, opts Options) (*Session, error) {
 		vmFD: vmFD, vcpuFDs: vcpuFDs,
 		libGPA: libGPA, libGVA: libGVA, hdr: hdr,
 		trap: opts.Trap, version: version, kernelBase: kernelRun.GVA,
+		image: opts.Image, storage: opts.Storage,
 		record: opts.Record, recordSink: opts.RecordSink, tapped: tapped,
 	}
 	if err := tx.run("setup_devices", func() error {

@@ -36,6 +36,13 @@ type Session struct {
 	version    guestos.Version
 	kernelBase mem.GVA
 
+	// image/storage remember what the vmsh-blk device was serving so a
+	// lifecycle operation (snapshot, migration) can quiesce the session
+	// and re-attach an equivalent one on the restored VM. image is nil
+	// for Minimal attaches.
+	image   *hostsim.HostFile
+	storage string
+
 	blk  *virtio.BlkDevice
 	cons *virtio.ConsoleDevice
 	net  *virtio.NetDevice // nil unless Options.Net supplied a switch
@@ -67,6 +74,15 @@ type Session struct {
 
 // Version reports the guest kernel version the sideloader detected.
 func (s *Session) Version() guestos.Version { return s.version }
+
+// Image returns the host file the vmsh-blk device serves (nil for
+// Minimal attaches). Lifecycle operations copy it across hosts so a
+// re-attached session sees the same overlay filesystem.
+func (s *Session) Image() *hostsim.HostFile { return s.image }
+
+// StorageBackend returns the Options.Storage name this session was
+// attached with ("" = the historic direct-mmap file path).
+func (s *Session) StorageBackend() string { return s.storage }
 
 // KernelBase reports where KASLR put the guest kernel (diagnostics).
 func (s *Session) KernelBase() mem.GVA { return s.kernelBase }

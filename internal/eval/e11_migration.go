@@ -1,0 +1,340 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"vmsh/internal/blockdev"
+	"vmsh/internal/core"
+	"vmsh/internal/fsimage"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+	"vmsh/internal/lifecycle"
+	"vmsh/internal/mem"
+	"vmsh/internal/replay"
+)
+
+// E11 pins the lifecycle plane: live migration moves a VM between
+// simulated hosts byte-for-byte (FNV-64a RAM equality in every mode),
+// post-copy trades downtime for demand faults (strictly less downtime
+// than stop-and-copy at the highest dirty rate), a vmsh session
+// carried across re-attaches and keeps working, and a session
+// recorded against the source live-verifies crossing by crossing
+// against the destination through the rebased verifier.
+
+// MigrationLeg is one migration of the E11 sweep, fully deterministic
+// (virtual time, page counts, wire bytes).
+type MigrationLeg struct {
+	Mode          string `json:"mode"` // "stop_and_copy" | "postcopy"
+	DirtyPages    int    `json:"dirty_pages_per_round"`
+	PrecopyRounds int    `json:"precopy_rounds"`
+	DowntimeNS    int64  `json:"downtime_ns"`
+	TotalNS       int64  `json:"total_ns"`
+	PagesPrecopy  int    `json:"pages_precopy"`
+	PagesCutover  int    `json:"pages_cutover"`
+	PagesFaulted  int    `json:"pages_faulted"`
+	PagesDrained  int    `json:"pages_drained"`
+	BytesOnWire   int64  `json:"bytes_on_wire"`
+	HashesEqual   bool   `json:"hashes_equal"`
+}
+
+// MigrationResult is the machine-readable E11 document
+// (BENCH_e11.json): the mode × dirty-rate sweep plus the
+// session-survival and record-verify legs.
+type MigrationResult struct {
+	SchemaVersion int            `json:"schema_version"`
+	Seed          int64          `json:"seed"`
+	Legs          []MigrationLeg `json:"legs"`
+	// SessionSurvived: a live vmsh session carried through a post-copy
+	// migration re-attached on the destination and executed a command.
+	SessionSurvived bool `json:"session_survived"`
+	// SessionFaultedPages: pages the re-attach itself demand-faulted
+	// across the wire (must be > 0: the re-attach happens mid-stream).
+	SessionFaultedPages int `json:"session_faulted_pages"`
+	// RecordVerified: a session recorded against the source verified
+	// crossing by crossing against the migrated destination.
+	RecordVerified  bool `json:"record_verified"`
+	RecordCrossings int  `json:"record_crossings"`
+}
+
+const e11SchemaVersion = 1
+
+// e11DirtyRates is the pages-dirtied-per-round sweep; the last entry
+// is the "highest dirty rate" of the downtime assertion.
+var e11DirtyRates = [...]int{0, 64, 256}
+
+const e11Rounds = 2
+
+// e11Leg runs one migration: a fresh source VM with dirtyPages scratch
+// pages, a workload rewriting all of them (new bytes every beat) once
+// per pre-copy round and once more just before the pause, migrated to
+// a fresh destination host.
+func e11Leg(seed int64, name string, postCopy bool, dirtyPages int) (MigrationLeg, error) {
+	mode := "stop_and_copy"
+	if postCopy {
+		mode = "postcopy"
+	}
+	leg := MigrationLeg{Mode: mode, DirtyPages: dirtyPages, PrecopyRounds: e11Rounds}
+
+	h := hostsim.NewHost()
+	inst, err := hypervisor.Launch(h, hypervisor.Config{
+		Kind:          hypervisor.QEMU,
+		Name:          name,
+		KernelVersion: "5.10",
+		Seed:          seed,
+		RAMSize:       faultVMRAM,
+	})
+	if err != nil {
+		return leg, err
+	}
+
+	var scratch mem.GPA
+	if dirtyPages > 0 {
+		scratch, err = inst.Kernel.AllocPages(dirtyPages)
+		if err != nil {
+			return leg, err
+		}
+	}
+	buf := make([]byte, dirtyPages*mem.PageSize)
+	workload := func(round int) {
+		if dirtyPages == 0 {
+			return
+		}
+		for i := range buf {
+			buf[i] = byte(seed) ^ byte(round*31+i)
+		}
+		if err := inst.VM.GuestMem().WritePhys(scratch, buf); err != nil {
+			panic(fmt.Sprintf("e11 workload: %v", err))
+		}
+	}
+
+	res, err := lifecycle.Migrate(inst, hostsim.NewHost(), lifecycle.MigrateOpts{
+		PrecopyRounds: e11Rounds,
+		PostCopy:      postCopy,
+		Workload:      workload,
+	})
+	if err != nil {
+		return leg, err
+	}
+
+	leg.DowntimeNS = int64(res.Downtime)
+	leg.TotalNS = int64(res.Total)
+	leg.PagesPrecopy = res.PagesPrecopy
+	leg.PagesCutover = res.PagesCutover
+	leg.PagesFaulted = res.PagesFaulted
+
+	// Resume-time hash equality (post-copy pending pages counted as
+	// the bytes the frozen source will serve).
+	leg.HashesEqual = len(res.SrcHashes) == len(res.DstHashes) && len(res.SrcHashes) > 0
+	for i := range res.SrcHashes {
+		if i >= len(res.DstHashes) || res.SrcHashes[i] != res.DstHashes[i] {
+			leg.HashesEqual = false
+		}
+	}
+
+	// Drain any post-copy remainder and re-check with the strong live
+	// comparison; only then is BytesOnWire final.
+	if err := res.Verify(); err != nil {
+		return leg, err
+	}
+	leg.PagesDrained = res.PagesDrained
+	leg.BytesOnWire = res.BytesOnWire
+	return leg, nil
+}
+
+// e11Session carries a live session through a post-copy migration with
+// a dirty workload: the re-attach on the destination must demand-fault
+// pages mid-stream and the session must keep executing.
+func e11Session(seed int64) (survived bool, faulted int, err error) {
+	h := hostsim.NewHost()
+	inst, img, err := faultVM(h, seed, "e11-sess")
+	if err != nil {
+		return false, 0, err
+	}
+	sess, err := core.New(h).Attach(inst.Proc.PID, core.Options{Image: img})
+	if err != nil {
+		return false, 0, err
+	}
+	if _, err := sess.Exec("ls /var/lib/vmsh"); err != nil {
+		return false, 0, err
+	}
+
+	scratch, err := inst.Kernel.AllocPages(64)
+	if err != nil {
+		return false, 0, err
+	}
+	buf := make([]byte, 64*mem.PageSize)
+	res, err := lifecycle.Migrate(inst, hostsim.NewHost(), lifecycle.MigrateOpts{
+		PrecopyRounds: e11Rounds,
+		PostCopy:      true,
+		Session:       sess,
+		Workload: func(round int) {
+			for i := range buf {
+				buf[i] = byte(seed) ^ byte(round*17+i)
+			}
+			if werr := inst.VM.GuestMem().WritePhys(scratch, buf); werr != nil {
+				panic(fmt.Sprintf("e11 session workload: %v", werr))
+			}
+		},
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	if res.Session == nil {
+		return false, res.PagesFaulted, fmt.Errorf("e11: no session after migration")
+	}
+	if _, err := res.Session.Exec("cat /var/lib/vmsh/etc/hostname"); err != nil {
+		return false, res.PagesFaulted, fmt.Errorf("e11: exec on destination: %w", err)
+	}
+	if err := res.Drain(); err != nil {
+		return true, res.PagesFaulted, err
+	}
+	if err := res.Session.Detach(); err != nil {
+		return true, res.PagesFaulted, err
+	}
+	return true, res.PagesFaulted, nil
+}
+
+// e11Record records a session against the source, migrates the VM, and
+// live-verifies the recording against the destination with the rebased
+// verifier (the migration's cost is a constant vtime offset).
+func e11Record(seed int64) (verified bool, crossings int, err error) {
+	h := hostsim.NewHost()
+	inst, img, err := faultVM(h, seed, "e11-rec")
+	if err != nil {
+		return false, 0, err
+	}
+	var sink memSink
+	rec := replay.NewRecorder(h.Clock, "e11", uint64(seed))
+	sess, err := core.New(h).Attach(inst.Proc.PID, core.Options{
+		Image: img, Record: rec,
+		RecordSink: func() (io.WriteCloser, error) { return &sink, nil },
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	cmds := []string{"ls /var/lib/vmsh", "cat /var/lib/vmsh/etc/hostname"}
+	for _, c := range cmds {
+		if _, err := sess.Exec(c); err != nil {
+			return false, 0, err
+		}
+	}
+	if err := sess.Detach(); err != nil {
+		return false, 0, err
+	}
+	lg, err := replay.Read(bytes.NewReader(sink.Bytes()))
+	if err != nil {
+		return false, 0, err
+	}
+
+	res, err := lifecycle.Migrate(inst, hostsim.NewHost(), lifecycle.MigrateOpts{
+		PrecopyRounds: 1,
+	})
+	if err != nil {
+		return false, len(lg.Records), err
+	}
+	h2 := res.Dst.Host
+	m := fsimage.ToolImage()
+	img2 := h2.CreateFile("e11-rec.img", m.Size()+64<<20, false)
+	if err := fsimage.Build(blockdev.NewHostFileDevice(img2), m); err != nil {
+		return false, len(lg.Records), err
+	}
+	ver := replay.NewRebasedVerifier(lg, h2.Clock)
+	sess2, err := core.New(h2).Attach(res.Dst.Proc.PID, core.Options{
+		Image: img2, Verify: ver,
+	})
+	if err != nil {
+		return false, len(lg.Records), err
+	}
+	for _, c := range cmds {
+		if _, err := sess2.Exec(c); err != nil {
+			return false, len(lg.Records), err
+		}
+	}
+	if err := sess2.Detach(); err != nil {
+		return false, len(lg.Records), err
+	}
+	ok := ver.Result() == nil && ver.Matched() == len(lg.Records)
+	return ok, len(lg.Records), nil
+}
+
+// RunMigration regenerates the E11 migration table and its
+// machine-readable document.
+func RunMigration(seed int64) (*Table, *MigrationResult, error) {
+	tbl := &Table{ID: "E11 / migration",
+		Title: "snapshot/restore and live migration with post-copy streaming"}
+	doc := &MigrationResult{SchemaVersion: e11SchemaVersion, Seed: seed}
+
+	byKey := map[string]MigrationLeg{}
+	for _, rate := range e11DirtyRates {
+		for _, pc := range []bool{false, true} {
+			name := fmt.Sprintf("e11-%s-%d", map[bool]string{false: "sc", true: "pc"}[pc], rate)
+			leg, err := e11Leg(seed, name, pc, rate)
+			if err != nil {
+				return tbl, doc, fmt.Errorf("e11 %s dirty=%d: %w", leg.Mode, rate, err)
+			}
+			doc.Legs = append(doc.Legs, leg)
+			byKey[fmt.Sprintf("%s/%d", leg.Mode, rate)] = leg
+			tbl.Rows = append(tbl.Rows, Row{
+				Name:     fmt.Sprintf("downtime, %s, %d dirty pages/round", leg.Mode, rate),
+				Measured: float64(leg.DowntimeNS) / 1e3, Unit: "µs",
+				Note: fmt.Sprintf("(precopy %d + cutover %d pages, %d B on wire)",
+					leg.PagesPrecopy, leg.PagesCutover+leg.PagesFaulted+leg.PagesDrained,
+					leg.BytesOnWire),
+			})
+		}
+	}
+
+	allEqual := true
+	for _, leg := range doc.Legs {
+		if !leg.HashesEqual {
+			allEqual = false
+		}
+	}
+	peak := e11DirtyRates[len(e11DirtyRates)-1]
+	sc := byKey[fmt.Sprintf("stop_and_copy/%d", peak)]
+	pc := byKey[fmt.Sprintf("postcopy/%d", peak)]
+	pcWins := pc.DowntimeNS < sc.DowntimeNS
+
+	var err error
+	doc.SessionSurvived, doc.SessionFaultedPages, err = e11Session(seed + 1)
+	if err != nil {
+		return tbl, doc, fmt.Errorf("e11 session leg: %w", err)
+	}
+	doc.RecordVerified, doc.RecordCrossings, err = e11Record(seed + 2)
+	if err != nil {
+		return tbl, doc, fmt.Errorf("e11 record leg: %w", err)
+	}
+
+	tbl.Rows = append(tbl.Rows,
+		Row{Name: "src/dst RAM hashes equal, every mode", Measured: b2f(allEqual), Unit: "bool",
+			Note: "(must be 1: byte-faithful migration)"},
+		Row{Name: fmt.Sprintf("post-copy downtime < stop-and-copy at %d pages/round", peak),
+			Measured: b2f(pcWins), Unit: "bool",
+			Note: fmt.Sprintf("(%.1fµs vs %.1fµs)", float64(pc.DowntimeNS)/1e3, float64(sc.DowntimeNS)/1e3)},
+		Row{Name: "session survives migration (exec on dst)", Measured: b2f(doc.SessionSurvived), Unit: "bool"},
+		Row{Name: "re-attach demand faults, mid-stream", Measured: float64(doc.SessionFaultedPages), Unit: "pages",
+			Note: "(must be > 0: attach streams its own pages)"},
+		Row{Name: "recorded session live-verifies on dst", Measured: b2f(doc.RecordVerified), Unit: "bool",
+			Note: fmt.Sprintf("(%d crossings, rebased vtime)", doc.RecordCrossings)},
+	)
+
+	if !allEqual {
+		return tbl, doc, fmt.Errorf("e11: RAM hash mismatch in at least one mode")
+	}
+	if !pcWins {
+		return tbl, doc, fmt.Errorf("e11: post-copy downtime %dns !< stop-and-copy %dns at %d pages/round",
+			pc.DowntimeNS, sc.DowntimeNS, peak)
+	}
+	if !doc.SessionSurvived {
+		return tbl, doc, fmt.Errorf("e11: session did not survive migration")
+	}
+	if doc.SessionFaultedPages == 0 {
+		return tbl, doc, fmt.Errorf("e11: post-copy re-attach faulted no pages")
+	}
+	if !doc.RecordVerified {
+		return tbl, doc, fmt.Errorf("e11: recorded session did not verify against destination")
+	}
+	return tbl, doc, nil
+}

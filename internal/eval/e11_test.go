@@ -1,0 +1,41 @@
+package eval
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestE11Migration(t *testing.T) {
+	tbl, doc, err := RunMigration(42)
+	if err != nil {
+		if tbl != nil {
+			t.Log("\n" + tbl.Format())
+		}
+		t.Fatal(err)
+	}
+	t.Log("\n" + tbl.Format())
+	if len(doc.Legs) != 2*len(e11DirtyRates) {
+		t.Fatalf("want %d sweep legs, got %d", 2*len(e11DirtyRates), len(doc.Legs))
+	}
+}
+
+// The E11 document must be deterministic: same seed, byte-identical
+// JSON — that is what lets benchdiff gate BENCH_e11.json.
+func TestE11Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full migration sweeps")
+	}
+	_, a, err := RunMigration(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := RunMigration(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("E11 doc not deterministic:\n%s\n%s", ja, jb)
+	}
+}

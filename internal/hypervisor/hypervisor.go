@@ -111,6 +111,12 @@ type Instance struct {
 	VM     *kvm.VM
 	Kernel *guestos.Kernel
 
+	// Cfg is the launch configuration after defaults were applied.
+	// Snapshot/migration relaunch an identical instance from it — with
+	// the same Seed the boot is byte-deterministic, so only pages that
+	// diverged afterwards need transferring.
+	Cfg Config
+
 	VMFDNum int
 	VCPUFDs []int
 	BlkDevs []*virtio.BlkDevice // hypervisor-owned devices, index 0 = root
@@ -155,6 +161,7 @@ func Launch(h *hostsim.Host, cfg Config) (*Instance, error) {
 
 	inst := &Instance{
 		Kind: cfg.Kind, Host: h, Proc: proc, VM: vm,
+		Cfg:      cfg,
 		VMFDNum:  vmfd,
 		nextMMIO: 0xd0000000,
 		nextGSI:  40,
@@ -272,7 +279,11 @@ func Launch(h *hostsim.Host, cfg Config) (*Instance, error) {
 	return inst, nil
 }
 
-func imageFileName(vmName, disk string) string { return vmName + "-" + disk + ".img" }
+// ImageFileName is the host filename a VM's disk image lives under;
+// lifecycle operations use it to locate and copy images across hosts.
+func ImageFileName(vmName, disk string) string { return vmName + "-" + disk + ".img" }
+
+func imageFileName(vmName, disk string) string { return ImageFileName(vmName, disk) }
 
 // addDisk creates a host image file, wires a hypervisor-owned
 // virtio-blk device at the next MMIO slot and probes the guest driver.

@@ -50,6 +50,13 @@ func (f *VMFD) Ioctl(p *hostsim.Process, cmd uint64, arg uint64) (uint64, error)
 			for i, s := range vm.memslots {
 				if s.Slot == slot {
 					vm.memslots = append(vm.memslots[:i], vm.memslots[i+1:]...)
+					if vm.dirty != nil {
+						s.Phys.SetWriteHook(nil)
+						vm.dirty.mu.Lock()
+						delete(vm.dirty.pages, slot)
+						delete(vm.dirty.armed, slot)
+						vm.dirty.mu.Unlock()
+					}
 					return 0, nil
 				}
 			}
@@ -70,7 +77,11 @@ func (f *VMFD) Ioctl(p *hostsim.Process, cmd uint64, arg uint64) (uint64, error)
 				return 0, fmt.Errorf("%w: memslot overlaps slot %d", hostsim.ErrInval, s.Slot)
 			}
 		}
-		vm.memslots = append(vm.memslots, &MemSlot{Slot: slot, GPA: gpa, Size: size, HVA: hva, Phys: m.Phys})
+		ns := &MemSlot{Slot: slot, GPA: gpa, Size: size, HVA: hva, Phys: m.Phys}
+		vm.memslots = append(vm.memslots, ns)
+		if vm.dirty != nil {
+			vm.dirty.arm(ns)
+		}
 		vm.mu.Unlock()
 		return 0, nil
 

@@ -1,0 +1,327 @@
+// Snapshot file format: the replay-log conventions (line-JSON, an
+// FNV-64a checksum chain seeded by the header and sealed by the
+// footer) applied to whole-VM state. Every line is one JSON object;
+// the first is the header, the last the footer, and everything in
+// between is a typed record ("t" field). Encoding the same Snapshot
+// twice yields byte-identical output.
+package lifecycle
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vmsh/internal/faults"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+	"vmsh/internal/kvm"
+	"vmsh/internal/virtio"
+)
+
+// Magic identifies a snapshot stream.
+const Magic = "vmsh-snap"
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// Snapshot is a decoded whole-VM snapshot: enough to reconstruct the
+// VM byte-for-byte on any simulated host. RAM and disk content are
+// stored sparsely — only non-zero 4 KiB units — because Restore
+// rebuilds onto zeroed backing.
+type Snapshot struct {
+	Label string
+	// VTime is the source host's virtual time at capture.
+	VTime int64
+	// Config is the launch configuration (defaults applied); Restore
+	// relaunches from it, which with the same Seed reproduces the
+	// boot-time state deterministically.
+	Config hypervisor.Config
+	VCPUs  []VCPUState
+	// Cursors carries the Go-side virtqueue cursors of every
+	// hypervisor-owned disk; the ring bytes themselves are in Pages.
+	Cursors []DiskCursors
+	// Pages are the non-zero RAM pages per memslot.
+	Pages []PageRecord
+	// Disks are the sparse disk image contents.
+	Disks []DiskImage
+	// Session, when non-nil, describes the quiesced vmsh session that
+	// was attached at capture; Restore re-attaches an equivalent one.
+	Session *SessionState
+	// RAMHashes is one FNV-64a hash per memslot (slot-number order),
+	// cross-checked after Restore.
+	RAMHashes []uint64
+}
+
+// VCPUState is one vCPU's register file.
+type VCPUState struct {
+	Index int          `json:"i"`
+	Regs  hostsim.Regs `json:"regs"`
+	Sregs kvm.Sregs    `json:"sregs"`
+}
+
+// DiskCursors pairs a disk's driver- and device-side queue cursors.
+type DiskCursors struct {
+	Disk string             `json:"disk"`
+	Drv  virtio.CursorState `json:"drv"`
+	Dev  virtio.CursorState `json:"dev"`
+}
+
+// PageRecord is one non-zero 4 KiB RAM page.
+type PageRecord struct {
+	Slot  uint32 `json:"slot"`
+	Index uint64 `json:"idx"`
+	Data  []byte `json:"data"`
+}
+
+// BlockRecord is one non-zero 4 KiB disk block.
+type BlockRecord struct {
+	Index uint64 `json:"idx"`
+	Data  []byte `json:"data"`
+}
+
+// DiskImage is one disk's sparse content.
+type DiskImage struct {
+	Name   string
+	Size   int64
+	Blocks []BlockRecord
+}
+
+// SessionState describes a quiesced vmsh session: what it served and
+// how it was attached, plus the overlay image's content so Restore can
+// materialise it on the target host.
+type SessionState struct {
+	ImageName string
+	ImageSize int64
+	Storage   string
+	Trap      int
+	Blocks    []BlockRecord
+}
+
+// snapLine is the union wire record; "t" selects the populated arm.
+type snapLine struct {
+	T string `json:"t"`
+
+	// header
+	Magic   string `json:"magic,omitempty"`
+	Version int    `json:"v,omitempty"`
+	Label   string `json:"label,omitempty"`
+	VTime   int64  `json:"vtime,omitempty"`
+
+	// config
+	Config *hypervisor.Config `json:"config,omitempty"`
+
+	// vcpu
+	VCPU *VCPUState `json:"vcpu,omitempty"`
+
+	// cursors
+	Cursors *DiskCursors `json:"cursors,omitempty"`
+
+	// page / block / simage payload
+	Slot  uint32 `json:"slot,omitempty"`
+	Index uint64 `json:"idx,omitempty"`
+	Data  []byte `json:"data,omitempty"`
+
+	// disk (block container) / session
+	Disk    string `json:"disk,omitempty"`
+	Size    int64  `json:"size,omitempty"`
+	Image   string `json:"image,omitempty"`
+	Storage string `json:"storage,omitempty"`
+	Trap    int    `json:"trap,omitempty"`
+
+	// footer
+	Records   int      `json:"records,omitempty"`
+	RAMHashes []uint64 `json:"ram,omitempty"`
+	Chain     string   `json:"ck,omitempty"`
+}
+
+// snapChain folds one emitted line into the checksum chain, exactly
+// like the replay log's record chaining.
+func snapChain(prev uint64, content string) uint64 {
+	return uint64(faults.NewDigest().U64(prev).Str(content))
+}
+
+func hex16(v uint64) string {
+	const digits = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(buf[:])
+}
+
+// WriteTo encodes the snapshot in canonical form. It implements
+// io.WriterTo; the byte count is best-effort (bufio owns the writes).
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	ck := uint64(0)
+	n := 0
+	emit := func(l snapLine) error {
+		b, err := json.Marshal(l)
+		if err != nil {
+			return err
+		}
+		ck = snapChain(ck, string(b))
+		n++
+		m, err := bw.WriteString(string(b) + "\n")
+		written += int64(m)
+		return err
+	}
+
+	if err := emit(snapLine{T: "header", Magic: Magic, Version: Version, Label: s.Label, VTime: s.VTime}); err != nil {
+		return written, err
+	}
+	cfg := s.Config
+	if err := emit(snapLine{T: "config", Config: &cfg}); err != nil {
+		return written, err
+	}
+	for i := range s.VCPUs {
+		if err := emit(snapLine{T: "vcpu", VCPU: &s.VCPUs[i]}); err != nil {
+			return written, err
+		}
+	}
+	for i := range s.Cursors {
+		if err := emit(snapLine{T: "cursors", Cursors: &s.Cursors[i]}); err != nil {
+			return written, err
+		}
+	}
+	for _, p := range s.Pages {
+		if err := emit(snapLine{T: "page", Slot: p.Slot, Index: p.Index, Data: p.Data}); err != nil {
+			return written, err
+		}
+	}
+	for _, d := range s.Disks {
+		if err := emit(snapLine{T: "disk", Disk: d.Name, Size: d.Size}); err != nil {
+			return written, err
+		}
+		for _, b := range d.Blocks {
+			if err := emit(snapLine{T: "block", Disk: d.Name, Index: b.Index, Data: b.Data}); err != nil {
+				return written, err
+			}
+		}
+	}
+	if s.Session != nil {
+		if err := emit(snapLine{T: "session", Image: s.Session.ImageName, Size: s.Session.ImageSize,
+			Storage: s.Session.Storage, Trap: s.Session.Trap}); err != nil {
+			return written, err
+		}
+		for _, b := range s.Session.Blocks {
+			if err := emit(snapLine{T: "simage", Index: b.Index, Data: b.Data}); err != nil {
+				return written, err
+			}
+		}
+	}
+	// The footer's own line is excluded from the chain it seals.
+	foot := snapLine{T: "footer", Records: n, RAMHashes: s.RAMHashes, Chain: hex16(ck)}
+	b, err := json.Marshal(foot)
+	if err != nil {
+		return written, err
+	}
+	m, err := bw.WriteString(string(b) + "\n")
+	written += int64(m)
+	if err != nil {
+		return written, err
+	}
+	return written, bw.Flush()
+}
+
+// Read decodes and integrity-checks a snapshot stream. A magic or
+// version mismatch returns a plain error (the caller has the wrong
+// kind of file); structural damage — a broken checksum chain, a
+// truncated stream, an out-of-place record — wraps
+// ErrSnapshotCorrupt.
+func Read(r io.Reader) (*Snapshot, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
+	}
+
+	if !sc.Scan() {
+		return nil, corrupt("empty snapshot stream")
+	}
+	hdrLine := sc.Text()
+	var hdr snapLine
+	if err := json.Unmarshal([]byte(hdrLine), &hdr); err != nil {
+		return nil, corrupt("bad header: %v", err)
+	}
+	if hdr.Magic != Magic {
+		return nil, fmt.Errorf("lifecycle: not a vmsh snapshot (magic %q)", hdr.Magic)
+	}
+	if hdr.Version != Version {
+		return nil, fmt.Errorf("lifecycle: snapshot version %d not supported (want %d)", hdr.Version, Version)
+	}
+
+	s := &Snapshot{Label: hdr.Label, VTime: hdr.VTime}
+	ck := snapChain(0, hdrLine)
+	n := 1
+	diskByName := map[string]int{}
+	sawFooter := false
+	for sc.Scan() {
+		line := sc.Text()
+		var l snapLine
+		if err := json.Unmarshal([]byte(line), &l); err != nil {
+			return nil, corrupt("record %d: %v", n, err)
+		}
+		if l.T == "footer" {
+			if l.Records != n {
+				return nil, corrupt("footer claims %d records, stream has %d", l.Records, n)
+			}
+			if l.Chain != hex16(ck) {
+				return nil, corrupt("checksum chain mismatch (stream modified?)")
+			}
+			s.RAMHashes = l.RAMHashes
+			sawFooter = true
+			break
+		}
+		ck = snapChain(ck, line)
+		n++
+		switch l.T {
+		case "config":
+			if l.Config == nil {
+				return nil, corrupt("config record without payload")
+			}
+			s.Config = *l.Config
+		case "vcpu":
+			if l.VCPU == nil {
+				return nil, corrupt("vcpu record without payload")
+			}
+			s.VCPUs = append(s.VCPUs, *l.VCPU)
+		case "cursors":
+			if l.Cursors == nil {
+				return nil, corrupt("cursors record without payload")
+			}
+			s.Cursors = append(s.Cursors, *l.Cursors)
+		case "page":
+			s.Pages = append(s.Pages, PageRecord{Slot: l.Slot, Index: l.Index, Data: l.Data})
+		case "disk":
+			diskByName[l.Disk] = len(s.Disks)
+			s.Disks = append(s.Disks, DiskImage{Name: l.Disk, Size: l.Size})
+		case "block":
+			i, ok := diskByName[l.Disk]
+			if !ok {
+				return nil, corrupt("block for undeclared disk %q", l.Disk)
+			}
+			s.Disks[i].Blocks = append(s.Disks[i].Blocks, BlockRecord{Index: l.Index, Data: l.Data})
+		case "session":
+			s.Session = &SessionState{ImageName: l.Image, ImageSize: l.Size, Storage: l.Storage, Trap: l.Trap}
+		case "simage":
+			if s.Session == nil {
+				return nil, corrupt("simage block before session record")
+			}
+			s.Session.Blocks = append(s.Session.Blocks, BlockRecord{Index: l.Index, Data: l.Data})
+		default:
+			return nil, corrupt("record %d: unknown type %q", n, l.T)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawFooter {
+		return nil, corrupt("truncated snapshot: no footer")
+	}
+	return s, nil
+}

@@ -1,0 +1,132 @@
+package lifecycle
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"vmsh/internal/core"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/replay"
+)
+
+type sinkCloser struct{ *bytes.Buffer }
+
+func (sinkCloser) Close() error { return nil }
+
+// TestRecordedSessionVerifiesAgainstMigratedDst pins the record/replay
+// × migration interaction: a session recorded (WithRecord) against the
+// source VM must (a) replay from its log alone to the recorded end
+// state, and (b) live-verify, crossing by crossing, against the
+// destination after the VM migrated — the destination is a faithful
+// enough replica that the same session transcript plays out on it
+// byte-for-byte, with only a constant virtual-time offset (the
+// migration's own cost) between the two runs, absorbed by the rebased
+// verifier.
+func TestRecordedSessionVerifiesAgainstMigratedDst(t *testing.T) {
+	h := hostsim.NewHost()
+	inst := launch(t, h, "mig-rr", 52)
+	img := toolImage(t, h, "tools.img")
+
+	var sink bytes.Buffer
+	rec := replay.NewRecorder(h.Clock, "mig-rr", 52)
+	sess, err := core.New(h).Attach(inst.Proc.PID, core.Options{
+		Image:      img,
+		Record:     rec,
+		RecordSink: func() (io.WriteCloser, error) { return sinkCloser{&sink}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := []string{"ls /var/lib/vmsh", "cat /var/lib/vmsh/etc/hostname"}
+	for _, c := range cmds {
+		if _, err := sess.Exec(c); err != nil {
+			t.Fatalf("exec %q: %v", c, err)
+		}
+	}
+	if err := sess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+
+	lg, err := replay.Read(bytes.NewReader(sink.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) The log replays standalone to the recorded end state.
+	rres, err := replay.Run(lg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRAM := sess.RAMHashes()
+	if len(rres.RAM) != len(liveRAM) {
+		t.Fatalf("replayed %d RAM hashes, live %d", len(rres.RAM), len(liveRAM))
+	}
+	for i := range liveRAM {
+		if rres.RAM[i] != liveRAM[i] {
+			t.Fatalf("RAM hash %d: replay %016x != live %016x", i, rres.RAM[i], liveRAM[i])
+		}
+	}
+
+	// Migrate the (now session-free) VM.
+	h2 := hostsim.NewHost()
+	mres, err := Migrate(inst, h2, MigrateOpts{PrecopyRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mres.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// (b) Re-run the recorded session against the destination, checked
+	// live against the source's log. The destination clock carries the
+	// migration's cost, so absolute timestamps differ by a constant —
+	// exactly what the rebased verifier normalises away.
+	img2 := toolImage(t, h2, "tools.img")
+	ver := replay.NewRebasedVerifier(lg, h2.Clock)
+	sess2, err := core.New(h2).Attach(mres.Dst.Proc.PID, core.Options{
+		Image: img2, Verify: ver,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmds {
+		if _, err := sess2.Exec(c); err != nil {
+			t.Fatalf("exec %q on dst: %v", c, err)
+		}
+	}
+	if err := sess2.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if d := ver.Result(); d != nil {
+		t.Fatalf("destination run diverged from source recording: %+v", d)
+	}
+	if ver.Matched() != len(lg.Records) {
+		t.Fatalf("verified %d of %d recorded crossings", ver.Matched(), len(lg.Records))
+	}
+
+	// A plain (non-rebased) verifier must NOT pass here: the vtime
+	// offset is real, and silently ignoring it would make the rebased
+	// mode meaningless.
+	h3 := hostsim.NewHost()
+	inst3 := launch(t, h3, "mig-rr", 52)
+	m3, err := Migrate(inst3, hostsim.NewHost(), MigrateOpts{PrecopyRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img3 := toolImage(t, m3.Dst.Host, "tools.img")
+	strict := replay.NewVerifier(lg, m3.Dst.Host.Clock)
+	sess3, err := core.New(m3.Dst.Host).Attach(m3.Dst.Proc.PID, core.Options{
+		Image: img3, Verify: strict,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmds {
+		_, _ = sess3.Exec(c)
+	}
+	_ = sess3.Detach()
+	if strict.Result() == nil {
+		t.Fatal("strict verifier passed despite the migration's vtime offset")
+	}
+}

@@ -1,0 +1,331 @@
+// Package lifecycle implements first-class VM lifecycle operations on
+// the simulated stack: whole-VM snapshot/restore and live migration
+// between simulated hosts with pre-copy dirty-page rounds, a
+// stop-and-copy cutoff, and a post-copy mode that streams faulted
+// pages on demand.
+//
+// Everything rides on two properties the rest of the repo already
+// guarantees: (1) a VM launched twice from the same Config (including
+// Seed) boots byte-identically, so a restore/migration target can be
+// relaunched and only the pages that diverged afterwards need
+// transferring; and (2) PR 4's transactional attach leaves a detached
+// guest byte-identical to one never attached to, so a live vmsh
+// session can be quiesced, carried across, and re-attached.
+package lifecycle
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"vmsh/internal/core"
+	"vmsh/internal/hostsim"
+	"vmsh/internal/hypervisor"
+	"vmsh/internal/mem"
+	"vmsh/internal/virtio"
+)
+
+// PageSize is the RAM page and disk block granularity of snapshots and
+// migration transfers.
+const PageSize = mem.PageSize
+
+// TakeOpts parameterises Take.
+type TakeOpts struct {
+	// Label names the snapshot (diagnostics; stamped into the header).
+	Label string
+	// Session, when non-nil, is a live vmsh session attached to the VM.
+	// Take quiesces it — detaches, which rolls the guest back to its
+	// unattached byte state — and records its descriptor and overlay
+	// image so Restore can re-attach an equivalent session.
+	Session *core.Session
+}
+
+// Take captures inst into a Snapshot. The VM keeps running afterwards
+// (snapshotting is read-only), except that a Session passed in
+// TakeOpts is detached as part of quiescing. Capturing charges no
+// virtual time: like recording, a snapshotted run's clock equals an
+// unsnapshotted run's.
+func Take(inst *hypervisor.Instance, o TakeOpts) (*Snapshot, error) {
+	s := &Snapshot{
+		Label:  o.Label,
+		VTime:  int64(inst.Host.Clock.Now()),
+		Config: inst.Cfg,
+	}
+
+	if o.Session != nil {
+		img := o.Session.Image()
+		if img == nil {
+			return nil, fmt.Errorf("lifecycle snapshot: %w: minimal attach has no image", ErrSessionNotQuiescable)
+		}
+		s.Session = &SessionState{
+			ImageName: img.Name,
+			ImageSize: img.Size(),
+			Storage:   o.Session.StorageBackend(),
+			Trap:      int(o.Session.Trap()),
+			Blocks:    sparseBlocks(img.Bytes()),
+		}
+		// Quiesce before reading RAM: detach rolls the guest back to
+		// its pre-attach bytes, so the captured state is attach-free.
+		if err := o.Session.Detach(); err != nil {
+			return nil, fmt.Errorf("lifecycle snapshot: quiescing session: %w", err)
+		}
+	}
+
+	for _, v := range inst.VM.VCPUs() {
+		s.VCPUs = append(s.VCPUs, VCPUState{Index: v.Index, Regs: v.GetRegs(), Sregs: v.GetSregs()})
+	}
+
+	cur, err := diskCursors(inst)
+	if err != nil {
+		return nil, err
+	}
+	s.Cursors = cur
+
+	for _, sl := range slotsByNum(inst) {
+		data := sl.Phys.Data
+		for off := uint64(0); off < uint64(len(data)); off += PageSize {
+			pg := data[off:min64(off+PageSize, uint64(len(data)))]
+			if !allZero(pg) {
+				s.Pages = append(s.Pages, PageRecord{
+					Slot: sl.Slot, Index: off / PageSize,
+					Data: append([]byte(nil), pg...),
+				})
+			}
+		}
+		s.RAMHashes = append(s.RAMHashes, hashBytes(data))
+	}
+
+	for _, name := range diskNames(inst.Cfg) {
+		f, err := inst.Host.OpenFile(hypervisor.ImageFileName(inst.Cfg.Name, name))
+		if err != nil {
+			return nil, fmt.Errorf("lifecycle snapshot: disk %s: %w", name, err)
+		}
+		s.Disks = append(s.Disks, DiskImage{Name: name, Size: f.Size(), Blocks: sparseBlocks(f.Bytes())})
+	}
+	return s, nil
+}
+
+// RestoreOpts parameterises Restore.
+type RestoreOpts struct {
+	// SkipReattach leaves a snapshotted session un-restored: the VM
+	// comes back without a vmsh session even if the snapshot holds one.
+	SkipReattach bool
+}
+
+// Restore reconstructs the snapshotted VM on host h: relaunch from the
+// captured Config (byte-deterministic boot), overwrite guest RAM and
+// disk images with the captured bytes, restore vCPU register files and
+// virtqueue cursors, and — unless SkipReattach — re-attach an
+// equivalent vmsh session from the captured descriptor. The restored
+// RAM is cross-checked against the snapshot's FNV-64a hashes.
+//
+// Restore reconstructs the guest's byte state exactly; host-side
+// bookkeeping (the simulated kernel's allocator positions, PIDs)
+// restarts from boot, which is indistinguishable for a guest quiesced
+// at capture.
+func Restore(h *hostsim.Host, s *Snapshot, o RestoreOpts) (*hypervisor.Instance, *core.Session, error) {
+	inst, err := hypervisor.Launch(h, s.Config)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lifecycle restore: relaunch: %w", err)
+	}
+
+	slots := map[uint32]*mem.Phys{}
+	for _, sl := range inst.VM.MemSlots() {
+		slots[sl.Slot] = sl.Phys
+	}
+	for _, p := range slots {
+		zero(p.Data)
+	}
+	for _, pg := range s.Pages {
+		p, ok := slots[pg.Slot]
+		if !ok {
+			return nil, nil, fmt.Errorf("lifecycle restore: %w: page for unknown memslot %d", ErrSnapshotCorrupt, pg.Slot)
+		}
+		off := pg.Index * PageSize
+		if off+uint64(len(pg.Data)) > uint64(len(p.Data)) {
+			return nil, nil, fmt.Errorf("lifecycle restore: %w: page %d outside slot %d", ErrSnapshotCorrupt, pg.Index, pg.Slot)
+		}
+		copy(p.Data[off:], pg.Data)
+	}
+
+	for _, vs := range s.VCPUs {
+		vcpus := inst.VM.VCPUs()
+		if vs.Index >= len(vcpus) {
+			return nil, nil, fmt.Errorf("lifecycle restore: %w: vcpu %d not present after relaunch", ErrSnapshotCorrupt, vs.Index)
+		}
+		vcpus[vs.Index].SetRegs(vs.Regs)
+		vcpus[vs.Index].SetSregs(vs.Sregs)
+	}
+
+	if err := applyCursors(inst, s.Cursors); err != nil {
+		return nil, nil, err
+	}
+
+	for _, d := range s.Disks {
+		f, err := h.OpenFile(hypervisor.ImageFileName(s.Config.Name, d.Name))
+		if err != nil {
+			return nil, nil, fmt.Errorf("lifecycle restore: disk %s: %w", d.Name, err)
+		}
+		data := f.Bytes()
+		zero(data)
+		for _, b := range d.Blocks {
+			off := b.Index * PageSize
+			if off+uint64(len(b.Data)) > uint64(len(data)) {
+				return nil, nil, fmt.Errorf("lifecycle restore: %w: block %d outside disk %s", ErrSnapshotCorrupt, b.Index, d.Name)
+			}
+			copy(data[off:], b.Data)
+		}
+	}
+
+	// Cross-check: the rebuilt RAM must hash exactly as captured.
+	for i, sl := range slotsByNum(inst) {
+		if i < len(s.RAMHashes) && hashBytes(sl.Phys.Data) != s.RAMHashes[i] {
+			return nil, nil, fmt.Errorf("lifecycle restore: %w: memslot %d", ErrRAMDiverged, sl.Slot)
+		}
+	}
+
+	var sess *core.Session
+	if s.Session != nil && !o.SkipReattach {
+		img := h.CreateFile(s.Session.ImageName, s.Session.ImageSize, false)
+		data := img.Bytes()
+		for _, b := range s.Session.Blocks {
+			copy(data[b.Index*PageSize:], b.Data)
+		}
+		sess, err = core.New(h).Attach(inst.Proc.PID, core.Options{
+			Image:   img,
+			Trap:    core.TrapMode(s.Session.Trap),
+			Storage: s.Session.Storage,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("lifecycle restore: re-attach: %w", err)
+		}
+	}
+	return inst, sess, nil
+}
+
+// --- shared helpers (snapshot + migration) -------------------------
+
+// diskNames lists a config's hypervisor-owned disks in creation order.
+func diskNames(cfg hypervisor.Config) []string {
+	var names []string
+	if cfg.RootFS != nil {
+		names = append(names, "vda")
+	}
+	for _, d := range cfg.ExtraDisks {
+		names = append(names, d.GuestName)
+	}
+	return names
+}
+
+// diskCursors collects both queue ends' Go-side cursors per disk.
+func diskCursors(inst *hypervisor.Instance) ([]DiskCursors, error) {
+	names := diskNames(inst.Cfg)
+	var out []DiskCursors
+	for i, name := range names {
+		bd, ok := inst.Kernel.BlockDevByName(name)
+		if !ok {
+			return nil, fmt.Errorf("lifecycle: guest driver for %s not registered", name)
+		}
+		drv, ok := bd.(*virtio.BlkDriver)
+		if !ok {
+			return nil, fmt.Errorf("lifecycle: %s is not a virtio-blk driver", name)
+		}
+		if i >= len(inst.BlkDevs) {
+			return nil, fmt.Errorf("lifecycle: no hypervisor device for %s", name)
+		}
+		dq := inst.BlkDevs[i].Dev.DeviceQueue(0)
+		out = append(out, DiskCursors{Disk: name, Drv: drv.Queue().Cursors(), Dev: dq.Cursors()})
+	}
+	return out, nil
+}
+
+// applyCursors restores both queue ends' cursors per disk.
+func applyCursors(inst *hypervisor.Instance, cur []DiskCursors) error {
+	for _, c := range cur {
+		bd, ok := inst.Kernel.BlockDevByName(c.Disk)
+		if !ok {
+			return fmt.Errorf("lifecycle: guest driver for %s not present after relaunch", c.Disk)
+		}
+		drv, ok := bd.(*virtio.BlkDriver)
+		if !ok {
+			return fmt.Errorf("lifecycle: %s is not a virtio-blk driver", c.Disk)
+		}
+		drv.Queue().SetCursors(c.Drv)
+		idx := -1
+		for i, name := range diskNames(inst.Cfg) {
+			if name == c.Disk {
+				idx = i
+			}
+		}
+		if idx < 0 || idx >= len(inst.BlkDevs) {
+			return fmt.Errorf("lifecycle: no hypervisor device for %s", c.Disk)
+		}
+		inst.BlkDevs[idx].Dev.DeviceQueue(0).SetCursors(c.Dev)
+	}
+	return nil
+}
+
+// slotsByNum snapshots the memslot list sorted by slot number, so
+// hash order is stable regardless of registration order.
+func slotsByNum(inst *hypervisor.Instance) []*kvmSlot {
+	var out []*kvmSlot
+	for _, s := range inst.VM.MemSlots() {
+		out = append(out, &kvmSlot{Slot: s.Slot, Phys: s.Phys})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slot < out[j].Slot })
+	return out
+}
+
+type kvmSlot struct {
+	Slot uint32
+	Phys *mem.Phys
+}
+
+// sparseBlocks captures the non-zero PageSize blocks of data.
+func sparseBlocks(data []byte) []BlockRecord {
+	var out []BlockRecord
+	for off := uint64(0); off < uint64(len(data)); off += PageSize {
+		b := data[off:min64(off+PageSize, uint64(len(data)))]
+		if !allZero(b) {
+			out = append(out, BlockRecord{Index: off / PageSize, Data: append([]byte(nil), b...)})
+		}
+	}
+	return out
+}
+
+var zeroPage [PageSize]byte
+
+func allZero(b []byte) bool {
+	for len(b) >= PageSize {
+		if !bytes.Equal(b[:PageSize], zeroPage[:]) {
+			return false
+		}
+		b = b[PageSize:]
+	}
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

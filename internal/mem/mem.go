@@ -34,7 +34,29 @@ func PageAlign(v uint64) uint64 {
 type Phys struct {
 	Base GPA
 	Data []byte
+
+	// onWrite, when armed, observes every store into the slab (WriteAt
+	// and the PutU* encoders). The lifecycle dirty-page tracker hangs
+	// off this slot; nil (the default) costs one predicted branch.
+	onWrite func(gpa GPA, n int)
+	// onAccess, when armed, observes every Slice — loads and stores
+	// alike — before the byte window is handed out. The post-copy
+	// migration pager uses it to fetch not-yet-streamed pages on
+	// demand; direct Data reads (hashing) deliberately bypass it.
+	onAccess func(gpa GPA, n int)
 }
+
+// SetWriteHook arms (or, with nil, clears) the slab's single store
+// observer. The slot holds ONE observer — a second SetWriteHook
+// replaces the first — matching the single-owner contract of
+// vclock.Clock.SetOnAdvance: exactly one dirty tracker per slab.
+func (p *Phys) SetWriteHook(fn func(gpa GPA, n int)) { p.onWrite = fn }
+
+// SetAccessHook arms (or clears) the slab's single access observer,
+// fired on every Slice before bytes are handed out. Observers must not
+// re-enter the slab through Slice/ReadAt/WriteAt (write straight to
+// Data instead), or they recurse.
+func (p *Phys) SetAccessHook(fn func(gpa GPA, n int)) { p.onAccess = fn }
 
 // NewPhys allocates a zeroed slab of the given size at base.
 func NewPhys(base GPA, size uint64) *Phys {
@@ -62,6 +84,9 @@ func (p *Phys) Slice(gpa GPA, n int) []byte {
 	if !p.Contains(gpa, n) {
 		panic(fmt.Sprintf("mem: phys access [%#x,+%d) outside slab [%#x,%#x)", gpa, n, p.Base, p.End()))
 	}
+	if p.onAccess != nil {
+		p.onAccess(gpa, n)
+	}
 	off := gpa - p.Base
 	return p.Data[off : uint64(off)+uint64(n)]
 }
@@ -70,7 +95,12 @@ func (p *Phys) Slice(gpa GPA, n int) []byte {
 func (p *Phys) ReadAt(gpa GPA, buf []byte) { copy(buf, p.Slice(gpa, len(buf))) }
 
 // WriteAt copies buf into the slab at gpa.
-func (p *Phys) WriteAt(gpa GPA, buf []byte) { copy(p.Slice(gpa, len(buf)), buf) }
+func (p *Phys) WriteAt(gpa GPA, buf []byte) {
+	copy(p.Slice(gpa, len(buf)), buf)
+	if p.onWrite != nil {
+		p.onWrite(gpa, len(buf))
+	}
+}
 
 // U16 reads a little-endian uint16 at gpa.
 func (p *Phys) U16(gpa GPA) uint16 { return binary.LittleEndian.Uint16(p.Slice(gpa, 2)) }
@@ -82,13 +112,28 @@ func (p *Phys) U32(gpa GPA) uint32 { return binary.LittleEndian.Uint32(p.Slice(g
 func (p *Phys) U64(gpa GPA) uint64 { return binary.LittleEndian.Uint64(p.Slice(gpa, 8)) }
 
 // PutU16 writes a little-endian uint16 at gpa.
-func (p *Phys) PutU16(gpa GPA, v uint16) { binary.LittleEndian.PutUint16(p.Slice(gpa, 2), v) }
+func (p *Phys) PutU16(gpa GPA, v uint16) {
+	binary.LittleEndian.PutUint16(p.Slice(gpa, 2), v)
+	if p.onWrite != nil {
+		p.onWrite(gpa, 2)
+	}
+}
 
 // PutU32 writes a little-endian uint32 at gpa.
-func (p *Phys) PutU32(gpa GPA, v uint32) { binary.LittleEndian.PutUint32(p.Slice(gpa, 4), v) }
+func (p *Phys) PutU32(gpa GPA, v uint32) {
+	binary.LittleEndian.PutUint32(p.Slice(gpa, 4), v)
+	if p.onWrite != nil {
+		p.onWrite(gpa, 4)
+	}
+}
 
 // PutU64 writes a little-endian uint64 at gpa.
-func (p *Phys) PutU64(gpa GPA, v uint64) { binary.LittleEndian.PutUint64(p.Slice(gpa, 8), v) }
+func (p *Phys) PutU64(gpa GPA, v uint64) {
+	binary.LittleEndian.PutUint64(p.Slice(gpa, 8), v)
+	if p.onWrite != nil {
+		p.onWrite(gpa, 8)
+	}
+}
 
 // PhysReader is the read-side view of guest physical memory. The guest
 // kernel reads its own slab directly; the VMSH sideloader implements

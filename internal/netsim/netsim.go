@@ -230,17 +230,26 @@ func (p *Port) mtu() int {
 	return DefaultMTU
 }
 
-// linkTime charges one frame's serialisation + propagation on p's link.
-func (s *Switch) linkTime(p *Port, n int) time.Duration {
-	bw := p.link.BandwidthBps
+// LinkTime computes one transfer's serialisation + propagation cost on
+// a link, with zero-valued LinkParams falling back to the cost model —
+// the same arithmetic the switch charges per frame. The lifecycle
+// migration engine uses it to price bulk page streams over a modelled
+// migration link without routing every page through frame switching.
+func LinkTime(link LinkParams, costs *vclock.Costs, n int) time.Duration {
+	bw := link.BandwidthBps
 	if bw <= 0 {
-		bw = s.costs.NetLinkBW
+		bw = costs.NetLinkBW
 	}
-	lat := p.link.Latency
+	lat := link.Latency
 	if lat <= 0 {
-		lat = s.costs.NetLinkLat
+		lat = costs.NetLinkLat
 	}
 	return lat + vclock.Copy(n, bw)
+}
+
+// linkTime charges one frame's serialisation + propagation on p's link.
+func (s *Switch) linkTime(p *Port, n int) time.Duration {
+	return LinkTime(p.link, s.costs, n)
 }
 
 // Send ingests one frame from the device attached to p and forwards

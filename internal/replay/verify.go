@@ -18,12 +18,32 @@ type Verifier struct {
 	next    int
 	matched int
 	div     *Divergence
+
+	// rebase shifts timestamp comparison to be relative to the first
+	// crossing: the live run may start at a different absolute virtual
+	// time than the recording (e.g. replaying a pre-migration session
+	// against the destination host's clock), but every inter-crossing
+	// delta must still match exactly.
+	rebase    bool
+	offsetSet bool
+	offset    int64 // live vtime - recorded vtime, fixed at first crossing
 }
 
 // NewVerifier builds a verifier against lg. clock, when non-nil, is
 // the live run's virtual clock, used to compare crossing timestamps.
 func NewVerifier(lg *Log, clock *vclock.Clock) *Verifier {
 	return &Verifier{lg: lg, clock: clock}
+}
+
+// NewRebasedVerifier builds a verifier that compares virtual times
+// relative to the first crossing instead of absolutely: the offset
+// between the live clock and the recording is latched when the first
+// crossing arrives, and every subsequent timestamp must match after
+// shifting by that offset. This is what lets a session recorded on a
+// migration source live-verify against the destination, whose clock
+// carries the migration's own cost.
+func NewRebasedVerifier(lg *Log, clock *vclock.Clock) *Verifier {
+	return &Verifier{lg: lg, clock: clock, rebase: true}
 }
 
 // Crossing implements faults.Tap.
@@ -34,6 +54,13 @@ func (v *Verifier) Crossing(c faults.Crossing) {
 	var now int64
 	if v.clock != nil {
 		now = int64(v.clock.Now())
+	}
+	if v.rebase && v.clock != nil {
+		if !v.offsetSet && v.next < len(v.lg.Records) {
+			v.offset = now - v.lg.Records[v.next].VTime
+			v.offsetSet = true
+		}
+		now -= v.offset
 	}
 	if v.next >= len(v.lg.Records) {
 		v.div = &Divergence{

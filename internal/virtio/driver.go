@@ -418,6 +418,11 @@ func (d *BlkDriver) SetQueueDepth(qd int) {
 // amortise latency).
 func (d *BlkDriver) QueueDepth() int { return d.qd }
 
+// Queue exposes the driver's virtqueue so lifecycle operations can
+// save and restore its Go-side cursors (CursorState); the ring bytes
+// themselves travel with guest RAM.
+func (d *BlkDriver) Queue() *DriverQueue { return d.q }
+
 // ConsoleDriver is the guest virtio-console driver.
 type ConsoleDriver struct {
 	env  *Env

@@ -165,6 +165,38 @@ func (q *DriverQueue) Publish(start int, elems []ChainElem) error {
 	return nil
 }
 
+// CursorState captures the Go-side ring cursors of one virtqueue end.
+// The ring bytes themselves live in guest physical memory and travel
+// with the RAM image during snapshot/migration; these cursors are the
+// only queue state held outside the guest, so lifecycle operations
+// save and restore them explicitly.
+type CursorState struct {
+	// AvailIdx is the driver's next avail index to publish; unused on
+	// the device side.
+	AvailIdx uint16 `json:"avail_idx"`
+	// LastUsed is the driver's next used index to consume; unused on
+	// the device side.
+	LastUsed uint16 `json:"last_used"`
+	// LastAvail is the device's next avail index to service; unused on
+	// the driver side.
+	LastAvail uint16 `json:"last_avail"`
+	// UsedIdx is the device's next used index to publish; unused on
+	// the driver side.
+	UsedIdx uint16 `json:"used_idx"`
+	// Seq is the trace-span FIFO sequence of this end.
+	Seq uint64 `json:"seq"`
+}
+
+// Cursors snapshots the driver-side cursors.
+func (q *DriverQueue) Cursors() CursorState {
+	return CursorState{AvailIdx: q.availIdx, LastUsed: q.lastUsed, Seq: q.seq}
+}
+
+// SetCursors restores driver-side cursors saved by Cursors.
+func (q *DriverQueue) SetCursors(c CursorState) {
+	q.availIdx, q.lastUsed, q.seq = c.AvailIdx, c.LastUsed, c.Seq
+}
+
 // UsedElem is one consumed used-ring entry.
 type UsedElem struct {
 	ID  uint32
@@ -208,6 +240,16 @@ type DeviceQueue struct {
 
 	lastAvail uint16
 	usedIdx   uint16
+}
+
+// Cursors snapshots the device-side cursors.
+func (q *DeviceQueue) Cursors() CursorState {
+	return CursorState{LastAvail: q.lastAvail, UsedIdx: q.usedIdx, Seq: q.seq}
+}
+
+// SetCursors restores device-side cursors saved by Cursors.
+func (q *DeviceQueue) SetCursors(c CursorState) {
+	q.lastAvail, q.usedIdx, q.seq = c.LastAvail, c.UsedIdx, c.Seq
 }
 
 // endReqSpan closes the next request span in FIFO order and records

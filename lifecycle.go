@@ -1,0 +1,203 @@
+// VM lifecycle operations on the lab: whole-VM snapshot/restore and
+// live migration between labs — the facade over internal/lifecycle.
+//
+//	snap, _ := lab.Snapshot(vm, vmsh.WithSnapshotSession(sess))
+//	vm2, sess2, _ := lab2.Restore(snap)
+//
+//	res, _ := lab.Migrate(vm, lab2,
+//	        vmsh.WithPrecopyRounds(2), vmsh.WithPostCopy(),
+//	        vmsh.WithMigrateSession(sess))
+//	out, _ := res.Session.Exec("echo survived")
+package vmsh
+
+import (
+	"os"
+
+	"vmsh/internal/lifecycle"
+	"vmsh/internal/replay"
+)
+
+// Re-exported lifecycle types.
+type (
+	// Snapshot is a decoded whole-VM snapshot: versioned, checksummed,
+	// enough to reconstruct the VM byte-for-byte on any lab. Produce
+	// one with Lab.Snapshot, persist with WriteSnapshot/ReadSnapshot,
+	// reconstruct with Lab.Restore.
+	Snapshot = lifecycle.Snapshot
+	// MigrateError is the typed migration failure: which phase failed,
+	// for which VM, wrapping the underlying cause — the lifecycle
+	// counterpart of Error (core.AttachError). Recover it with
+	// errors.As and classify with errors.Is against the sentinels.
+	MigrateError = lifecycle.MigrateError
+	// MigrateResult is a completed migration: the destination VM, the
+	// re-attached session (if one was carried), downtime and transfer
+	// accounting, and — in post-copy mode — the pending-page plumbing
+	// (Pending, Drain, Verify).
+	MigrateResult = lifecycle.Result
+	// MigrateRound is one pre-copy round's accounting.
+	MigrateRound = lifecycle.RoundStat
+)
+
+// Migration phases, as named by MigrateError.Phase.
+const (
+	MigratePhasePrepare     = lifecycle.PhasePrepare
+	MigratePhasePrecopy     = lifecycle.PhasePrecopy
+	MigratePhaseQuiesce     = lifecycle.PhaseQuiesce
+	MigratePhaseStopAndCopy = lifecycle.PhaseStopAndCopy
+	MigratePhasePostCopy    = lifecycle.PhasePostCopy
+	MigratePhaseResume      = lifecycle.PhaseResume
+	MigratePhaseVerify      = lifecycle.PhaseVerify
+)
+
+// Lifecycle failure sentinels, matchable through a *MigrateError (or
+// plain wrapped) chain with errors.Is.
+var (
+	// ErrSnapshotCorrupt: a snapshot's checksum chain or structure is
+	// damaged.
+	ErrSnapshotCorrupt = lifecycle.ErrSnapshotCorrupt
+	// ErrSessionNotQuiescable: the session offered for snapshot or
+	// migration cannot be quiesced (e.g. a minimal attach).
+	ErrSessionNotQuiescable = lifecycle.ErrSessionNotQuiescable
+	// ErrRAMDiverged: source and destination RAM hashes differ after a
+	// restore or migration.
+	ErrRAMDiverged = lifecycle.ErrRAMDiverged
+)
+
+// SnapshotOption configures one aspect of Lab.Snapshot.
+type SnapshotOption func(*lifecycle.TakeOpts)
+
+// WithSnapshotLabel names the snapshot (stamped into the header).
+func WithSnapshotLabel(label string) SnapshotOption {
+	return func(o *lifecycle.TakeOpts) { o.Label = label }
+}
+
+// WithSnapshotSession includes a live vmsh session in the snapshot:
+// the session is quiesced (detached — the transactional rollback
+// leaves the guest's vmsh artifacts removed) and its descriptor and
+// overlay image captured, so Restore re-attaches an equivalent
+// session on the restored VM.
+func WithSnapshotSession(sess *Session) SnapshotOption {
+	return func(o *lifecycle.TakeOpts) { o.Session = sess }
+}
+
+// Snapshot captures vm into a versioned, checksummed snapshot. The VM
+// keeps running afterwards; capturing charges no virtual time.
+func (l *Lab) Snapshot(vm *VM, opts ...SnapshotOption) (*Snapshot, error) {
+	var o lifecycle.TakeOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return lifecycle.Take(vm, o)
+}
+
+// RestoreOption configures one aspect of Lab.Restore.
+type RestoreOption func(*lifecycle.RestoreOpts)
+
+// WithoutReattach leaves a snapshotted session un-restored: the VM
+// comes back without a vmsh session even if the snapshot holds one.
+func WithoutReattach() RestoreOption {
+	return func(o *lifecycle.RestoreOpts) { o.SkipReattach = true }
+}
+
+// Restore reconstructs a snapshotted VM on this lab: relaunch from the
+// captured config (byte-deterministic boot), overwrite RAM and disks
+// with the captured bytes, restore register files and virtqueue
+// cursors, cross-check the RAM hashes, and re-attach the captured
+// session (unless WithoutReattach). The returned session is nil when
+// the snapshot carried none.
+func (l *Lab) Restore(snap *Snapshot, opts ...RestoreOption) (*VM, *Session, error) {
+	var o lifecycle.RestoreOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return lifecycle.Restore(l.Host, snap, o)
+}
+
+// WriteSnapshot persists a snapshot to path in the canonical
+// line-JSON, checksum-chained format.
+func WriteSnapshot(path string, s *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSnapshot loads and integrity-checks a snapshot file. Version or
+// magic mismatches return a plain error; structural damage returns an
+// error wrapping ErrSnapshotCorrupt.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return lifecycle.Read(f)
+}
+
+// MigrateOption configures one aspect of Lab.Migrate.
+type MigrateOption func(*lifecycle.MigrateOpts)
+
+// WithPrecopyRounds runs n dirty-page rounds before the cutover (after
+// the initial full synchronisation). Zero cuts over immediately.
+func WithPrecopyRounds(n int) MigrateOption {
+	return func(o *lifecycle.MigrateOpts) { o.PrecopyRounds = n }
+}
+
+// WithPostCopy switches the cutover to post-copy: the destination
+// resumes with only minimal state and the remaining pages stream on
+// demand when accessed (MigrateResult.Drain bulk-streams the rest).
+// Downtime shrinks to the cost of the cutover metadata, traded for
+// demand-fault latency after resume.
+func WithPostCopy() MigrateOption {
+	return func(o *lifecycle.MigrateOpts) { o.PostCopy = true }
+}
+
+// WithMigrateLink models the migration link (bandwidth, latency); zero
+// values fall back to the cost-model defaults.
+func WithMigrateLink(link LinkParams) MigrateOption {
+	return func(o *lifecycle.MigrateOpts) { o.Link = link }
+}
+
+// WithMigrateSession carries a live vmsh session across the migration:
+// it is detached at cutover and re-attached on the destination after
+// resume (in post-copy mode: mid-stream, its accesses demand-faulting
+// pages across). MigrateResult.Session is the new session.
+func WithMigrateSession(sess *Session) MigrateOption {
+	return func(o *lifecycle.MigrateOpts) { o.Session = sess }
+}
+
+// WithMigrateWorkload models guest activity during migration: fn runs
+// once per pre-copy round and once more just before the pause (the
+// dirty-rate knob of the E11 sweep).
+func WithMigrateWorkload(fn func(round int)) MigrateOption {
+	return func(o *lifecycle.MigrateOpts) { o.Workload = fn }
+}
+
+// Migrate live-migrates vm from this lab to dst: launch a twin on the
+// destination (deterministic boot makes the initial sync a diff, not a
+// full copy), run pre-copy dirty-page rounds while the guest keeps
+// working, pause, drain or post-copy-stream the remainder, verify
+// FNV-64a RAM equality, and resume — re-attaching any carried session.
+// Failures surface as a typed *MigrateError naming the phase.
+func (l *Lab) Migrate(vm *VM, dst *Lab, opts ...MigrateOption) (*MigrateResult, error) {
+	var o lifecycle.MigrateOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return lifecycle.Migrate(vm, dst.Host, o)
+}
+
+// NewRebasedVerifier prepares a crossing-by-crossing check of a live
+// run against a recording made at a different absolute virtual time:
+// the offset is latched at the first crossing and every subsequent
+// timestamp must match after shifting. This is what lets a session
+// recorded on a migration source live-verify against the destination,
+// whose clock carries the migration's own cost.
+func (l *Lab) NewRebasedVerifier(lg *RecordLog) *Verifier {
+	return replay.NewRebasedVerifier(lg, l.Host.Clock)
+}

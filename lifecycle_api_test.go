@@ -1,0 +1,201 @@
+package vmsh_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmsh"
+)
+
+// TestPublicAPISnapshotRestore is the documented snapshot quick-start:
+// snapshot a VM with its live session, persist the snapshot through
+// the canonical file format, and restore VM + session on a second lab.
+func TestPublicAPISnapshotRestore(t *testing.T) {
+	lab := vmsh.NewLab()
+	vm, err := lab.LaunchVM(
+		vmsh.WithHypervisor(vmsh.QEMU),
+		vmsh.WithRootFS(vmsh.GuestRoot("snap-vm")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := lab.BuildImage("tools.img", vmsh.ToolImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := lab.Attach(vm, vmsh.WithImage(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Exec("ls /var/lib/vmsh"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := lab.Snapshot(vm,
+		vmsh.WithSnapshotLabel("pre-upgrade"),
+		vmsh.WithSnapshotSession(sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "vm.snap")
+	if err := vmsh.WriteSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := vmsh.ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lab2 := vmsh.NewLab()
+	vm2, sess2, err := lab2.Restore(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm2 == nil || sess2 == nil {
+		t.Fatal("restore returned no VM or no session")
+	}
+	out, err := sess2.Exec("cat /var/lib/vmsh/etc/hostname")
+	if err != nil || !strings.Contains(out, "snap-vm") {
+		t.Fatalf("restored session exec: %q %v", out, err)
+	}
+	if err := sess2.Detach(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPublicAPIMigrate is the documented migration quick-start: a
+// post-copy migration carrying the live session between labs, with the
+// typed error surface checked on a failure path.
+func TestPublicAPIMigrate(t *testing.T) {
+	lab := vmsh.NewLab()
+	vm, err := lab.LaunchVM(
+		vmsh.WithHypervisor(vmsh.QEMU),
+		vmsh.WithRootFS(vmsh.GuestRoot("mig-vm")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := lab.BuildImage("tools.img", vmsh.ToolImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := lab.Attach(vm, vmsh.WithImage(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lab2 := vmsh.NewLab()
+	res, err := lab.Migrate(vm, lab2,
+		vmsh.WithPrecopyRounds(2),
+		vmsh.WithPostCopy(),
+		vmsh.WithMigrateSession(sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Downtime <= 0 || res.BytesOnWire <= 0 {
+		t.Fatalf("implausible accounting: downtime %v, %d B on wire", res.Downtime, res.BytesOnWire)
+	}
+	out, err := res.Session.Exec("cat /var/lib/vmsh/etc/hostname")
+	if err != nil || !strings.Contains(out, "mig-vm") {
+		t.Fatalf("migrated session exec: %q %v", out, err)
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Session.Detach(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failure path: a corrupted snapshot file surfaces the typed
+	// sentinel through the facade.
+	snap, err := lab2.Snapshot(res.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "vm.snap")
+	if err := vmsh.WriteSnapshot(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = vmsh.ReadSnapshot(path)
+	if !errors.Is(err, vmsh.ErrSnapshotCorrupt) {
+		t.Fatalf("want ErrSnapshotCorrupt, got %v", err)
+	}
+}
+
+// TestPublicAPIRecordVerifiesAcrossMigration pins satellite claim 6 at
+// the public surface: a session recorded (WithRecord) against the
+// source VM live-verifies, crossing by crossing, against the
+// destination after migration — through the rebased verifier, since
+// the destination clock carries the migration's own cost.
+func TestPublicAPIRecordVerifiesAcrossMigration(t *testing.T) {
+	recPath := filepath.Join(t.TempDir(), "src.rlog")
+	cmds := []string{"ls /var/lib/vmsh", "cat /var/lib/vmsh/etc/hostname"}
+
+	lab := vmsh.NewLab()
+	vm, err := lab.LaunchVM(
+		vmsh.WithHypervisor(vmsh.QEMU),
+		vmsh.WithRootFS(vmsh.GuestRoot("rr-vm")),
+		vmsh.WithVMSeed(7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := lab.BuildImage("tools.img", vmsh.ToolImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := lab.Attach(vm, vmsh.WithImage(img), vmsh.WithRecord(recPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmds {
+		if _, err := sess.Exec(c); err != nil {
+			t.Fatalf("exec %q: %v", c, err)
+		}
+	}
+	if err := sess.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := vmsh.ReadRecording(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lab2 := vmsh.NewLab()
+	res, err := lab.Migrate(vm, lab2, vmsh.WithPrecopyRounds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	img2, err := lab2.BuildImage("tools.img", vmsh.ToolImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver := lab2.NewRebasedVerifier(lg)
+	sess2, err := lab2.Attach(res.Dst, vmsh.WithImage(img2), vmsh.WithVerifier(ver))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmds {
+		if _, err := sess2.Exec(c); err != nil {
+			t.Fatalf("exec %q on destination: %v", c, err)
+		}
+	}
+	if err := sess2.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if d := ver.Result(); d != nil {
+		t.Fatalf("destination run diverged from source recording: %+v", d)
+	}
+}

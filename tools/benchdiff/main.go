@@ -7,8 +7,12 @@
 //
 // Compared metrics are the deterministic virtual-time ones only: the
 // E5 fast-path counters (virtual time, process_vm calls, interrupts,
-// bytes moved per mode) and the E9 fleet results (events, messages,
-// max vtime, determinism digest, per-shard vtimes). Wall-clock-derived
+// bytes moved per mode), the E9 fleet results (events, messages,
+// max vtime, determinism digest, per-shard vtimes) and the E11
+// migration sweep (downtime, total time, pages and bytes on the wire
+// per mode × dirty rate, plus the hash-equality / session-survival /
+// record-verify booleans, which regress at any threshold when lost).
+// Wall-clock-derived
 // numbers (events/sec, wall_ms, speedup) are never compared — they
 // measure the CI machine, not the code. E9 documents are compared only
 // when (vms, shards, seed) match; otherwise the comparison is skipped
@@ -71,14 +75,44 @@ type fleetDoc struct {
 	Deterministic *bool      `json:"deterministic"`
 }
 
+// e11Leg mirrors eval.MigrationLeg's deterministic fields: one
+// migration of the E11 sweep (BENCH_e11.json).
+type e11Leg struct {
+	Mode          string `json:"mode"`
+	DirtyPages    int    `json:"dirty_pages_per_round"`
+	PrecopyRounds int    `json:"precopy_rounds"`
+	DowntimeNS    int64  `json:"downtime_ns"`
+	TotalNS       int64  `json:"total_ns"`
+	PagesPrecopy  int    `json:"pages_precopy"`
+	PagesCutover  int    `json:"pages_cutover"`
+	PagesFaulted  int    `json:"pages_faulted"`
+	PagesDrained  int    `json:"pages_drained"`
+	BytesOnWire   int64  `json:"bytes_on_wire"`
+	HashesEqual   bool   `json:"hashes_equal"`
+}
+
+// e11Doc mirrors eval.MigrationResult.
+type e11Doc struct {
+	SchemaVersion       int      `json:"schema_version"`
+	Seed                int64    `json:"seed"`
+	Legs                []e11Leg `json:"legs"`
+	SessionSurvived     bool     `json:"session_survived"`
+	SessionFaultedPages int      `json:"session_faulted_pages"`
+	RecordVerified      bool     `json:"record_verified"`
+	RecordCrossings     int      `json:"record_crossings"`
+}
+
 // benchFile is the union shape of every artifact benchdiff accepts:
-// a vmsh-bench -json document (fast_path and/or fleet inside) or a
-// bare -fleet-json document (fleet fields at top level).
+// a vmsh-bench -json document (fast_path, fleet and/or migration
+// inside), a bare -fleet-json document (fleet fields at top level),
+// or a bare -migrate-json document (migration legs at top level).
 type benchFile struct {
-	FastPath []e5Mode  `json:"fast_path"`
-	Fleet    *fleetDoc `json:"fleet"`
-	Xfstests []e1Row   `json:"xfstests"`
-	top      fleetDoc  // top-level fleet fields (BENCH_e9.json)
+	FastPath  []e5Mode  `json:"fast_path"`
+	Fleet     *fleetDoc `json:"fleet"`
+	Xfstests  []e1Row   `json:"xfstests"`
+	Migration *e11Doc   `json:"migration"`
+	top       fleetDoc  // top-level fleet fields (BENCH_e9.json)
+	topMig    e11Doc    // top-level migration fields (BENCH_e11.json)
 }
 
 func (b *benchFile) fleet() *fleetDoc {
@@ -87,6 +121,16 @@ func (b *benchFile) fleet() *fleetDoc {
 	}
 	if len(b.top.Runs) > 0 {
 		return &b.top
+	}
+	return nil
+}
+
+func (b *benchFile) migration() *e11Doc {
+	if b.Migration != nil {
+		return b.Migration
+	}
+	if len(b.topMig.Legs) > 0 {
+		return &b.topMig
 	}
 	return nil
 }
@@ -210,6 +254,53 @@ func diff(oldDoc, newDoc *benchFile, thresholdPct float64) *report {
 		}
 	}
 
+	om, nm := oldDoc.migration(), newDoc.migration()
+	switch {
+	case om != nil && nm == nil:
+		r.regress("e11 migration document missing from candidate")
+	case om != nil && nm != nil:
+		if om.Seed != nm.Seed {
+			r.note("e11 skipped: seeds differ (%d vs %d)", om.Seed, nm.Seed)
+			break
+		}
+		compared = true
+		// Booleans are correctness, not cost: losing one is a
+		// regression at any threshold.
+		if om.SessionSurvived && !nm.SessionSurvived {
+			r.regress("e11 candidate: session no longer survives migration")
+		}
+		if om.RecordVerified && !nm.RecordVerified {
+			r.regress("e11 candidate: recorded session no longer verifies on destination")
+		}
+		newLegs := make(map[string]e11Leg, len(nm.Legs))
+		for _, l := range nm.Legs {
+			newLegs[fmt.Sprintf("%s/%d", l.Mode, l.DirtyPages)] = l
+		}
+		for _, ol := range om.Legs {
+			key := fmt.Sprintf("%s/%d", ol.Mode, ol.DirtyPages)
+			nl, ok := newLegs[key]
+			if !ok {
+				r.regress("e11 leg %q missing from candidate", key)
+				continue
+			}
+			if ol.PrecopyRounds != nl.PrecopyRounds {
+				r.note("e11 leg %q skipped: pre-copy rounds differ (%d vs %d)",
+					key, ol.PrecopyRounds, nl.PrecopyRounds)
+				continue
+			}
+			if !nl.HashesEqual {
+				r.regress("e11 leg %q: RAM hashes diverged", key)
+			}
+			pfx := "e11." + key
+			r.cmp(pfx+".downtime_ns", float64(ol.DowntimeNS), float64(nl.DowntimeNS), thresholdPct)
+			r.cmp(pfx+".total_ns", float64(ol.TotalNS), float64(nl.TotalNS), thresholdPct)
+			r.cmp(pfx+".pages_on_wire",
+				float64(ol.PagesPrecopy+ol.PagesCutover+ol.PagesFaulted+ol.PagesDrained),
+				float64(nl.PagesPrecopy+nl.PagesCutover+nl.PagesFaulted+nl.PagesDrained), thresholdPct)
+			r.cmp(pfx+".bytes_on_wire", float64(ol.BytesOnWire), float64(nl.BytesOnWire), thresholdPct)
+		}
+	}
+
 	if !compared && len(r.regressions) == 0 {
 		r.note("no comparable metrics found (empty or mismatched artifacts)")
 	}
@@ -225,11 +316,15 @@ func load(path string) (*benchFile, error) {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	// A bare -fleet-json document carries the fleet fields at top
-	// level; decode those separately.
+	// Bare -fleet-json / -migrate-json documents carry their fields at
+	// top level; decode those separately.
 	var top fleetDoc
 	if err := json.Unmarshal(raw, &top); err == nil && len(top.Runs) > 0 {
 		doc.top = top
+	}
+	var topMig e11Doc
+	if err := json.Unmarshal(raw, &topMig); err == nil && len(topMig.Legs) > 0 {
+		doc.topMig = topMig
 	}
 	return &doc, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -123,5 +124,96 @@ func TestNestedFleetDocument(t *testing.T) {
 	r := diff(mustParse(t, nested), mustParse(t, e9Base), 0)
 	if len(r.regressions) != 0 {
 		t.Fatalf("nested-vs-bare comparison regressed: %v", r.regressions)
+	}
+}
+
+const e11Base = `{"schema_version":1,"seed":42,
+	"legs":[
+		{"mode":"stop_and_copy","dirty_pages_per_round":256,"precopy_rounds":2,
+		 "downtime_ns":892000,"total_ns":5000000,"pages_precopy":512,"pages_cutover":256,
+		 "pages_faulted":0,"pages_drained":0,"bytes_on_wire":3290112,"hashes_equal":true},
+		{"mode":"postcopy","dirty_pages_per_round":256,"precopy_rounds":2,
+		 "downtime_ns":52000,"total_ns":5000000,"pages_precopy":512,"pages_cutover":0,
+		 "pages_faulted":1,"pages_drained":255,"bytes_on_wire":3292160,"hashes_equal":true}],
+	"session_survived":true,"session_faulted_pages":1,
+	"record_verified":true,"record_crossings":328373}`
+
+func mustParseE11(t *testing.T, s string) *benchFile {
+	t.Helper()
+	doc := mustParse(t, s)
+	var topMig e11Doc
+	if err := json.Unmarshal([]byte(s), &topMig); err == nil && len(topMig.Legs) > 0 {
+		doc.topMig = topMig
+	}
+	return doc
+}
+
+func TestE11IdenticalPasses(t *testing.T) {
+	r := diff(mustParseE11(t, e11Base), mustParseE11(t, e11Base), 0)
+	if len(r.regressions) != 0 {
+		t.Fatalf("identical migration docs regressed: %v", r.regressions)
+	}
+}
+
+func TestE11DowntimeGrowthFails(t *testing.T) {
+	cand := strings.Replace(e11Base, `"downtime_ns":52000`, `"downtime_ns":60000`, 1)
+	r := diff(mustParseE11(t, e11Base), mustParseE11(t, cand), 5)
+	if len(r.regressions) != 1 {
+		t.Fatalf("want downtime regression (+15%% > 5%%), got %v", r.regressions)
+	}
+	r = diff(mustParseE11(t, e11Base), mustParseE11(t, cand), 20)
+	if len(r.regressions) != 0 {
+		t.Fatalf("+15%% under 20%% threshold regressed: %v", r.regressions)
+	}
+}
+
+func TestE11HashDivergenceFailsAtAnyThreshold(t *testing.T) {
+	cand := strings.Replace(e11Base,
+		`"bytes_on_wire":3292160,"hashes_equal":true`,
+		`"bytes_on_wire":3292160,"hashes_equal":false`, 1)
+	r := diff(mustParseE11(t, e11Base), mustParseE11(t, cand), 1000)
+	if len(r.regressions) != 1 {
+		t.Fatalf("want hash-divergence regression despite huge threshold, got %v", r.regressions)
+	}
+}
+
+func TestE11LostBooleansFail(t *testing.T) {
+	cand := strings.Replace(strings.Replace(e11Base,
+		`"session_survived":true`, `"session_survived":false`, 1),
+		`"record_verified":true`, `"record_verified":false`, 1)
+	r := diff(mustParseE11(t, e11Base), mustParseE11(t, cand), 0)
+	if len(r.regressions) != 2 {
+		t.Fatalf("want session+record regressions, got %v", r.regressions)
+	}
+}
+
+func TestE11MissingLegFails(t *testing.T) {
+	cand := `{"schema_version":1,"seed":42,
+		"legs":[
+			{"mode":"stop_and_copy","dirty_pages_per_round":256,"precopy_rounds":2,
+			 "downtime_ns":892000,"total_ns":5000000,"pages_precopy":512,"pages_cutover":256,
+			 "pages_faulted":0,"pages_drained":0,"bytes_on_wire":3290112,"hashes_equal":true}],
+		"session_survived":true,"session_faulted_pages":1,
+		"record_verified":true,"record_crossings":328373}`
+	r := diff(mustParseE11(t, e11Base), mustParseE11(t, cand), 0)
+	if len(r.regressions) != 1 {
+		t.Fatalf("want missing-leg regression, got %v", r.regressions)
+	}
+}
+
+func TestE11SeedMismatchSkips(t *testing.T) {
+	cand := strings.Replace(e11Base, `"seed":42`, `"seed":7`, 1)
+	r := diff(mustParseE11(t, e11Base), mustParseE11(t, cand), 0)
+	if len(r.regressions) != 0 {
+		t.Fatalf("mismatched seeds must be skipped, got %v", r.regressions)
+	}
+}
+
+func TestNestedMigrationDocument(t *testing.T) {
+	// vmsh-bench -json nests the migration doc under "migration".
+	nested := `{"tables":[],"migration":` + e11Base + `}`
+	r := diff(mustParse(t, nested), mustParseE11(t, e11Base), 0)
+	if len(r.regressions) != 0 {
+		t.Fatalf("nested-vs-bare migration comparison regressed: %v", r.regressions)
 	}
 }

@@ -14,10 +14,18 @@
 // the real tool would do:
 //
 //	lab := vmsh.NewLab()
-//	vm, _ := lab.LaunchVM(vmsh.VMConfig{Hypervisor: vmsh.QEMU})
+//	vm, _ := lab.LaunchVM(vmsh.WithHypervisor(vmsh.QEMU), vmsh.WithMemMiB(64))
 //	img, _ := lab.BuildImage("tools.img", vmsh.ToolImage())
 //	sess, _ := lab.Attach(vm, vmsh.WithImage(img))
 //	out, _ := sess.Exec("cat /var/lib/vmsh/etc/hostname")
+//
+// The API is options-first throughout: every constructor-like call
+// (LaunchVM, Attach, Snapshot, Restore, Migrate) takes functional
+// options, applied in order with later options overriding earlier
+// ones; legacy struct bags remain available through deprecated
+// With*Config/WithOptions shims. VM lifecycle operations — whole-VM
+// snapshot/restore and live migration between labs — live on Lab too
+// (Lab.Snapshot, Lab.Restore, Lab.Migrate; see lifecycle.go).
 package vmsh
 
 import (
@@ -227,7 +235,11 @@ const (
 	ArchARM64  = arch.ARM64
 )
 
-// VMConfig parameterises LaunchVM.
+// VMConfig is the options bag behind the VMOption setters.
+//
+// Deprecated: construct VMs with VMOption values (WithHypervisor,
+// WithMemMiB, ...) instead of filling this struct; code still holding
+// a VMConfig can pass it through the WithVMConfig shim.
 type VMConfig struct {
 	// Hypervisor selects the personality; default QEMU.
 	Hypervisor hypervisor.Kind
@@ -244,6 +256,8 @@ type VMConfig struct {
 	RootFS Manifest
 	// RAMSize defaults to 256 MiB.
 	RAMSize uint64
+	// VCPUs defaults to 1.
+	VCPUs int
 	// Seed randomises KASLR.
 	Seed int64
 	// DisableSeccomp turns off Firecracker's filters (required for
@@ -259,8 +273,74 @@ type VMConfig struct {
 	NinePShare bool
 }
 
+// DiskSpec describes one extra hypervisor-owned disk (WithExtraDisk).
+type DiskSpec = hypervisor.DiskSpec
+
+// VMOption configures one aspect of LaunchVM. Options apply in order,
+// so a later option overrides an earlier one for the same setting.
+type VMOption func(*VMConfig)
+
+// WithHypervisor selects the hypervisor personality (QEMU default).
+func WithHypervisor(kind hypervisor.Kind) VMOption {
+	return func(c *VMConfig) { c.Hypervisor = kind }
+}
+
+// WithArch selects the machine architecture (ArchX86_64 default; the
+// arm64 flavour exercises the paper's planned port).
+func WithArch(a arch.Arch) VMOption { return func(c *VMConfig) { c.Arch = a } }
+
+// WithVMName names the VM (defaults to the personality name).
+func WithVMName(name string) VMOption { return func(c *VMConfig) { c.Name = name } }
+
+// WithKernelVersion selects the guest kernel ("5.10" default; Table 1
+// lists the tested LTS versions).
+func WithKernelVersion(v string) VMOption { return func(c *VMConfig) { c.KernelVersion = v } }
+
+// WithRootFS sets the guest root manifest (default GuestRoot("vm")).
+func WithRootFS(m Manifest) VMOption { return func(c *VMConfig) { c.RootFS = m } }
+
+// WithMemMiB sets the guest RAM size in MiB (256 default).
+func WithMemMiB(mib uint64) VMOption { return func(c *VMConfig) { c.RAMSize = mib << 20 } }
+
+// WithCPUs sets the vCPU count (1 default).
+func WithCPUs(n int) VMOption { return func(c *VMConfig) { c.VCPUs = n } }
+
+// WithVMSeed seeds the guest's KASLR layout; the same seed (with the
+// same config) boots byte-identically — the property snapshot/restore
+// and migration build on.
+func WithVMSeed(seed int64) VMOption { return func(c *VMConfig) { c.Seed = seed } }
+
+// WithoutSeccomp turns off Firecracker's seccomp filters (required for
+// attach, §6.2).
+func WithoutSeccomp() VMOption { return func(c *VMConfig) { c.DisableSeccomp = true } }
+
+// WithSeccompProfile selects Firecracker's filter set; the
+// "vmsh-compatible" profile permits attach with filters still armed.
+func WithSeccompProfile(name string) VMOption {
+	return func(c *VMConfig) { c.SeccompProfile = name }
+}
+
+// WithExtraDisk attaches an additional hypervisor-owned disk; repeat
+// for more than one.
+func WithExtraDisk(spec DiskSpec) VMOption {
+	return func(c *VMConfig) { c.ExtraDisks = append(c.ExtraDisks, spec) }
+}
+
+// WithNinePShare mounts a 9p host share at /mnt/9p (QEMU only).
+func WithNinePShare() VMOption { return func(c *VMConfig) { c.NinePShare = true } }
+
+// WithVMConfig applies a legacy VMConfig bag wholesale.
+//
+// Deprecated: migration shim for code built against the struct API;
+// new code should pass individual VMOption values.
+func WithVMConfig(cfg VMConfig) VMOption { return func(c *VMConfig) { *c = cfg } }
+
 // LaunchVM boots a VM on the lab host.
-func (l *Lab) LaunchVM(cfg VMConfig) (*VM, error) {
+func (l *Lab) LaunchVM(opts ...VMOption) (*VM, error) {
+	var cfg VMConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	root := cfg.RootFS
 	if root == nil {
 		root = GuestRoot("vm")
@@ -271,6 +351,7 @@ func (l *Lab) LaunchVM(cfg VMConfig) (*VM, error) {
 		Name:           cfg.Name,
 		KernelVersion:  cfg.KernelVersion,
 		RAMSize:        cfg.RAMSize,
+		VCPUs:          cfg.VCPUs,
 		Seed:           cfg.Seed,
 		RootFS:         root,
 		DisableSeccomp: cfg.DisableSeccomp,

@@ -10,10 +10,10 @@ import (
 // TestPublicAPIQuickstart exercises the documented happy path.
 func TestPublicAPIQuickstart(t *testing.T) {
 	lab := vmsh.NewLab()
-	vm, err := lab.LaunchVM(vmsh.VMConfig{
-		Hypervisor: vmsh.QEMU,
-		RootFS:     vmsh.GuestRoot("api-vm"),
-	})
+	vm, err := lab.LaunchVM(
+		vmsh.WithHypervisor(vmsh.QEMU),
+		vmsh.WithRootFS(vmsh.GuestRoot("api-vm")),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 // reset on a locked-out guest via chpasswd through the overlay.
 func TestPublicAPIUseCaseRescue(t *testing.T) {
 	lab := vmsh.NewLab()
-	vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("locked-vm")})
+	vm, err := lab.LaunchVM(vmsh.WithRootFS(vmsh.GuestRoot("locked-vm")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestPublicAPIUseCaseRescue(t *testing.T) {
 // TestPublicAPIUseCaseScanner is E10: the package CVE scan.
 func TestPublicAPIUseCaseScanner(t *testing.T) {
 	lab := vmsh.NewLab()
-	vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("alpine")})
+	vm, err := lab.LaunchVM(vmsh.WithRootFS(vmsh.GuestRoot("alpine")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestPublicAPIUseCaseScanner(t *testing.T) {
 func TestPublicAPITrapModes(t *testing.T) {
 	for _, trap := range []vmsh.TrapMode{vmsh.TrapIoregionfd, vmsh.TrapWrapSyscall} {
 		lab := vmsh.NewLab()
-		vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("t")})
+		vm, err := lab.LaunchVM(vmsh.WithRootFS(vmsh.GuestRoot("t")))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +127,7 @@ func TestPublicAPITrapModes(t *testing.T) {
 // TestPublicAPIAttachPID mirrors the real CLI pointing at a pid.
 func TestPublicAPIAttachPID(t *testing.T) {
 	lab := vmsh.NewLab()
-	vm, err := lab.LaunchVM(vmsh.VMConfig{RootFS: vmsh.GuestRoot("pid")})
+	vm, err := lab.LaunchVM(vmsh.WithRootFS(vmsh.GuestRoot("pid")))
 	if err != nil {
 		t.Fatal(err)
 	}
